@@ -1,0 +1,86 @@
+// Ablation A10 (paper §4 defense implication, quantified): classic
+// controller-side mitigations vs the same 256 K-hammer double-sided attack,
+// uniform vs vulnerability-profile-aware provisioning.
+//
+// Protection metric: residual victim bitflips. Cost metric: preventive
+// activations as a fraction of attack activations. The profile-aware rows
+// provision each channel from its own measured minimum HC_first instead of
+// the chip-wide worst case — the paper's "adapt to the heterogeneous
+// distribution" suggestion, realized.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/characterizer.hpp"
+#include "defense/graphene.hpp"
+#include "defense/harness.hpp"
+#include "defense/para.hpp"
+
+using namespace rh;
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<std::int64_t>(benchutil::kDefaultSeed)));
+  const auto hammers = static_cast<std::uint64_t>(args.get_int("hammers", 262144));
+
+  benchutil::banner("Ablation A10 (defenses)",
+                    "PARA / Graphene vs a 256K double-sided attack");
+
+  bender::BenderHost host(benchutil::paper_device_config(seed));
+  host.set_chip_temperature(85.0);
+  const core::RowMap map = core::RowMap::from_device(host.device());
+  defense::DefenseHarness harness(host, map);
+
+  // Quick per-channel HC_first profile (the characterization this repo is
+  // about) used by the aware variants.
+  core::CharacterizerConfig ccfg;
+  ccfg.wcdp_tolerance = 2048;
+  core::Characterizer chr(host, map, ccfg);
+  const auto profile_min_hc = [&](std::uint32_t channel) {
+    double min_hc = 1e18;
+    for (std::uint32_t i = 0; i < 10; ++i) {
+      if (const auto hc = chr.measure_hc_first(core::Site{channel, 0, 0}, 400 + i * 97,
+                                               core::DataPattern::kRowstripe0, 2048)) {
+        min_hc = std::min(min_hc, static_cast<double>(*hc));
+      }
+    }
+    return min_hc;
+  };
+  const double ch7_hc = profile_min_hc(7);
+  const double ch0_hc = profile_min_hc(0);
+  const double chip_hc = std::min(ch7_hc, ch0_hc);
+  std::cout << "profiled min HC_first: ch0 " << common::fmt_double(ch0_hc, 0) << ", ch7 "
+            << common::fmt_double(ch7_hc, 0) << "\n\n";
+
+  common::Table table({"policy", "site", "victim flips", "preventive ACTs", "overhead"});
+  const auto report = [&](const std::string& label, const core::Site& site,
+                          std::uint32_t victim, defense::MitigationPolicy* policy) {
+    const auto r = harness.run_double_sided(site, victim, hammers, policy);
+    table.add_row({label, site.to_string(), std::to_string(r.victim_flips),
+                   std::to_string(r.preventive_activations),
+                   common::fmt_percent(r.overhead(), 2)});
+  };
+
+  const core::Site ch7{7, 0, 0};
+  const core::Site ch0{0, 0, 0};
+  report("none", ch7, 1200, nullptr);
+
+  defense::Para para_uniform(map, {defense::Para::provision_probability(chip_hc), 7});
+  report(para_uniform.name() + " uniform", ch7, 1212, &para_uniform);
+
+  defense::Para para_aware_ch0(map, {defense::Para::provision_probability(ch0_hc), 7});
+  report(para_aware_ch0.name() + " aware", ch0, 1212, &para_aware_ch0);
+
+  defense::Graphene graphene_uniform(map, {defense::Graphene::provision_threshold(chip_hc), 64});
+  report(graphene_uniform.name() + " uniform", ch7, 1224, &graphene_uniform);
+
+  defense::Graphene graphene_aware(map, {defense::Graphene::provision_threshold(ch0_hc), 64});
+  report(graphene_aware.name() + " aware", ch0, 1224, &graphene_aware);
+
+  table.print(std::cout);
+  benchutil::maybe_write_csv(args, table);
+  std::cout << "\nexpected shape: every defended run shows zero flips; the aware variants\n"
+               "buy the same protection with visibly less preventive traffic on the\n"
+               "stronger channel — the paper's variation-aware defense implication.\n";
+  return 0;
+}

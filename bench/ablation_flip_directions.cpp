@@ -1,0 +1,50 @@
+// Ablation A9 (paper §4 closing observation): "the RH vulnerability of a
+// cell depends on ... data stored in the neighboring cells" — bit-level
+// anatomy of the flips.
+//
+// Prints, per data pattern: total flips across a row sample, the 0->1 vs
+// 1->0 direction split (exposing the true-/anti-cell composition), and the
+// per-cell repeatability of the flips.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/bitflip_analysis.hpp"
+#include "core/row_map.hpp"
+
+using namespace rh;
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<std::int64_t>(benchutil::kDefaultSeed)));
+  const auto rows = static_cast<std::uint32_t>(args.get_int("rows", 12));
+
+  benchutil::banner("Ablation A9 (flip directions)",
+                    "0->1 vs 1->0 bitflip anatomy per data pattern");
+
+  bender::BenderHost host(benchutil::paper_device_config(seed));
+  host.set_chip_temperature(85.0);
+  const core::RowMap map = core::RowMap::from_device(host.device());
+  core::BitflipAnalyzer analyzer(host, map);
+  const core::Site site{7, 0, 0};
+
+  common::Table table({"pattern", "victim byte", "flips", "0->1", "1->0", "0->1 share"});
+  for (const auto pattern : core::kAllPatterns) {
+    const auto census = analyzer.direction_census(site, 400, rows, 7, pattern);
+    char victim[8];
+    std::snprintf(victim, sizeof victim, "0x%02X", core::victim_byte(pattern));
+    table.add_row({std::string(to_string(pattern)), victim, std::to_string(census.total()),
+                   std::to_string(census.zero_to_one), std::to_string(census.one_to_zero),
+                   common::fmt_percent(census.zero_to_one_fraction(), 1)});
+  }
+  table.print(std::cout);
+  benchutil::maybe_write_csv(args, table);
+
+  const double repeat = analyzer.repeatability(site, 416, core::DataPattern::kRowstripe0);
+  std::cout << "\nper-cell repeatability of an identical repeated experiment: "
+            << common::fmt_percent(repeat, 1)
+            << "\n(RowHammer flips are per-cell deterministic — the property memory\n"
+               "templating attacks rely on; checkered rows flip in both directions\n"
+               "because both cell orientations hold charge somewhere in the row.)\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation A2 (paper §6, future work 2): RowHammer sensitivity to chip
+// temperature, driven end-to-end through the thermal rig (heating pad +
+// fan + PID controller), the way the real testbed changes temperature.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/characterizer.hpp"
+#include "core/row_map.hpp"
+
+using namespace rh;
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<std::int64_t>(benchutil::kDefaultSeed)));
+
+  benchutil::banner("Ablation A2 (temperature)", "BER vs chip temperature via the thermal rig");
+
+  bender::BenderHost host(benchutil::paper_device_config(seed));
+  const core::Site site{0, 0, 0};
+  const auto rows = static_cast<std::uint32_t>(args.get_int("rows", 12));
+  benchutil::warn_unqueried(args);
+
+  const core::RowMap map = core::RowMap::from_device(host.device());
+  core::Characterizer chr(host, map);
+
+  common::Table table({"target degC", "settled degC", "heater duty", "fan duty", "mean BER"});
+  for (const double target : std::vector<double>{45.0, 65.0, 85.0, 95.0}) {
+    host.set_chip_temperature(target);
+    double ber_sum = 0.0;
+    for (std::uint32_t i = 0; i < rows; ++i) {
+      ber_sum += chr.measure_ber(site, 1024 + i * 11, core::DataPattern::kRowstripe0).ber();
+    }
+    table.add_row({common::fmt_double(target, 1),
+                   common::fmt_double(host.thermal().temperature(), 2),
+                   common::fmt_double(host.thermal().heater_duty(), 2),
+                   common::fmt_double(host.thermal().fan_duty(), 2),
+                   common::fmt_percent(ber_sum / rows, 3)});
+  }
+  table.print(std::cout);
+  benchutil::maybe_write_csv(args, table);
+  std::cout << "\nexpected shape: mild monotone increase of BER with temperature\n"
+               "(the paper runs all headline experiments at 85 degC).\n";
+  return 0;
+}

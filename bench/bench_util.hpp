@@ -1,0 +1,60 @@
+// Shared scaffolding for the figure/table bench harnesses.
+//
+// Every bench binary reproduces one artifact of the paper's evaluation and
+// prints (a) the series the figure plots as an aligned table, (b) a compact
+// ASCII rendering of the figure's shape, and (c) optional CSV via --csv.
+// Flags shared by all benches:
+//   --seed=N      device seed (default: the calibrated seed)
+//   --stride=N    row-sampling stride (1 = the paper's full methodology)
+//   --hammers=N   hammer count for BER tests (default 262144 = 256 K)
+//   --csv=PATH    also write machine-readable CSV
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bender/host.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "fault/config.hpp"
+#include "hbm/device.hpp"
+
+namespace rh::benchutil {
+
+/// The paper's device: 4 GiB HBM2 stack, pair-swap row scrambling,
+/// proprietary TRR with period 17, held at 85 degC.
+inline hbm::DeviceConfig paper_device_config(std::uint64_t seed) {
+  hbm::DeviceConfig config;
+  config.fault.seed = seed;
+  return config;
+}
+
+inline void warn_unqueried(const common::CliArgs& args) {
+  for (const auto& flag : args.unqueried_flags()) {
+    std::cerr << "warning: unknown flag --" << flag << " ignored\n";
+  }
+}
+
+/// Prints the standard bench banner.
+inline void banner(const std::string& artifact, const std::string& description) {
+  std::cout << "==============================================================\n"
+            << artifact << ": " << description << '\n'
+            << "==============================================================\n";
+}
+
+/// Writes a table to the CSV path from --csv, if given.
+inline void maybe_write_csv(const common::CliArgs& args, const common::Table& table) {
+  const std::string path = args.get("csv", "");
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) throw common::ConfigError("cannot open CSV output file: " + path);
+  table.print_csv(out);
+  std::cout << "(csv written to " << path << ")\n";
+}
+
+/// The calibrated device seed (the fault model's default).
+inline const std::uint64_t kDefaultSeed = fault::FaultConfig{}.seed;
+
+}  // namespace rh::benchutil

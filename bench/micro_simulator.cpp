@@ -1,0 +1,104 @@
+// M1: google-benchmark microbenchmarks of the simulator itself — the
+// throughput numbers that make the figure-scale surveys tractable
+// (per-activation cost, batch hammer macro-op, settled row reads, whole
+// Bender programs, and the per-cell hash primitives).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.hpp"
+#include "bender/program.hpp"
+#include "common/rng.hpp"
+#include "core/characterizer.hpp"
+#include "core/data_patterns.hpp"
+#include "core/row_map.hpp"
+
+using namespace rh;
+
+namespace {
+
+hbm::DeviceConfig test_config() { return benchutil::paper_device_config(benchutil::kDefaultSeed); }
+
+void BM_CellHash(benchmark::State& state) {
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    x = common::hash_coords(x, 1, 2, 3, 4);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_CellHash);
+
+void BM_ApproxNormal(benchmark::State& state) {
+  std::uint64_t h = 0x1234;
+  double acc = 0.0;
+  for (auto _ : state) {
+    h = common::splitmix64(h);
+    acc += common::approx_normal(h);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ApproxNormal);
+
+void BM_ActivatePrechargeLoop(benchmark::State& state) {
+  hbm::Device device(test_config());
+  const hbm::BankAddress bank{0, 0, 0};
+  const auto& t = device.timings();
+  hbm::Cycle now = 1000;
+  std::uint32_t row = 100;
+  for (auto _ : state) {
+    device.activate(bank, row, now);
+    device.precharge(bank, now + t.tRAS);
+    now += t.tRAS + t.tRP;  // the minimal legal ACT-to-ACT period via PRE
+    row ^= 2;               // alternate between two non-adjacent rows
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ActivatePrechargeLoop);
+
+void BM_HammerBatch256K(benchmark::State& state) {
+  hbm::Device device(test_config());
+  const hbm::BankAddress bank{0, 0, 0};
+  const auto& t = device.timings();
+  hbm::Cycle now = 1000;
+  for (auto _ : state) {
+    const hbm::Cycle end = now + 262'144 * 2 * t.tRC;
+    device.hammer_pair(bank, 99, 101, 262'144, t.tRAS, end);
+    now = end + t.tRP;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 262'144);
+}
+BENCHMARK(BM_HammerBatch256K);
+
+void BM_BerMeasurement(benchmark::State& state) {
+  bender::BenderHost host(test_config());
+  const core::RowMap map = core::RowMap::from_device(host.device());
+  core::Characterizer chr(host, map);
+  const core::Site site{7, 0, 0};
+  std::uint32_t row = 1000;
+  for (auto _ : state) {
+    const auto ber = chr.measure_ber(site, row, core::DataPattern::kRowstripe0);
+    benchmark::DoNotOptimize(ber.bit_errors);
+    row = 1000 + (row + 37) % 2000;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BerMeasurement);
+
+void BM_ProgramInitAndReadRow(benchmark::State& state) {
+  bender::BenderHost host(test_config());
+  const auto& geometry = host.device().geometry();
+  for (auto _ : state) {
+    bender::ProgramBuilder b(geometry, host.device().timings());
+    b.program().set_wide_register(0, core::make_row_image(geometry, 0xA5));
+    b.init_row(0, 42, 0);
+    b.read_row(0, 42);
+    const auto result = host.run(b.take(), 0, 0);
+    benchmark::DoNotOptimize(result.readback.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProgramInitAndReadRow);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+#include "bender/executor.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+
+namespace rh::bender {
+
+ExecutionResult Executor::run(const Program& program, std::uint32_t channel,
+                              std::uint32_t pseudo_channel, hbm::Cycle start,
+                              std::uint64_t instruction_budget) {
+  program.validate(device_->geometry());
+  const auto& code = program.instructions();
+  const auto& geometry = device_->geometry();
+  const auto& timings = device_->timings();
+
+  ExecutionResult result;
+  result.start_cycle = start;
+
+  std::array<std::int64_t, kScalarRegisters> regs{};
+  std::vector<std::uint8_t> burst(geometry.bytes_per_column);
+  hbm::Cycle t = start;
+  std::size_t pc = 0;
+  std::uint64_t executed = 0;
+
+  const auto bank_addr = [&](std::uint8_t bank) {
+    return hbm::BankAddress{channel, pseudo_channel, bank};
+  };
+  const auto reg_row = [&](std::uint8_t reg) {
+    const std::int64_t row = regs[reg];
+    if (row < 0 || row >= static_cast<std::int64_t>(geometry.rows_per_bank)) {
+      throw common::ProgramError("row register value out of range: " + std::to_string(row));
+    }
+    return static_cast<std::uint32_t>(row);
+  };
+  const auto reg_col = [&](std::uint8_t reg) {
+    const std::int64_t col = regs[reg];
+    if (col < 0 || col >= static_cast<std::int64_t>(geometry.columns_per_row)) {
+      throw common::ProgramError("column register value out of range: " + std::to_string(col));
+    }
+    return static_cast<std::uint32_t>(col);
+  };
+  const auto hammer_period = [&](std::int64_t on_time) {
+    const hbm::Cycle on = std::max<hbm::Cycle>(static_cast<hbm::Cycle>(on_time), timings.tRAS);
+    return std::max(timings.tRC, on + timings.tRP);
+  };
+
+  while (pc < code.size()) {
+    if (++executed > instruction_budget) {
+      throw common::ProgramError("instruction budget exceeded (runaway loop?)");
+    }
+    const Instruction& ins = code[pc];
+    hbm::Cycle cost = 1;
+    std::size_t next = pc + 1;
+
+    switch (ins.op) {
+      case Opcode::kNop:
+        break;
+      case Opcode::kLdi:
+        regs[ins.rd] = ins.imm;
+        break;
+      case Opcode::kAddi:
+        regs[ins.rd] = regs[ins.rs1] + ins.imm;
+        break;
+      case Opcode::kBlt:
+        if (regs[ins.rs1] < regs[ins.rs2]) next = static_cast<std::size_t>(ins.imm);
+        break;
+      case Opcode::kJmp:
+        next = static_cast<std::size_t>(ins.imm);
+        break;
+      case Opcode::kAct:
+        device_->activate(bank_addr(ins.bank), reg_row(ins.rs1), t);
+        break;
+      case Opcode::kPre:
+        device_->precharge(bank_addr(ins.bank), t);
+        break;
+      case Opcode::kPreA:
+        device_->precharge_all(channel, pseudo_channel, t);
+        break;
+      case Opcode::kWr: {
+        const std::uint32_t col = reg_col(ins.rs1);
+        const auto wide = program.wide_register(ins.wide);
+        const std::size_t off = static_cast<std::size_t>(col) * geometry.bytes_per_column;
+        device_->write(bank_addr(ins.bank), col, wide.subspan(off, geometry.bytes_per_column), t);
+        break;
+      }
+      case Opcode::kRd: {
+        const std::uint32_t col = reg_col(ins.rs1);
+        device_->read(bank_addr(ins.bank), col, t, burst);
+        result.readback.insert(result.readback.end(), burst.begin(), burst.end());
+        break;
+      }
+      case Opcode::kRef:
+        device_->refresh(channel, pseudo_channel, t);
+        break;
+      case Opcode::kMrs:
+        device_->mode_register_set(channel, ins.rd, static_cast<std::uint32_t>(ins.imm), t);
+        break;
+      case Opcode::kSleep:
+        cost = 1 + static_cast<hbm::Cycle>(ins.imm);
+        break;
+      case Opcode::kHammer: {
+        const hbm::Cycle period = hammer_period(ins.imm2);
+        cost = static_cast<hbm::Cycle>(ins.imm) * 2 * period;
+        if (ins.imm > 0) {
+          const hbm::Cycle on =
+              std::max<hbm::Cycle>(static_cast<hbm::Cycle>(ins.imm2), timings.tRAS);
+          device_->hammer_pair(bank_addr(ins.bank), reg_row(ins.rs1), reg_row(ins.rs2),
+                               static_cast<std::uint64_t>(ins.imm), on, t + cost);
+        }
+        break;
+      }
+      case Opcode::kHammerSingle: {
+        const hbm::Cycle period = hammer_period(ins.imm2);
+        cost = static_cast<hbm::Cycle>(ins.imm) * period;
+        if (ins.imm > 0) {
+          const hbm::Cycle on =
+              std::max<hbm::Cycle>(static_cast<hbm::Cycle>(ins.imm2), timings.tRAS);
+          device_->hammer_single(bank_addr(ins.bank), reg_row(ins.rs1),
+                                 static_cast<std::uint64_t>(ins.imm), on, t + cost);
+        }
+        break;
+      }
+      case Opcode::kSrEnter:
+        device_->self_refresh_enter(channel, pseudo_channel, t);
+        break;
+      case Opcode::kSrExit:
+        device_->self_refresh_exit(channel, pseudo_channel, t);
+        break;
+      case Opcode::kEnd:
+        result.end_cycle = t + 1;
+        result.instructions_executed = executed;
+        return result;
+    }
+    t += cost;
+    pc = next;
+  }
+  throw common::ProgramError("program ran off the end without END");
+}
+
+}  // namespace rh::bender

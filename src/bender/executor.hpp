@@ -1,0 +1,44 @@
+// The FPGA-side program executor.
+//
+// Runs one Bender program against one pseudo channel of the device, with the
+// exact cycle accounting the ProgramBuilder assumes: one cycle per
+// instruction, 1+imm for SLEEP, and the unrolled-equivalent duration for the
+// HAMMER macro-ops. Collects RD bursts into a readback FIFO that the host
+// drains after the run (the PCIe DMA path of the real infrastructure).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bender/program.hpp"
+#include "hbm/device.hpp"
+
+namespace rh::bender {
+
+struct ExecutionResult {
+  /// RD bursts in program order, bytes_per_column each.
+  std::vector<std::uint8_t> readback;
+  hbm::Cycle start_cycle = 0;
+  hbm::Cycle end_cycle = 0;
+  std::uint64_t instructions_executed = 0;
+
+  [[nodiscard]] hbm::Cycle cycles() const { return end_cycle - start_cycle; }
+  [[nodiscard]] double elapsed_ms() const { return hbm::cycles_to_ms(cycles()); }
+};
+
+class Executor {
+public:
+  explicit Executor(hbm::Device& device) : device_(&device) {}
+
+  /// Executes `program` on (channel, pseudo_channel), with the global clock
+  /// starting at `start`. Throws ProgramError if the instruction budget is
+  /// exceeded (runaway loop) and propagates device Timing/Protocol errors.
+  ExecutionResult run(const Program& program, std::uint32_t channel,
+                      std::uint32_t pseudo_channel, hbm::Cycle start,
+                      std::uint64_t instruction_budget = 100'000'000);
+
+private:
+  hbm::Device* device_;
+};
+
+}  // namespace rh::bender

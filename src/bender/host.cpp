@@ -1,0 +1,44 @@
+#include "bender/host.hpp"
+
+#include "common/error.hpp"
+
+namespace rh::bender {
+
+BenderHost::BenderHost(hbm::DeviceConfig device_config, ThermalConfig thermal_config)
+    : device_(std::make_unique<hbm::Device>(std::move(device_config))),
+      executor_(*device_),
+      thermal_(thermal_config) {
+  // The rig starts at ambient; the device config's initial temperature is
+  // honoured until the first set_chip_temperature call.
+  thermal_.set_target(device_->temperature());
+}
+
+ExecutionResult BenderHost::run(const Program& program, std::uint32_t channel,
+                                std::uint32_t pseudo_channel) {
+  // Ship the program (instruction stream + preloaded wide registers) over
+  // the link, run it, then drain the readback FIFO.
+  std::size_t upload = program.instructions().size() * sizeof(Instruction);
+  for (std::uint32_t w = 0; w < kWideRegisters; ++w) {
+    upload += program.wide_register(w).size();
+  }
+  link_.record_upload(upload);
+  ExecutionResult result = executor_.run(program, channel, pseudo_channel, now_);
+  now_ = result.end_cycle;
+  if (!result.readback.empty()) link_.record_download(result.readback.size());
+  return result;
+}
+
+void BenderHost::set_chip_temperature(double celsius, double timeout_s) {
+  thermal_.set_target(celsius);
+  const double dt = thermal_.config().dt_s;
+  const auto max_steps = static_cast<long>(timeout_s / dt);
+  for (long step = 0; step < max_steps; ++step) {
+    thermal_.step();
+    idle_cycles(hbm::ms_to_cycles(dt * 1e3));
+    device_->set_temperature(thermal_.temperature());
+    if (thermal_.settled()) return;
+  }
+  throw common::ConfigError("thermal rig failed to settle on target temperature");
+}
+
+}  // namespace rh::bender

@@ -1,0 +1,58 @@
+// The host machine: owns the device (the "FPGA board"), the program
+// executor, the global experiment clock, and the thermal rig. This is the
+// top of the infrastructure stack — characterization code in src/core talks
+// to a BenderHost exactly the way the paper's test programs talk to the
+// modified DRAM Bender host tools over PCIe.
+#pragma once
+
+#include <memory>
+
+#include "bender/executor.hpp"
+#include "bender/program.hpp"
+#include "bender/thermal.hpp"
+#include "bender/transport.hpp"
+#include "hbm/device.hpp"
+
+namespace rh::bender {
+
+class BenderHost {
+public:
+  explicit BenderHost(hbm::DeviceConfig device_config,
+                      ThermalConfig thermal_config = ThermalConfig{});
+
+  /// Ships `program` to the FPGA and runs it on one pseudo channel; the
+  /// global clock advances by the program's duration. Returns the readback
+  /// FIFO contents and timing.
+  ExecutionResult run(const Program& program, std::uint32_t channel,
+                      std::uint32_t pseudo_channel);
+
+  /// Advances the global clock without issuing commands (host-side delay;
+  /// retention keeps accruing, exactly like real wall-clock waiting).
+  void idle_cycles(hbm::Cycle cycles) { now_ += cycles; }
+  void idle_ms(double ms) { now_ += hbm::ms_to_cycles(ms); }
+
+  /// Drives the thermal rig until it settles on `celsius` (the rig's PID
+  /// loop runs in simulated time; the chip temperature follows the plant).
+  /// Throws ConfigError if the rig cannot settle within `timeout_s`.
+  void set_chip_temperature(double celsius, double timeout_s = 600.0);
+
+  [[nodiscard]] hbm::Cycle now() const { return now_; }
+  [[nodiscard]] hbm::Device& device() { return *device_; }
+  [[nodiscard]] const hbm::Device& device() const { return *device_; }
+  [[nodiscard]] ThermalRig& thermal() { return thermal_; }
+  [[nodiscard]] PcieLink& link() { return link_; }
+
+  /// Host-side wall-clock estimate, milliseconds: DRAM program time + idle
+  /// waits + PCIe transfer time for uploads/readbacks. The PCIe share is
+  /// what makes batching probes into programs worthwhile on real hardware.
+  [[nodiscard]] double wall_ms() const { return hbm::cycles_to_ms(now_) + link_.busy_ms(); }
+
+private:
+  std::unique_ptr<hbm::Device> device_;
+  Executor executor_;
+  ThermalRig thermal_;
+  PcieLink link_;
+  hbm::Cycle now_ = 0;
+};
+
+}  // namespace rh::bender

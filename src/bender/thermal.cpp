@@ -1,0 +1,52 @@
+#include "bender/thermal.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace rh::bender {
+
+ThermalRig::ThermalRig(const ThermalConfig& config)
+    : config_(config), temperature_c_(config.ambient_c), target_c_(config.ambient_c) {
+  RH_EXPECTS(config_.dt_s > 0.0);
+  RH_EXPECTS(config_.heater_gain > 0.0);
+}
+
+void ThermalRig::set_target(double celsius) {
+  target_c_ = celsius;
+  integral_ = 0.0;
+  previous_error_ = target_c_ - temperature_c_;
+  in_band_steps_ = 0;
+}
+
+void ThermalRig::step() {
+  const double error = target_c_ - temperature_c_;
+
+  // PID with anti-windup clamping on the integral term.
+  integral_ = std::clamp(integral_ + error * config_.dt_s, -50.0, 50.0);
+  const double derivative = (error - previous_error_) / config_.dt_s;
+  previous_error_ = error;
+  const double u = config_.kp * error + config_.ki * integral_ + config_.kd * derivative;
+
+  // Positive effort heats, negative effort spins the fan.
+  heater_duty_ = std::clamp(u, 0.0, 1.0);
+  fan_duty_ = std::clamp(-u, 0.0, 1.0);
+
+  // First-order plant: heater input vs Newtonian cooling toward ambient.
+  const double cooling = config_.passive_cooling + fan_duty_ * config_.fan_cooling;
+  const double d_temp = heater_duty_ * config_.heater_gain -
+                        (temperature_c_ - config_.ambient_c) * cooling;
+  temperature_c_ += d_temp * config_.dt_s;
+
+  if (std::abs(target_c_ - temperature_c_) <= 0.5) {
+    ++in_band_steps_;
+  } else {
+    in_band_steps_ = 0;
+  }
+}
+
+bool ThermalRig::settled(double tolerance_c, int required) const {
+  return std::abs(target_c_ - temperature_c_) <= tolerance_c && in_band_steps_ >= required;
+}
+
+}  // namespace rh::bender

@@ -1,0 +1,60 @@
+// The temperature rig: heating pad + cooling fan + Arduino-style PID
+// controller (paper §3, Fig. 2).
+//
+// The paper holds the HBM2 chip at 85 degC — the maximum operating
+// temperature at the nominal refresh rate — using a closed-loop PID
+// controller driving a heating pad and a cooling fan. We model a first-order
+// thermal plant and the same control loop, so temperature-sensitive
+// experiments (retention profiling, the A2 temperature ablation) drive the
+// chip temperature the way the real rig does rather than poking a variable.
+#pragma once
+
+namespace rh::bender {
+
+struct ThermalConfig {
+  double ambient_c = 25.0;
+  /// Heating rate at full pad power, degC/s.
+  double heater_gain = 6.0;
+  /// Passive cooling coefficient, 1/s (Newtonian cooling toward ambient).
+  double passive_cooling = 0.02;
+  /// Additional cooling coefficient at full fan duty, 1/s.
+  double fan_cooling = 0.20;
+  // PID gains (on the heater/fan duty, input = temperature error in degC).
+  double kp = 0.30;
+  double ki = 0.05;
+  double kd = 0.10;
+  /// Controller sample period, seconds (Arduino loop tick).
+  double dt_s = 0.05;
+};
+
+class ThermalRig {
+public:
+  explicit ThermalRig(const ThermalConfig& config);
+
+  void set_target(double celsius);
+  [[nodiscard]] double target() const { return target_c_; }
+  [[nodiscard]] double temperature() const { return temperature_c_; }
+  [[nodiscard]] double heater_duty() const { return heater_duty_; }
+  [[nodiscard]] double fan_duty() const { return fan_duty_; }
+
+  /// One controller tick: PID update + plant integration over dt_s.
+  void step();
+
+  /// True once the temperature has stayed within `tolerance_c` of the
+  /// target for the last `required` consecutive steps.
+  [[nodiscard]] bool settled(double tolerance_c = 0.5, int required = 20) const;
+
+  [[nodiscard]] const ThermalConfig& config() const { return config_; }
+
+private:
+  ThermalConfig config_;
+  double temperature_c_;
+  double target_c_;
+  double integral_ = 0.0;
+  double previous_error_ = 0.0;
+  double heater_duty_ = 0.0;
+  double fan_duty_ = 0.0;
+  int in_band_steps_ = 0;
+};
+
+}  // namespace rh::bender

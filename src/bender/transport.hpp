@@ -1,0 +1,73 @@
+// Host <-> FPGA transport model (the PCIe link of Fig. 2).
+//
+// DRAM Bender ships programs and pattern registers to the FPGA over PCIe and
+// drains the readback FIFO the same way. The link does not consume *DRAM*
+// time (the FPGA runs programs autonomously), but it dominates host-side
+// wall clock for short programs — a real effect when iterating millions of
+// small probes, and the reason the infrastructure batches work into
+// programs instead of issuing single commands from the host.
+//
+// The model: fixed per-transfer latency plus bytes/bandwidth, with counters
+// for profiling the host-side cost of an experiment campaign.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rh::bender {
+
+struct PcieConfig {
+  /// Effective host->FPGA / FPGA->host throughput (GiB/s). Gen3 x8 class.
+  double bandwidth_gib_s = 6.0;
+  /// Per-transfer setup latency (microseconds): doorbell + DMA descriptor.
+  double latency_us = 25.0;
+};
+
+class PcieLink {
+public:
+  explicit PcieLink(const PcieConfig& config = PcieConfig{}) : config_(config) {}
+
+  /// Wall-clock milliseconds one transfer of `bytes` takes.
+  [[nodiscard]] double transfer_ms(std::size_t bytes) const {
+    const double data_ms =
+        static_cast<double>(bytes) / (config_.bandwidth_gib_s * 1024.0 * 1024.0 * 1024.0) * 1e3;
+    return config_.latency_us * 1e-3 + data_ms;
+  }
+
+  /// Records a host->FPGA transfer (program upload, wide registers).
+  double record_upload(std::size_t bytes) {
+    ++uploads_;
+    upload_bytes_ += bytes;
+    const double ms = transfer_ms(bytes);
+    busy_ms_ += ms;
+    return ms;
+  }
+
+  /// Records an FPGA->host transfer (readback FIFO drain).
+  double record_download(std::size_t bytes) {
+    ++downloads_;
+    download_bytes_ += bytes;
+    const double ms = transfer_ms(bytes);
+    busy_ms_ += ms;
+    return ms;
+  }
+
+  [[nodiscard]] std::uint64_t uploads() const { return uploads_; }
+  [[nodiscard]] std::uint64_t downloads() const { return downloads_; }
+  [[nodiscard]] std::uint64_t upload_bytes() const { return upload_bytes_; }
+  [[nodiscard]] std::uint64_t download_bytes() const { return download_bytes_; }
+  /// Total link-busy wall time, milliseconds.
+  [[nodiscard]] double busy_ms() const { return busy_ms_; }
+
+  [[nodiscard]] const PcieConfig& config() const { return config_; }
+
+private:
+  PcieConfig config_;
+  std::uint64_t uploads_ = 0;
+  std::uint64_t downloads_ = 0;
+  std::uint64_t upload_bytes_ = 0;
+  std::uint64_t download_bytes_ = 0;
+  double busy_ms_ = 0.0;
+};
+
+}  // namespace rh::bender

@@ -1,0 +1,119 @@
+#include "common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "common/table.hpp"
+
+namespace rh::common {
+
+namespace {
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  void include(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  [[nodiscard]] double span() const { return hi > lo ? hi - lo : 1.0; }
+  [[nodiscard]] int to_col(double v, int width) const {
+    const double frac = (v - lo) / span();
+    return std::clamp(static_cast<int>(frac * (width - 1)), 0, width - 1);
+  }
+};
+
+}  // namespace
+
+void render_boxplot(std::ostream& os, const std::vector<BoxRow>& rows, int width,
+                    const std::string& axis_label) {
+  if (rows.empty()) return;
+  Range r;
+  for (const auto& row : rows) {
+    r.include(row.stats.min);
+    r.include(row.stats.max);
+  }
+  std::size_t label_w = 0;
+  for (const auto& row : rows) label_w = std::max(label_w, row.label.size());
+
+  for (const auto& row : rows) {
+    std::string line(static_cast<std::size_t>(width), ' ');
+    const int cmin = r.to_col(row.stats.min, width);
+    const int cq1 = r.to_col(row.stats.q1, width);
+    const int cmed = r.to_col(row.stats.median, width);
+    const int cq3 = r.to_col(row.stats.q3, width);
+    const int cmax = r.to_col(row.stats.max, width);
+    for (int c = cmin; c <= cmax; ++c) line[static_cast<std::size_t>(c)] = '-';
+    for (int c = cq1; c <= cq3; ++c) line[static_cast<std::size_t>(c)] = '=';
+    line[static_cast<std::size_t>(cmin)] = '|';
+    line[static_cast<std::size_t>(cmax)] = '|';
+    line[static_cast<std::size_t>(cq1)] = '[';
+    line[static_cast<std::size_t>(cq3)] = ']';
+    line[static_cast<std::size_t>(cmed)] = 'M';
+    os << "  " << row.label << std::string(label_w - row.label.size(), ' ') << " " << line << '\n';
+  }
+  os << "  " << std::string(label_w, ' ') << " " << fmt_double(r.lo, 4)
+     << std::string(static_cast<std::size_t>(std::max(1, width - 24)), ' ') << fmt_double(r.hi, 4);
+  if (!axis_label.empty()) os << "  (" << axis_label << ")";
+  os << '\n';
+}
+
+void render_line(std::ostream& os, const std::vector<double>& ys, int width, int height,
+                 const std::string& title) {
+  if (ys.empty()) return;
+  if (!title.empty()) os << "  " << title << '\n';
+  Range r;
+  for (double y : ys) r.include(y);
+
+  // Downsample by max within each column bucket so peaks survive.
+  std::vector<double> cols(static_cast<std::size_t>(width), r.lo);
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    const auto c = static_cast<std::size_t>(static_cast<double>(i) /
+                                            static_cast<double>(ys.size()) * width);
+    const std::size_t cc = std::min(c, static_cast<std::size_t>(width - 1));
+    cols[cc] = std::max(cols[cc], ys[i]);
+  }
+
+  for (int rrow = height - 1; rrow >= 0; --rrow) {
+    // Row 0's threshold equals the minimum so constant series still render.
+    const double threshold = r.lo + r.span() * rrow / height;
+    std::string line;
+    line.reserve(static_cast<std::size_t>(width));
+    for (int c = 0; c < width; ++c) {
+      line += cols[static_cast<std::size_t>(c)] >= threshold ? '#' : ' ';
+    }
+    const char* tick = (rrow == height - 1) ? "max " : (rrow == 0 ? "min " : "    ");
+    os << "  " << tick << '|' << line << '\n';
+  }
+  os << "       +" << std::string(static_cast<std::size_t>(width), '-') << '\n';
+  os << "        y in [" << fmt_double(r.lo, 4) << ", " << fmt_double(r.hi, 4) << "], "
+     << ys.size() << " points\n";
+}
+
+void render_scatter(std::ostream& os, const std::vector<ScatterPoint>& pts, int width, int height,
+                    const std::string& title) {
+  if (pts.empty()) return;
+  if (!title.empty()) os << "  " << title << '\n';
+  Range rx;
+  Range ry;
+  for (const auto& p : pts) {
+    rx.include(p.x);
+    ry.include(p.y);
+  }
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (const auto& p : pts) {
+    const int c = rx.to_col(p.x, width);
+    const int rrow = ry.to_col(p.y, height);
+    grid[static_cast<std::size_t>(height - 1 - rrow)][static_cast<std::size_t>(c)] = p.glyph;
+  }
+  for (const auto& line : grid) os << "  |" << line << '\n';
+  os << "  +" << std::string(static_cast<std::size_t>(width), '-') << '\n';
+  os << "   x in [" << fmt_double(rx.lo, 4) << ", " << fmt_double(rx.hi, 4) << "], y in ["
+     << fmt_double(ry.lo, 4) << ", " << fmt_double(ry.hi, 4) << "]\n";
+}
+
+}  // namespace rh::common

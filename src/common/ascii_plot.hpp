@@ -1,0 +1,46 @@
+// Compact ASCII renderings of the paper's plot types, so bench harnesses can
+// show the *shape* of each figure directly in the terminal:
+//   - horizontal box-and-whiskers rows (Figs. 3, 4)
+//   - per-row line series (Fig. 5)
+//   - 2-D scatter (Fig. 6)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace rh::common {
+
+/// One labelled box in a box-and-whiskers chart.
+struct BoxRow {
+  std::string label;
+  BoxStats stats;
+};
+
+/// Renders labelled horizontal boxplots on a shared axis:
+///   label  |----[==M==]-------|   (min, q1, median, q3, max)
+/// `width` is the plot-area width in characters.
+void render_boxplot(std::ostream& os, const std::vector<BoxRow>& rows, int width = 64,
+                    const std::string& axis_label = {});
+
+/// Renders a downsampled line series as a fixed-height character grid.
+/// `ys` is the series; x is the index. NaN-free input required.
+void render_line(std::ostream& os, const std::vector<double>& ys, int width = 96, int height = 12,
+                 const std::string& title = {});
+
+/// A labelled scatter point (Fig. 6: x = CV, y = mean BER, glyph = pseudo
+/// channel, label bucket = channel).
+struct ScatterPoint {
+  double x = 0.0;
+  double y = 0.0;
+  char glyph = 'o';
+};
+
+/// Renders a scatter chart on a width x height character grid with axis
+/// ranges derived from the data.
+void render_scatter(std::ostream& os, const std::vector<ScatterPoint>& pts, int width = 72,
+                    int height = 20, const std::string& title = {});
+
+}  // namespace rh::common

@@ -1,0 +1,41 @@
+// Precondition / postcondition checking in the spirit of the GSL's
+// Expects()/Ensures() (C++ Core Guidelines I.6, I.8).
+//
+// Violations are programmer errors, not recoverable conditions, so they throw
+// std::logic_error subclasses carrying the failed expression and location.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rh::common {
+
+/// Thrown when a function's precondition is violated.
+class PreconditionError : public std::logic_error {
+public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a function's postcondition or internal invariant is violated.
+class PostconditionError : public std::logic_error {
+public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void precondition_failure(const char* expr, const char* file, int line) {
+  throw PreconditionError(std::string("precondition failed: ") + expr + " at " + file + ":" +
+                          std::to_string(line));
+}
+[[noreturn]] inline void postcondition_failure(const char* expr, const char* file, int line) {
+  throw PostconditionError(std::string("postcondition failed: ") + expr + " at " + file + ":" +
+                           std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace rh::common
+
+#define RH_EXPECTS(expr) \
+  ((expr) ? void(0) : ::rh::common::detail::precondition_failure(#expr, __FILE__, __LINE__))
+#define RH_ENSURES(expr) \
+  ((expr) ? void(0) : ::rh::common::detail::postcondition_failure(#expr, __FILE__, __LINE__))

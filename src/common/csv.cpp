@@ -1,0 +1,35 @@
+#include "common/csv.hpp"
+
+#include "common/error.hpp"
+
+namespace rh::common {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw ConfigError("cannot open CSV output file: " + path);
+}
+
+namespace {
+
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace rh::common

@@ -1,0 +1,26 @@
+// CSV emission for machine-readable bench output (--csv=<path>).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace rh::common {
+
+/// Streams rows of string cells to a CSV file. Throws ConfigError if the
+/// file cannot be opened. Cells containing commas or quotes are quoted.
+class CsvWriter {
+public:
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Number of rows written so far (including the header, if any).
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+private:
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace rh::common

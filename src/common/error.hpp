@@ -1,0 +1,50 @@
+// Error hierarchy for recoverable failures (C++ Core Guidelines I.10: use
+// exceptions to signal a failure to perform a required task).
+//
+// Layering:
+//   Error                 — root of all library failures
+//   ├─ ConfigError        — invalid device / experiment configuration
+//   ├─ ProtocolError      — DRAM command illegal in current bank/device state
+//   ├─ TimingError        — DRAM command violates a JEDEC-style timing rule
+//   └─ ProgramError       — malformed or diverging DRAM Bender program
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rh::common {
+
+/// Root class for all recoverable hbm2-rowhammer-lab failures.
+class Error : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Invalid device geometry, timing set, or experiment parameters.
+class ConfigError : public Error {
+public:
+  using Error::Error;
+};
+
+/// A DRAM command was issued in a state where the protocol forbids it
+/// (e.g. ACT to an already-open bank, RD to a closed bank).
+class ProtocolError : public Error {
+public:
+  using Error::Error;
+};
+
+/// A DRAM command arrived before a mandatory timing constraint elapsed
+/// (e.g. ACT-to-ACT same bank before tRC).
+class TimingError : public Error {
+public:
+  using Error::Error;
+};
+
+/// A DRAM Bender program is malformed (bad register, jump out of range,
+/// missing END) or exceeded its execution budget.
+class ProgramError : public Error {
+public:
+  using Error::Error;
+};
+
+}  // namespace rh::common

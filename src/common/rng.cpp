@@ -1,0 +1,14 @@
+#include "common/rng.hpp"
+
+// Header-only by design; this translation unit pins the library and hosts
+// compile-time self-checks for the hash and distribution helpers.
+
+namespace rh::common {
+
+static_assert(splitmix64(0) != 0, "splitmix64 must avalanche the zero input");
+static_assert(splitmix64(1) != splitmix64(2), "splitmix64 must separate adjacent inputs");
+static_assert(hash_coords(1, 2, 3) != hash_coords(1, 3, 2), "hash_coords must be order-sensitive");
+static_assert(to_unit_double(~0ULL) < 1.0, "unit doubles stay below 1");
+static_assert(approx_normal(0) < 0.0, "all-zero lanes map to the lower tail");
+
+}  // namespace rh::common

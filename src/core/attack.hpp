@@ -1,0 +1,84 @@
+// RowHammer attack patterns against a *live* system (refresh running).
+//
+// The paper's §4/§5 implications: knowing the mitigation (a single-entry
+// sampler firing every 17th REF) and the vulnerability map (channel 7,
+// mid-subarray rows, small HC_first) tells an attacker exactly how to beat
+// the deployed defense. This module provides:
+//
+//   - plain double-sided hammering with REF interleaved at a realistic
+//     cadence (what the in-DRAM TRR *does* stop), and
+//   - a decoy-augmented pattern in the spirit of TRRespass/U-TRR custom
+//     patterns: right before each REF, the attacker activates a harmless
+//     decoy row so the single-entry sampler captures the decoy instead of
+//     the true aggressors — the TRR then wastes its victim refresh on the
+//     decoy's neighbourhood while the real victim keeps accumulating
+//     disturbance.
+//
+// Both run as ordinary Bender programs; nothing reaches into the device.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bender/host.hpp"
+#include "core/row_map.hpp"
+#include "core/site.hpp"
+
+namespace rh::core {
+
+struct AttackConfig {
+  /// Total double-sided hammers against the victim.
+  std::uint64_t hammers = 262'144;
+  /// REF commands interleaved across the attack (0 = refresh disabled,
+  /// i.e. the characterization setting).
+  std::uint64_t refs = 512;
+  /// Physical distance of the decoy row from the victim (far enough that
+  /// the TRR's neighbourhood refresh around the decoy cannot touch the
+  /// victim).
+  std::uint32_t decoy_distance = 64;
+};
+
+struct AttackResult {
+  std::uint64_t victim_flips = 0;
+  double dram_time_ms = 0.0;
+};
+
+struct ManySidedResult {
+  std::uint64_t total_victim_flips = 0;
+  std::vector<std::uint64_t> per_victim_flips;
+  double dram_time_ms = 0.0;
+};
+
+class AttackRunner {
+public:
+  AttackRunner(bender::BenderHost& host, const RowMap& map) : host_(&host), map_(&map) {}
+
+  /// Double-sided hammering of `victim_physical` with REFs interleaved.
+  /// The TRR sampler sees only the aggressor pair.
+  AttackResult double_sided(const Site& site, std::uint32_t victim_physical,
+                            const AttackConfig& config = {});
+
+  /// The same attack, but each REF is preceded by one decoy activation that
+  /// poisons the single-entry sampler.
+  AttackResult decoy_evasion(const Site& site, std::uint32_t victim_physical,
+                             const AttackConfig& config = {});
+
+  /// TRRespass-style many-sided hammering: `victim_count` victims
+  /// interleaved with `victim_count + 1` aggressors starting at physical
+  /// row `first_physical` (layout A V A V ... A). The total activation
+  /// budget (2 x hammers) is split across the aggressors. Against a
+  /// single-entry sampler, only the last-activated aggressor's
+  /// neighbourhood gets the victim refresh — the other victims accumulate
+  /// disturbance even with refresh running.
+  ManySidedResult many_sided(const Site& site, std::uint32_t first_physical,
+                             std::uint32_t victim_count, const AttackConfig& config = {});
+
+private:
+  AttackResult run(const Site& site, std::uint32_t victim_physical, const AttackConfig& config,
+                   bool with_decoy);
+
+  bender::BenderHost* host_;
+  const RowMap* map_;
+};
+
+}  // namespace rh::core

@@ -1,0 +1,75 @@
+// Bit-level analysis of RowHammer flips.
+//
+// The paper's §4 closing observation: "the RH vulnerability of a cell
+// depends on i) the cell's physical location within a DRAM bank and ii)
+// data stored in the neighboring cells" — this module quantifies both from
+// the outside, using only measured readback:
+//
+//   - flip *direction* statistics (0->1 vs 1->0) per data pattern, which
+//     expose the true-/anti-cell composition of the array;
+//   - flip *column position* histograms within the row, which expose
+//     whether flips cluster spatially;
+//   - per-cell repeatability: the fraction of flipped cells that flip again
+//     on a repeated identical experiment (RowHammer flips are known to be
+//     highly repeatable per cell; retention-style noise is not).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "bender/host.hpp"
+#include "core/characterizer.hpp"
+#include "core/data_patterns.hpp"
+#include "core/row_map.hpp"
+#include "core/site.hpp"
+
+namespace rh::core {
+
+struct FlipDirectionStats {
+  std::uint64_t zero_to_one = 0;
+  std::uint64_t one_to_zero = 0;
+
+  [[nodiscard]] std::uint64_t total() const { return zero_to_one + one_to_zero; }
+  /// Fraction of flips in the 0->1 direction (anti-cell charge loss).
+  [[nodiscard]] double zero_to_one_fraction() const {
+    return total() == 0 ? 0.0 : static_cast<double>(zero_to_one) / static_cast<double>(total());
+  }
+};
+
+struct RowFlipProfile {
+  Site site;
+  std::uint32_t physical_row = 0;
+  DataPattern pattern = DataPattern::kRowstripe0;
+  FlipDirectionStats directions;
+  /// Flip counts per column burst (columns_per_row buckets).
+  std::vector<std::uint64_t> flips_per_column;
+  /// Exact bit indices that flipped (row_bits-sized space).
+  std::vector<std::uint32_t> flipped_bits;
+};
+
+class BitflipAnalyzer {
+public:
+  BitflipAnalyzer(bender::BenderHost& host, const RowMap& map);
+
+  /// Hammers `physical_row` under `pattern` and returns the bit-level
+  /// profile of the flips.
+  RowFlipProfile profile_row(const Site& site, std::uint32_t physical_row, DataPattern pattern,
+                             std::uint64_t hammers = 262'144);
+
+  /// Repeatability: fraction of the bits flipped in a first run that flip
+  /// again in an identical second run (1.0 = perfectly repeatable).
+  double repeatability(const Site& site, std::uint32_t physical_row, DataPattern pattern,
+                       std::uint64_t hammers = 262'144);
+
+  /// Aggregated direction statistics over several rows.
+  FlipDirectionStats direction_census(const Site& site, std::uint32_t first_row,
+                                      std::uint32_t rows, std::uint32_t stride,
+                                      DataPattern pattern, std::uint64_t hammers = 262'144);
+
+private:
+  bender::BenderHost* host_;
+  const RowMap* map_;
+};
+
+}  // namespace rh::core

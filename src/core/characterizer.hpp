@@ -1,0 +1,105 @@
+// The paper's per-row measurement methodology as a library (§3.1):
+//
+//   * double-sided RowHammer with the Table 1 data patterns,
+//   * BER at a fixed hammer count (256 K hammers = 512 K activations),
+//   * HC_first search up to 256 K hammers,
+//   * per-row worst-case data pattern (WCDP) selection,
+//   * methodology guard: every test program must finish within 27 ms so
+//     retention failures cannot contaminate the results, and periodic
+//     refresh is never issued (which also disables on-die TRR).
+//
+// All rows are *physical* at this layer; the Characterizer owns a RowMap
+// and emits Bender programs in logical space.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "bender/host.hpp"
+#include "core/data_patterns.hpp"
+#include "core/row_map.hpp"
+#include "core/site.hpp"
+
+namespace rh::core {
+
+struct CharacterizerConfig {
+  /// Hammers (aggressor-pair activations) for BER tests; paper: 256 K.
+  std::uint64_t ber_hammers = 262'144;
+  /// HC_first search ceiling; paper: up to 256 K hammers.
+  std::uint64_t max_hammers = 262'144;
+  /// HC_first bisection tolerance for WCDP selection (coarser = faster).
+  std::uint64_t wcdp_tolerance = 2'048;
+  /// Rows on each side of the victim initialized with the surround byte
+  /// (Table 1 initializes V±[2:8]).
+  std::uint32_t surround_rows = 8;
+  /// Enforce the paper's 27 ms retention-interference bound per program.
+  bool enforce_retention_bound = true;
+  /// Aggressor on-time in cycles for RowPress ablations (0 = minimal tRAS).
+  std::uint64_t aggressor_on_time = 0;
+};
+
+struct BerResult {
+  std::uint64_t bit_errors = 0;
+  std::uint64_t bits_tested = 0;
+  std::uint64_t ones_to_zeros = 0;  ///< victim bit 1 read as 0
+  std::uint64_t zeros_to_ones = 0;  ///< victim bit 0 read as 1
+  double elapsed_ms = 0.0;
+
+  [[nodiscard]] double ber() const {
+    return bits_tested == 0 ? 0.0
+                            : static_cast<double>(bit_errors) / static_cast<double>(bits_tested);
+  }
+};
+
+/// Everything measured about one victim row.
+struct RowRecord {
+  Site site;
+  std::uint32_t physical_row = 0;
+  std::array<BerResult, kAllPatterns.size()> ber{};
+  /// HC_first per pattern; nullopt = no flip up to max_hammers.
+  std::array<std::optional<std::uint64_t>, kAllPatterns.size()> hc_first{};
+  DataPattern wcdp = DataPattern::kRowstripe0;
+
+  [[nodiscard]] const BerResult& wcdp_ber() const {
+    return ber[static_cast<std::size_t>(wcdp)];
+  }
+  [[nodiscard]] std::optional<std::uint64_t> min_hc_first() const;
+};
+
+class Characterizer {
+public:
+  Characterizer(bender::BenderHost& host, RowMap map, CharacterizerConfig config = {});
+
+  /// BER of `victim_physical` under `pattern` after `hammers` double-sided
+  /// hammers (config.ber_hammers when 0).
+  BerResult measure_ber(const Site& site, std::uint32_t victim_physical, DataPattern pattern,
+                        std::uint64_t hammers = 0);
+
+  /// Smallest hammer count inducing at least one bitflip (bisection with
+  /// `tolerance`; exact when tolerance == 1). nullopt if the row survives
+  /// config.max_hammers.
+  std::optional<std::uint64_t> measure_hc_first(const Site& site, std::uint32_t victim_physical,
+                                                DataPattern pattern, std::uint64_t tolerance = 1);
+
+  /// Full paper methodology for one row: BER for the four Table 1 patterns,
+  /// HC_first for each (at wcdp_tolerance), and the WCDP choice (smallest
+  /// HC_first, ties by largest BER).
+  RowRecord characterize_row(const Site& site, std::uint32_t victim_physical);
+
+  [[nodiscard]] const CharacterizerConfig& config() const { return config_; }
+  [[nodiscard]] const RowMap& row_map() const { return map_; }
+  [[nodiscard]] bender::BenderHost& host() { return *host_; }
+
+private:
+  /// Runs one init-hammer-read program and returns the victim readback
+  /// compared against the pattern's victim byte.
+  BerResult hammer_and_read(const Site& site, std::uint32_t victim_physical, DataPattern pattern,
+                            std::uint64_t hammers);
+
+  bender::BenderHost* host_;
+  RowMap map_;
+  CharacterizerConfig config_;
+};
+
+}  // namespace rh::core

@@ -1,0 +1,9 @@
+#include "core/data_patterns.hpp"
+
+namespace rh::core {
+
+std::vector<std::uint8_t> make_row_image(const hbm::Geometry& geometry, std::uint8_t value) {
+  return std::vector<std::uint8_t>(geometry.row_bytes(), value);
+}
+
+}  // namespace rh::core

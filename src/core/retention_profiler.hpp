@@ -1,0 +1,43 @@
+// Retention-time profiling (the first step of the U-TRR methodology, §5).
+//
+// A row's retention time T is the smallest unrefreshed interval after which
+// the row exhibits retention bitflips. The profiler writes the row, waits,
+// reads it back, and searches T by doubling + bisection — entirely through
+// the host-visible interface, as on real hardware.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "bender/host.hpp"
+#include "core/row_map.hpp"
+#include "core/site.hpp"
+
+namespace rh::core {
+
+struct RetentionProfile {
+  /// Smallest tested wait that produced bitflips, in milliseconds.
+  double retention_ms = 0.0;
+  /// Bitflips observed at that wait.
+  std::uint64_t flips = 0;
+};
+
+class RetentionProfiler {
+public:
+  RetentionProfiler(bender::BenderHost& host, const RowMap& map);
+
+  /// Bitflips in `physical_row` after writing it and waiting `wait_ms`.
+  std::uint64_t flips_after(const Site& site, std::uint32_t physical_row, double wait_ms);
+
+  /// Profiles the row's retention time: doubling search from `start_ms`
+  /// up to `max_ms`, then bisection to ~6% relative resolution.
+  /// nullopt if the row shows no flips even at max_ms.
+  std::optional<RetentionProfile> profile(const Site& site, std::uint32_t physical_row,
+                                          double start_ms = 16.0, double max_ms = 16'000.0);
+
+private:
+  bender::BenderHost* host_;
+  const RowMap* map_;
+};
+
+}  // namespace rh::core

@@ -1,0 +1,91 @@
+// Logical<->physical row mapping, reverse engineered from outside the chip.
+//
+// The paper (§3.1) finds physically adjacent rows by reverse engineering the
+// memory-controller-visible (logical) to in-DRAM (physical) row address
+// mapping, following prior work: hammer one row single-sided and observe
+// *which logical rows* collect bitflips — those are its physical neighbours.
+// The same probe also exposes subarray boundaries (footnote 3): an aggressor
+// at the edge of a subarray induces flips in only one victim row.
+//
+// RowMap is the recovered bijection. reverse_engineer() performs the probe
+// over a row window; from_device() shortcuts via the device's known
+// scrambler for bulk characterization runs (the paper, too, reverse
+// engineers once and reuses the mapping — tests prove both agree).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bender/host.hpp"
+#include "core/site.hpp"
+
+namespace rh::core {
+
+class RowMap {
+public:
+  /// Identity map for `rows` rows.
+  explicit RowMap(std::uint32_t rows);
+
+  /// Builds the map directly from the device's row decoder (bulk-run
+  /// shortcut; equivalent to a full reverse-engineering pass).
+  static RowMap from_device(const hbm::Device& device);
+
+  [[nodiscard]] std::uint32_t logical_to_physical(std::uint32_t logical) const;
+  [[nodiscard]] std::uint32_t physical_to_logical(std::uint32_t physical) const;
+  [[nodiscard]] std::uint32_t rows() const {
+    return static_cast<std::uint32_t>(log_to_phys_.size());
+  }
+
+  /// Overrides one association (used by the reverse-engineering pass).
+  void set(std::uint32_t logical, std::uint32_t physical);
+
+private:
+  std::vector<std::uint32_t> log_to_phys_;
+  std::vector<std::uint32_t> phys_to_log_;
+};
+
+/// Result of probing one aggressor row single-sided.
+struct AdjacencyProbe {
+  std::uint32_t aggressor_logical = 0;
+  /// Logical rows (within the probe window) that collected flips.
+  std::vector<std::uint32_t> victims_logical;
+};
+
+/// Hammers `aggressor_logical` single-sided and reports which logical rows
+/// in [aggressor-window, aggressor+window] collect bitflips. All probed rows
+/// are initialized to a striped pattern first.
+AdjacencyProbe probe_adjacency(bender::BenderHost& host, const Site& site,
+                               std::uint32_t aggressor_logical, std::uint32_t window = 4,
+                               std::uint64_t hammers = 600'000);
+
+/// Reverse engineers the logical->physical mapping over logical rows
+/// [first, first+count) by adjacency probing, assuming (like the real
+/// decoders we model) that the mapping permutes rows only within small
+/// aligned groups. Rows whose probes are ambiguous fall back to identity.
+/// The returned map covers the whole bank (identity outside the window).
+RowMap reverse_engineer_window(bender::BenderHost& host, const Site& site, std::uint32_t first,
+                               std::uint32_t count);
+
+/// Family-free reverse engineering: recovers the mapping over the aligned
+/// logical window [first, first+count) purely from the adjacency graph —
+/// probe every row, find the degree-1 endpoints of the resulting physical
+/// path, walk it, and orient it using the edges that leave the window
+/// (the window-edge rows' external victims anchor which end is physically
+/// first). No assumption about the decoder family; requires only that the
+/// decoder permutes rows within the window (group-local scrambling) and
+/// that the window lies inside one subarray. Throws common::Error when the
+/// probes do not form an orientable path (e.g. window spans a subarray
+/// boundary).
+RowMap reverse_engineer_exact(bender::BenderHost& host, const Site& site, std::uint32_t first,
+                              std::uint32_t count);
+
+/// Detects subarray boundaries in physical row space over
+/// [first_physical, first_physical+count): returns the physical rows that
+/// *start* a subarray, found by single-sided probes that flip victims on
+/// only one side (paper footnote 3). Requires a correct `map`.
+std::vector<std::uint32_t> find_subarray_boundaries(bender::BenderHost& host, const Site& site,
+                                                    const RowMap& map,
+                                                    std::uint32_t first_physical,
+                                                    std::uint32_t count);
+
+}  // namespace rh::core

@@ -1,0 +1,66 @@
+#include "core/thermometer.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "core/retention_profiler.hpp"
+
+namespace rh::core {
+
+DramThermometer::DramThermometer(bender::BenderHost& host, const RowMap& map, const Site& site,
+                                 ThermometerConfig config)
+    : host_(&host), map_(&map), site_(site), config_(config) {
+  RH_EXPECTS(config_.rows > 0 && config_.stride > 0);
+  RH_EXPECTS(config_.wait_ms > 0.0);
+}
+
+std::uint64_t DramThermometer::measure_flips() {
+  RetentionProfiler profiler(*host_, *map_);
+  std::uint64_t flips = 0;
+  for (std::uint32_t i = 0; i < config_.rows; ++i) {
+    flips += profiler.flips_after(site_, config_.first_row + i * config_.stride, config_.wait_ms);
+  }
+  return flips;
+}
+
+void DramThermometer::calibrate(const std::vector<double>& temperatures_c) {
+  RH_EXPECTS(temperatures_c.size() >= 2);
+  points_.clear();
+  for (const double temp : temperatures_c) {
+    host_->set_chip_temperature(temp);
+    points_.push_back({temp, measure_flips()});
+  }
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].temperature_c <= points_[i - 1].temperature_c ||
+        points_[i].flips <= points_[i - 1].flips) {
+      throw common::ConfigError(
+          "thermometer calibration curve is not strictly monotone; use a larger row "
+          "population or a longer wait");
+    }
+  }
+}
+
+double DramThermometer::estimate() {
+  if (points_.size() < 2) throw common::ConfigError("thermometer is not calibrated");
+  const std::uint64_t flips = measure_flips();
+
+  // Clamp outside the calibrated range.
+  if (flips <= points_.front().flips) return points_.front().temperature_c;
+  if (flips >= points_.back().flips) return points_.back().temperature_c;
+
+  // Log-linear interpolation between the bracketing calibration points.
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (flips > points_[i].flips) continue;
+    const auto& lo = points_[i - 1];
+    const auto& hi = points_[i];
+    const double log_lo = std::log(static_cast<double>(lo.flips) + 1.0);
+    const double log_hi = std::log(static_cast<double>(hi.flips) + 1.0);
+    const double log_x = std::log(static_cast<double>(flips) + 1.0);
+    const double frac = (log_x - log_lo) / (log_hi - log_lo);
+    return lo.temperature_c + frac * (hi.temperature_c - lo.temperature_c);
+  }
+  return points_.back().temperature_c;
+}
+
+}  // namespace rh::core

@@ -1,0 +1,69 @@
+// DRAM-as-thermometer: estimating chip temperature from retention errors.
+//
+// Related work the paper cites ([123], Kwon et al., Electronics'23)
+// estimates HBM2 channel temperature from the tail distribution of
+// retention errors. The physics: retention time halves per ~+10 degC, so
+// at a fixed unrefreshed wait the retention bitflip count of a known row
+// population is a strictly monotone function of temperature — measure the
+// count, invert the curve, and DRAM becomes its own temperature sensor.
+//
+// Calibration drives the thermal rig to a set of known temperatures and
+// records the flip counts; estimation measures once and interpolates
+// (linearly in log-count, since the count grows ~exponentially in
+// temperature over the tail region).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bender/host.hpp"
+#include "core/row_map.hpp"
+#include "core/site.hpp"
+
+namespace rh::core {
+
+struct ThermometerConfig {
+  /// Rows used as the sensing population.
+  std::uint32_t first_row = 4096;
+  std::uint32_t rows = 12;
+  std::uint32_t stride = 7;
+  /// Unrefreshed wait per measurement, milliseconds. Long enough that the
+  /// population shows hundreds of flips at the calibration temperatures.
+  double wait_ms = 3'000.0;
+};
+
+struct CalibrationPoint {
+  double temperature_c = 0.0;
+  std::uint64_t flips = 0;
+};
+
+class DramThermometer {
+public:
+  DramThermometer(bender::BenderHost& host, const RowMap& map, const Site& site,
+                  ThermometerConfig config = {});
+
+  /// Measures the sensing population's retention flips at the chip's
+  /// current temperature.
+  [[nodiscard]] std::uint64_t measure_flips();
+
+  /// Drives the rig to each temperature and records a calibration point.
+  /// Throws ConfigError if the resulting curve is not strictly monotone
+  /// (population too small / waits too short to separate the points).
+  void calibrate(const std::vector<double>& temperatures_c);
+
+  /// Estimates the current chip temperature from one measurement against
+  /// the calibration curve (log-linear interpolation, clamped to the
+  /// calibrated range). Throws ConfigError if not calibrated.
+  [[nodiscard]] double estimate();
+
+  [[nodiscard]] const std::vector<CalibrationPoint>& calibration() const { return points_; }
+
+private:
+  bender::BenderHost* host_;
+  const RowMap* map_;
+  Site site_;
+  ThermometerConfig config_;
+  std::vector<CalibrationPoint> points_;
+};
+
+}  // namespace rh::core

@@ -1,0 +1,67 @@
+// The U-TRR methodology (Hassan et al., MICRO'21), as applied by the paper
+// to uncover the HBM2 chip's undisclosed TRR mechanism (§5).
+//
+// Key idea: use retention failures as a side channel for "was this row
+// refreshed?". One iteration (paper's six steps, with the practical
+// adaptation that step 2 rewrites the row so earlier decay cannot persist):
+//
+//   1. (once) profile row R's retention time T
+//   2. write row R (refreshes it) and wait T/2
+//   3. activate + precharge row R+1 (the would-be aggressor the TRR
+//      sampler should capture)
+//   4. issue one periodic REF (the TRR trigger opportunity)
+//   5. wait another T/2
+//   6. read row R: *no* bitflips mean something refreshed R in between —
+//      i.e. the in-DRAM TRR fired on this iteration's REF
+//
+// The experiment runs N iterations and infers the TRR period from the gaps
+// between refreshed iterations. The paper observes R refreshed once every
+// 17 iterations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bender/host.hpp"
+#include "core/retention_profiler.hpp"
+#include "core/row_map.hpp"
+#include "core/site.hpp"
+
+namespace rh::core {
+
+struct UtrrConfig {
+  std::uint32_t iterations = 100;
+  /// Wait = safety * profiled retention time (so T/2 alone cannot flip, but
+  /// the full wait reliably does).
+  double safety = 1.5;
+};
+
+struct UtrrResult {
+  double retention_ms = 0.0;  ///< profiled retention time of row R
+  double wait_ms = 0.0;       ///< the per-iteration total wait used
+  /// 1-based iterations whose read showed no bitflips (TRR refreshed R).
+  std::vector<std::uint32_t> refreshed_iterations;
+  /// Most common gap between refreshed iterations; nullopt if fewer than
+  /// two firings were observed.
+  std::optional<std::uint32_t> inferred_period;
+
+  [[nodiscard]] bool trr_detected() const { return !refreshed_iterations.empty(); }
+};
+
+class UtrrExperiment {
+public:
+  UtrrExperiment(bender::BenderHost& host, const RowMap& map, UtrrConfig config = {});
+
+  /// Runs the experiment on physical row R. R must have a usable retention
+  /// time (throws common::Error otherwise) and should sit away from the
+  /// REF-pointer sweep range (the caller picks R; see the bench).
+  UtrrResult run(const Site& site, std::uint32_t physical_row);
+
+private:
+  bender::BenderHost* host_;
+  const RowMap* map_;
+  UtrrConfig config_;
+};
+
+}  // namespace rh::core

@@ -1,0 +1,52 @@
+#include "defense/graphene.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace rh::defense {
+
+Graphene::Graphene(const core::RowMap& map, GrapheneConfig config)
+    : map_(&map), config_(config) {
+  RH_EXPECTS(config_.threshold > 0);
+  RH_EXPECTS(config_.counters > 0);
+}
+
+std::vector<std::uint32_t> Graphene::on_activate(std::uint32_t bank,
+                                                 std::uint32_t logical_row) {
+  BankTable& table = banks_[bank];
+  auto it = table.counts.find(logical_row);
+  if (it == table.counts.end()) {
+    if (table.counts.size() < config_.counters) {
+      it = table.counts.emplace(logical_row, 0).first;
+    } else {
+      // Misra-Gries: decrement everyone instead of inserting; evict zeros.
+      for (auto entry = table.counts.begin(); entry != table.counts.end();) {
+        if (--entry->second == 0) {
+          entry = table.counts.erase(entry);
+        } else {
+          ++entry;
+        }
+      }
+      return {};
+    }
+  }
+  if (++it->second < config_.threshold) return {};
+  it->second = 0;
+  return logical_neighbours(*map_, logical_row);
+}
+
+void Graphene::reset() { banks_.clear(); }
+
+std::string Graphene::name() const {
+  return "Graphene(T=" + std::to_string(config_.threshold) + ")";
+}
+
+std::uint64_t Graphene::count_of(std::uint32_t bank, std::uint32_t logical_row) const {
+  const auto bit = banks_.find(bank);
+  if (bit == banks_.end()) return 0;
+  const auto it = bit->second.counts.find(logical_row);
+  return it == bit->second.counts.end() ? 0 : it->second;
+}
+
+}  // namespace rh::defense

@@ -1,0 +1,59 @@
+// Graphene-style counter mitigation (Park et al., MICRO'20 lineage).
+//
+// Per bank, a Misra-Gries frequent-item table of `counters` entries tracks
+// activation-heavy rows. When a row's estimated count crosses `threshold`,
+// its neighbours are preventively refreshed and its counter resets. With
+// threshold < HC_first / 2 (double-sided halves the per-aggressor budget)
+// the mitigation is deterministic: no victim can reach its flip threshold.
+//
+// The table is sized like the real design: as long as `counters` exceeds
+// the number of rows an attacker can activate `threshold` times within a
+// refresh window, Misra-Gries cannot undercount an aggressor by more than
+// the table's minimum — giving a hard guarantee, unlike PARA.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "defense/policy.hpp"
+
+namespace rh::defense {
+
+struct GrapheneConfig {
+  /// Preventive refresh fires when a row's counter reaches this.
+  std::uint64_t threshold = 8'192;
+  /// Misra-Gries table entries per bank.
+  std::uint32_t counters = 64;
+};
+
+class Graphene final : public MitigationPolicy {
+public:
+  Graphene(const core::RowMap& map, GrapheneConfig config);
+
+  std::vector<std::uint32_t> on_activate(std::uint32_t bank, std::uint32_t logical_row) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Provisioning rule from a measured HC_first: half (double-sided), with
+  /// a 2x safety margin.
+  [[nodiscard]] static std::uint64_t provision_threshold(double hc_first) {
+    return static_cast<std::uint64_t>(hc_first / 4.0);
+  }
+
+  /// Test introspection: the current estimate for a row (0 if untracked).
+  [[nodiscard]] std::uint64_t count_of(std::uint32_t bank, std::uint32_t logical_row) const;
+
+private:
+  struct BankTable {
+    // row -> counter; bounded to `counters` entries via Misra-Gries decrement.
+    std::unordered_map<std::uint32_t, std::uint64_t> counts;
+  };
+
+  const core::RowMap* map_;
+  GrapheneConfig config_;
+  std::unordered_map<std::uint32_t, BankTable> banks_;
+};
+
+}  // namespace rh::defense

@@ -1,0 +1,50 @@
+// Defense evaluation harness: replays a RowHammer attack through a
+// controller-side mitigation policy against the device, and reports both
+// sides of the trade — residual victim bitflips and preventive-activation
+// overhead.
+//
+// The harness plays the memory controller: it issues the attack's ACT/PRE
+// stream command by command, shows every ACT to the policy, and interleaves
+// whatever preventive activations the policy demands, with legal timing.
+#pragma once
+
+#include <cstdint>
+
+#include "bender/host.hpp"
+#include "core/row_map.hpp"
+#include "core/site.hpp"
+#include "defense/policy.hpp"
+
+namespace rh::defense {
+
+struct DefenseRunResult {
+  std::uint64_t victim_flips = 0;
+  std::uint64_t attack_activations = 0;
+  std::uint64_t preventive_activations = 0;
+  double dram_time_ms = 0.0;
+
+  /// Fraction of extra activations spent on mitigation.
+  [[nodiscard]] double overhead() const {
+    return attack_activations == 0
+               ? 0.0
+               : static_cast<double>(preventive_activations) /
+                     static_cast<double>(attack_activations);
+  }
+};
+
+class DefenseHarness {
+public:
+  DefenseHarness(bender::BenderHost& host, const core::RowMap& map);
+
+  /// Double-sided attack of `hammers` pairs on `victim_physical`, filtered
+  /// through `policy` (nullptr = undefended). Rows are initialized with the
+  /// Rowstripe0 pattern; returns the victim's bitflips afterwards.
+  DefenseRunResult run_double_sided(const core::Site& site, std::uint32_t victim_physical,
+                                    std::uint64_t hammers, MitigationPolicy* policy);
+
+private:
+  bender::BenderHost* host_;
+  const core::RowMap* map_;
+};
+
+}  // namespace rh::defense

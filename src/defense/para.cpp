@@ -1,0 +1,25 @@
+#include "defense/para.hpp"
+
+#include "common/assert.hpp"
+
+namespace rh::defense {
+
+Para::Para(const core::RowMap& map, ParaConfig config)
+    : map_(&map), config_(config), rng_(config.seed) {
+  RH_EXPECTS(config_.probability >= 0.0 && config_.probability <= 1.0);
+}
+
+std::vector<std::uint32_t> Para::on_activate(std::uint32_t bank, std::uint32_t logical_row) {
+  (void)bank;
+  if (config_.probability == 0.0 || rng_.uniform() >= config_.probability) return {};
+  auto neighbours = logical_neighbours(*map_, logical_row);
+  if (neighbours.empty()) return {};
+  const std::size_t pick = rng_.below(neighbours.size());
+  return {neighbours[pick]};
+}
+
+std::string Para::name() const {
+  return "PARA(p=" + std::to_string(config_.probability) + ")";
+}
+
+}  // namespace rh::defense

@@ -1,0 +1,45 @@
+// PARA: Probabilistic Adjacent Row Activation (Kim et al., ISCA'14).
+//
+// Stateless: every activation triggers, with probability p, a preventive
+// refresh of one randomly chosen physical neighbour. The probability bounds
+// the expected number of un-refreshed activations any victim can accumulate
+// at ~2/p, so p is provisioned from the chip's minimum HC_first — which is
+// exactly what the paper's characterization measures, and what its
+// variation-aware suggestion provisions *per channel* instead of chip-wide.
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "defense/policy.hpp"
+
+namespace rh::defense {
+
+struct ParaConfig {
+  /// Preventive-refresh probability per activation.
+  double probability = 0.02;
+  std::uint64_t seed = 0x9a7aULL;
+};
+
+class Para final : public MitigationPolicy {
+public:
+  Para(const core::RowMap& map, ParaConfig config);
+
+  std::vector<std::uint32_t> on_activate(std::uint32_t bank, std::uint32_t logical_row) override;
+  void reset() override {}
+  [[nodiscard]] std::string name() const override;
+
+  /// Provisioning rule: probability that keeps the expected unmitigated
+  /// activation count below `hc_first` with margin (PARA's 2/p bound plus
+  /// a 4x safety factor, a common provisioning choice).
+  [[nodiscard]] static double provision_probability(double hc_first) {
+    return std::min(1.0, 8.0 / hc_first);
+  }
+
+private:
+  const core::RowMap* map_;
+  ParaConfig config_;
+  common::Xoshiro256 rng_;
+};
+
+}  // namespace rh::defense

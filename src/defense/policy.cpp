@@ -1,0 +1,14 @@
+#include "defense/policy.hpp"
+
+namespace rh::defense {
+
+std::vector<std::uint32_t> logical_neighbours(const core::RowMap& map,
+                                              std::uint32_t logical_row) {
+  std::vector<std::uint32_t> out;
+  const std::uint32_t p = map.logical_to_physical(logical_row);
+  if (p > 0) out.push_back(map.physical_to_logical(p - 1));
+  if (p + 1 < map.rows()) out.push_back(map.physical_to_logical(p + 1));
+  return out;
+}
+
+}  // namespace rh::defense

@@ -1,0 +1,53 @@
+// Memory-controller-side RowHammer mitigation policies.
+//
+// The paper's defense implication (§4): a mitigation can exploit the
+// measured vulnerability map. To ground that, this library implements the
+// two classic controller-side baselines the literature compares against —
+//
+//   PARA      (Kim et al., ISCA'14): on every activation, with probability
+//             p, preventively refresh a random physical neighbour.
+//             Stateless; protection is probabilistic in the aggregate.
+//   Graphene  (Park et al., MICRO'20 style): Misra-Gries frequent-item
+//             counters per bank; an aggressor crossing the threshold T gets
+//             its neighbours refreshed and its counter reset.
+//
+// — plus profile-aware variants that consume this repository's measured
+// per-channel HC_first (the paper's "adapt to the heterogeneous
+// distribution" suggestion).
+//
+// A policy sees what a real memory controller sees: the logical command
+// stream. Victim selection therefore needs the reverse-engineered RowMap —
+// the same artifact the characterization produced — to translate physical
+// adjacency into logical rows it can activate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/row_map.hpp"
+
+namespace rh::defense {
+
+/// Interface: observe activations, emit preventive victim activations.
+class MitigationPolicy {
+public:
+  virtual ~MitigationPolicy() = default;
+
+  /// Called for every ACT the controller issues. Returns the *logical* rows
+  /// the controller must preventively activate (refresh) now.
+  virtual std::vector<std::uint32_t> on_activate(std::uint32_t bank,
+                                                 std::uint32_t logical_row) = 0;
+
+  /// Forget accumulated state (refresh-window rollover).
+  virtual void reset() = 0;
+
+  /// Human-readable name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Shared helper: logical rows of the physical neighbours (distance 1) of
+/// `logical_row` under `map`.
+[[nodiscard]] std::vector<std::uint32_t> logical_neighbours(const core::RowMap& map,
+                                                            std::uint32_t logical_row);
+
+}  // namespace rh::defense

@@ -1,0 +1,109 @@
+// Fault-model configuration: every physical constant of the simulated HBM2
+// stack's failure behaviour, with the calibration rationale for each.
+//
+// The model is *mechanistic*: the paper's observations (channel grouping,
+// subarray periodicity, weak last subarray, data-pattern dependence, TRR
+// period) are not painted onto the outputs — they emerge from these
+// parameters through the flip rule in rowhammer_model.hpp. EXPERIMENTS.md
+// records the calibration targets (paper values) next to measured results.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace rh::fault {
+
+struct FaultConfig {
+  /// Master seed; all per-cell randomness is a pure function of this.
+  std::uint64_t seed = 0x5AFA2123ULL;
+
+  // --- RowHammer threshold distribution -------------------------------
+  /// Median per-cell RowHammer threshold (units: weighted aggressor
+  /// activations, i.e. ~2x the paper's "hammer" count for double-sided
+  /// patterns) on the least vulnerable die with unit coupling/row factors.
+  /// Together with sigma_cell this places the chip-minimum HC_first near the
+  /// paper's 14531 hammers and channel-0 mean HC_first near 58 K (Fig. 4).
+  double hc0 = 2.95e7;
+  /// Lognormal sigma of per-cell thresholds. Controls how BER grows with
+  /// hammer count past HC_first; calibrated so 256 K hammers yield percent-
+  /// scale BER (Fig. 3) while min HC_first stays ~14.5 K.
+  double sigma_cell = 1.8;
+  /// Per-row lognormal jitter of vulnerability (row-to-row scatter within a
+  /// subarray, visible as noise in Fig. 5).
+  double sigma_row = 0.10;
+  /// Per-bank lognormal jitter (Fig. 6: small bank-level spread, dominated
+  /// by channel-level spread).
+  double sigma_bank = 0.04;
+
+  // --- Process variation across dies / channels -----------------------
+  /// Vulnerability multiplier per die (4 dies, channels {2d, 2d+1} on die d).
+  /// Ordered so channels 6-7 are most vulnerable (paper Figs. 3-4) with a
+  /// WCDP BER ratio ch7:ch0 near 2x.
+  std::array<double, 4> die_factor{1.00, 1.09, 1.22, 1.53};
+  /// Per-channel lognormal jitter on top of the die factor (separates the
+  /// two channels of one die slightly, as the paper's shaded pairs show).
+  double sigma_channel = 0.03;
+
+  // --- Position within the subarray ------------------------------------
+  /// Vulnerability factor at the subarray edge (next to the sense amps).
+  double position_base = 0.75;
+  /// Extra factor at mid-subarray; the profile is parabolic:
+  ///   f(x) = position_base + position_amp * 4x(1-x),  x = relative position.
+  /// Produces Fig. 5's periodic rise/fall across each subarray.
+  double position_amp = 0.40;
+  /// Multiplier for rows in the bank's last subarray (paper's SA Z next to
+  /// the shared I/O circuitry: "significantly fewer bitflips").
+  double last_subarray_factor = 0.18;
+
+  // --- Data-pattern coupling -------------------------------------------
+  /// Fraction of cells in the "anti" orientation (charged state stores 0).
+  /// >0.5 makes all-zero victims (Rowstripe0) more vulnerable than all-one
+  /// victims (Rowstripe1), reproducing Fig. 4's RS0 < RS1 HC_first asymmetry.
+  double anti_cell_fraction = 0.62;
+  /// Base coupling of a charged victim cell regardless of aggressor data.
+  double coupling_base = 0.35;
+  /// Additional coupling per adjacent aggressor whose stored bit differs
+  /// from the victim bit (wordline-to-wordline coupling, classic RH
+  /// data-pattern dependence).
+  double coupling_opposite_aggressor = 0.325;
+  /// Residual coupling of a *discharged* victim cell (rare opposite-
+  /// direction flips).
+  double coupling_discharged = 0.02;
+  /// Relative strength of anti-cell flips vs true-cell flips (>1: charge
+  /// loss in anti cells, i.e. 0->1-direction disturbance of stored zeros,
+  /// dominates on this chip; drives the RS0-vs-RS1 HC_first asymmetry).
+  double anti_cell_relative = 1.6;
+  /// Multiplier when a victim bit's same-row neighbours store the opposite
+  /// value (checkered patterns): bitline-neighbour charge sharing slightly
+  /// weakens wordline coupling, making Checkered BER < Rowstripe BER at the
+  /// same charged fraction (paper: ch7 max BER 3.13% RS1 vs 2.04% Ck0).
+  double intra_row_opposite_factor = 0.55;
+
+  // --- Blast radius ------------------------------------------------------
+  /// Disturbance weight at physical distance 1 (immediate neighbour).
+  double distance1_weight = 1.0;
+  /// Disturbance weight at physical distance 2.
+  double distance2_weight = 0.015;
+
+  // --- RowPress (aggressor on-time) extension ---------------------------
+  /// Disturbance multiplier grows with aggressor-row on-time tON:
+  ///   press(tON) = 1 + press_coeff * ln(1 + (tON - tRAS)/tRAS) for tON>tRAS.
+  double press_coeff = 0.85;
+
+  // --- Retention ---------------------------------------------------------
+  /// Median per-cell retention time at 85 degC, seconds. The weak tail
+  /// (lognormal) puts per-row minimum retention in the 50 ms - 1 s range
+  /// used by the U-TRR side channel (paper Sec. 5).
+  double retention_median_s = 2.5;
+  /// Lognormal sigma of per-cell retention.
+  double retention_sigma = 1.1;
+  /// Retention halves every `retention_temp_step_c` degC of heating.
+  double retention_temp_step_c = 10.0;
+  /// Reference temperature for retention_median_s.
+  double retention_ref_temp_c = 85.0;
+  /// Mild RowHammer temperature sensitivity: vulnerability multiplier per
+  /// +10 degC relative to 85 degC (ablation A2).
+  double rh_temp_coeff_per_10c = 0.06;
+};
+
+}  // namespace rh::fault

@@ -1,0 +1,31 @@
+// Identifies the bank a fault-model evaluation applies to, carrying the
+// pre-resolved die index so the hot path never re-derives it.
+#pragma once
+
+#include <cstdint>
+
+#include "hbm/address.hpp"
+#include "hbm/geometry.hpp"
+
+namespace rh::fault {
+
+struct BankContext {
+  std::uint32_t channel = 0;
+  std::uint32_t pseudo_channel = 0;
+  std::uint32_t bank = 0;
+  std::uint32_t die = 0;
+  /// Flat bank index in [0, total_banks); namespaces per-cell hashes.
+  std::uint32_t flat_bank = 0;
+
+  static BankContext from(const hbm::Geometry& g, const hbm::BankAddress& a) {
+    BankContext c;
+    c.channel = a.channel;
+    c.pseudo_channel = a.pseudo_channel;
+    c.bank = a.bank;
+    c.die = g.die_of_channel(a.channel);
+    c.flat_bank = a.flat_index(g);
+    return c;
+  }
+};
+
+}  // namespace rh::fault

@@ -1,0 +1,55 @@
+#include "fault/process_variation.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "fault/cell_traits.hpp"
+
+namespace rh::fault {
+
+ProcessVariation::ProcessVariation(const FaultConfig& cfg, const hbm::Geometry& geometry)
+    : cfg_(cfg), geometry_(geometry) {
+  geometry_.validate();
+  RH_EXPECTS(geometry_.dies <= cfg_.die_factor.size());
+
+  channel_factor_.resize(geometry_.channels);
+  for (std::uint32_t ch = 0; ch < geometry_.channels; ++ch) {
+    const std::uint32_t die = geometry_.die_of_channel(ch);
+    const std::uint64_t h =
+        common::hash_coords(stream_seed(cfg_.seed, Stream::kChannelJitter), ch);
+    const double jitter = std::exp(cfg_.sigma_channel * common::approx_normal(h));
+    channel_factor_[ch] = cfg_.die_factor[die] * jitter;
+  }
+
+  bank_factor_.resize(geometry_.total_banks());
+  for (std::uint32_t ch = 0; ch < geometry_.channels; ++ch) {
+    for (std::uint32_t pc = 0; pc < geometry_.pseudo_channels_per_channel; ++pc) {
+      for (std::uint32_t bank = 0; bank < geometry_.banks_per_pseudo_channel; ++bank) {
+        const hbm::BankAddress addr{ch, pc, bank};
+        const std::uint32_t flat = addr.flat_index(geometry_);
+        const std::uint64_t h =
+            common::hash_coords(stream_seed(cfg_.seed, Stream::kBankJitter), flat);
+        const double jitter = std::exp(cfg_.sigma_bank * common::approx_normal(h));
+        bank_factor_[flat] = channel_factor_[ch] * jitter;
+      }
+    }
+  }
+}
+
+double ProcessVariation::bank_factor(const BankContext& b) const {
+  RH_EXPECTS(b.flat_bank < bank_factor_.size());
+  return bank_factor_[b.flat_bank];
+}
+
+double ProcessVariation::channel_factor(std::uint32_t channel) const {
+  RH_EXPECTS(channel < channel_factor_.size());
+  return channel_factor_[channel];
+}
+
+double ProcessVariation::row_jitter(const BankContext& b, std::uint32_t physical_row) const {
+  const std::uint64_t h =
+      common::hash_coords(stream_seed(cfg_.seed, Stream::kRowJitter), b.flat_bank, physical_row);
+  return std::exp(cfg_.sigma_row * common::approx_normal(h));
+}
+
+}  // namespace rh::fault

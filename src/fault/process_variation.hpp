@@ -1,0 +1,42 @@
+// Manufacturing process variation: die-, channel-, bank-, and row-level
+// vulnerability multipliers.
+//
+// The paper's Figs. 3-4 show channels behaving in pairs ("groups of two
+// based on the number of bitflips"), which it attributes to channel pairs
+// sharing 3D-stacked dies and to process variation across dies. We model
+// exactly that hierarchy: a deterministic per-die factor, small lognormal
+// per-channel and per-bank jitters, and a per-row jitter evaluated by the
+// RowHammer model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/config.hpp"
+#include "fault/context.hpp"
+#include "hbm/geometry.hpp"
+
+namespace rh::fault {
+
+class ProcessVariation {
+public:
+  ProcessVariation(const FaultConfig& cfg, const hbm::Geometry& geometry);
+
+  /// Combined die x channel x bank vulnerability multiplier for a bank.
+  /// >1 means more vulnerable (lower effective thresholds).
+  [[nodiscard]] double bank_factor(const BankContext& b) const;
+
+  /// Die x channel multiplier only (used for reporting).
+  [[nodiscard]] double channel_factor(std::uint32_t channel) const;
+
+  /// Per-row lognormal jitter, deterministic in (bank, physical row).
+  [[nodiscard]] double row_jitter(const BankContext& b, std::uint32_t physical_row) const;
+
+private:
+  FaultConfig cfg_;
+  hbm::Geometry geometry_;
+  std::vector<double> channel_factor_;  // [channel]
+  std::vector<double> bank_factor_;     // [flat bank]
+};
+
+}  // namespace rh::fault

@@ -1,0 +1,58 @@
+// Data-retention failure model.
+//
+// Each cell's retention time is lognormal with a weak tail,
+//     t(cell) = retention_median_s * exp(retention_sigma * z_ret(cell)),
+// and halves for every +retention_temp_step_c above the reference
+// temperature. Only *charged* cells decay; a decayed cell reads as its
+// discharged value (true cell 1->0, anti cell 0->1).
+//
+// This model serves two roles from the paper:
+//   1. the methodology constraint that experiments finish within 27 ms so
+//      retention failures never contaminate RowHammer results (§3.1), and
+//   2. the U-TRR retention side channel used to expose the undisclosed TRR
+//      mechanism (§5): a row is profiled for its retention time T, and
+//      whether bitflips appear after T tells the host whether *anything*
+//      (e.g. an in-DRAM TRR) refreshed the row in between.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "fault/config.hpp"
+#include "fault/context.hpp"
+#include "hbm/geometry.hpp"
+
+namespace rh::fault {
+
+class RetentionModel {
+public:
+  RetentionModel(const FaultConfig& cfg, const hbm::Geometry& geometry);
+
+  /// Applies retention decay to the stored row image after `elapsed_s`
+  /// seconds without refresh at `temperature_c`. Returns bits flipped now.
+  std::size_t apply(const BankContext& b, std::uint32_t physical_row,
+                    std::span<std::uint8_t> data, double elapsed_s, double temperature_c) const;
+
+  /// Retention time of one cell at `temperature_c`, in seconds.
+  [[nodiscard]] double cell_retention_s(const BankContext& b, std::uint32_t physical_row,
+                                        std::uint32_t bit, double temperature_c) const;
+
+  /// Minimum retention time across a row's cells (the row's failure
+  /// boundary T used by retention profiling), in seconds.
+  [[nodiscard]] double row_min_retention_s(const BankContext& b, std::uint32_t physical_row,
+                                           double temperature_c) const;
+
+  /// Elapsed times below this can't decay any cell anywhere — fast-skip
+  /// bound for the per-ACT hot path, in seconds at `temperature_c`.
+  [[nodiscard]] double global_min_retention_s(double temperature_c) const;
+
+  [[nodiscard]] const FaultConfig& config() const { return cfg_; }
+
+private:
+  [[nodiscard]] double temp_scale(double temperature_c) const;
+
+  FaultConfig cfg_;
+  hbm::Geometry geometry_;
+};
+
+}  // namespace rh::fault

@@ -1,0 +1,144 @@
+// One DRAM bank: protocol state machine, sparse cell storage, and the point
+// where the fault model meets the command stream.
+//
+// Storage is lazy: a bank of 16384 rows materializes only the rows an
+// experiment touches (the full stack is 4 GiB; experiments touch megabytes).
+// Each materialized row keeps two images:
+//   raw     — the charge state (accumulates RowHammer and retention flips)
+//   written — the last data written by the host (the on-die ECC reference)
+//
+// Fault bookkeeping is *settled* whenever a row's charge is sensed and
+// restored (own ACT, REF sweep, TRR victim refresh): pending retention decay
+// and RowHammer disturbance materialize into `raw`, the disturbance counter
+// resets, and the refresh timestamp advances — exactly the lifecycle of a
+// real row through sense-amplifier restore.
+//
+// All host-facing row numbers are logical; the bank applies the row-decoder
+// scrambling internally. Disturbance and refresh bookkeeping are keyed by
+// physical row.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/context.hpp"
+#include "fault/retention_model.hpp"
+#include "fault/rowhammer_model.hpp"
+#include "hbm/geometry.hpp"
+#include "hbm/scramble.hpp"
+#include "hbm/timing.hpp"
+#include "hbm/timing_checker.hpp"
+
+namespace rh::hbm {
+
+class Bank {
+public:
+  struct Stats {
+    std::uint64_t activates = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rowhammer_flips = 0;   ///< bits flipped by disturbance so far
+    std::uint64_t retention_flips = 0;   ///< bits flipped by decay so far
+    std::uint64_t ecc_corrections = 0;   ///< codewords corrected on reads
+    std::uint64_t settles = 0;           ///< full row settles (fault scans)
+  };
+
+  Bank(const Geometry& geometry, const TimingParams& timings, fault::BankContext context,
+       const RowScrambler& scrambler, const fault::RowHammerModel& rh_model,
+       const fault::RetentionModel& retention_model);
+
+  // --- DRAM protocol (logical row addressing) --------------------------
+  void activate(std::uint32_t logical_row, Cycle now, double temperature_c);
+  void precharge(Cycle now, double temperature_c);
+  /// Reads one column burst of the open row into `out` (bytes_per_column
+  /// bytes). When `ecc_enabled`, single-bit errors per 64-bit word are
+  /// corrected on the fly.
+  void read(std::uint32_t column, Cycle now, bool ecc_enabled, std::span<std::uint8_t> out);
+  /// Writes one column burst into the open row.
+  void write(std::uint32_t column, std::span<const std::uint8_t> data, Cycle now);
+
+  [[nodiscard]] bool is_open() const { return timing_.open(); }
+  [[nodiscard]] std::uint32_t open_logical_row() const { return timing_.open_row(); }
+
+  // --- Refresh paths (physical row addressing; caller = pseudo channel) --
+  /// Sense+restore of one physical row (REF sweep step / TRR victim refresh).
+  void refresh_physical_row(std::uint32_t physical_row, Cycle now, double temperature_c);
+  /// Treats every row as refreshed at `now` (self-refresh exit after at
+  /// least one full internal sweep that started at `refresh_start`):
+  /// pending fault state of tracked rows materializes first — with decay
+  /// accrued only up to one refresh window past `refresh_start` — then all
+  /// refresh timestamps collapse to `now`.
+  void note_full_refresh(Cycle now, Cycle refresh_start, double temperature_c);
+
+  // --- Batch hammering (the Bender HAMMER macro-op) ---------------------
+  /// `count` double-sided hammers: alternating ACT+PRE pairs to both logical
+  /// rows, each held open for `on_time` cycles (values <= tRAS mean minimal
+  /// on-time; larger values engage the RowPress multiplier). The bank must
+  /// be precharged. `end` is the cycle when the batch completes (the
+  /// executor advances the clock).
+  void hammer_pair(std::uint32_t logical_row_a, std::uint32_t logical_row_b, std::uint64_t count,
+                   Cycle on_time, Cycle end, double temperature_c);
+  /// `count` single-sided hammers of one row.
+  void hammer_single(std::uint32_t logical_row, std::uint64_t count, Cycle on_time, Cycle end,
+                     double temperature_c);
+
+  // --- Introspection (tests, analytics) ---------------------------------
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] double disturbance_of_physical(std::uint32_t physical_row) const;
+  [[nodiscard]] bool row_materialized_physical(std::uint32_t physical_row) const;
+  [[nodiscard]] const RowScrambler& scrambler() const { return *scrambler_; }
+  [[nodiscard]] const fault::BankContext& context() const { return context_; }
+  /// Pending-work check used by tests to confirm hot-path skip behaviour.
+  [[nodiscard]] std::size_t tracked_rows() const { return rows_.size(); }
+
+private:
+  struct RowState {
+    std::vector<std::uint8_t> raw;
+    std::vector<std::uint8_t> written;
+  };
+
+  /// Sense + restore: materializes pending retention/RowHammer effects into
+  /// `raw`, resets disturbance, advances the refresh timestamp.
+  void settle(std::uint32_t physical_row, Cycle now, double temperature_c);
+  /// settle() with decay accrued only up to `decayed_until` (self-refresh:
+  /// the internal engine kept the row alive from then on).
+  void settle_impl(std::uint32_t physical_row, Cycle now, Cycle decayed_until,
+                   double temperature_c);
+  /// RowPress disturbance multiplier for an aggressor held open `on_time`.
+  [[nodiscard]] double press_factor(Cycle on_time) const;
+  RowState& ensure_materialized(std::uint32_t physical_row);
+  /// Adds `scale` activations' worth of disturbance around physical row
+  /// `aggressor` (distance-1 and distance-2 neighbours, same subarray only).
+  void add_act_disturbance(std::uint32_t aggressor, double scale);
+  /// Raw image of a neighbour row for coupling, generating power-on content
+  /// into `scratch` when the row was never materialized. Returns an empty
+  /// span when the neighbour is absent or across a subarray boundary.
+  [[nodiscard]] std::span<const std::uint8_t> neighbour_data(std::uint32_t physical_row,
+                                                             std::int64_t neighbour,
+                                                             std::vector<std::uint8_t>& scratch);
+
+  const Geometry* geometry_;
+  TimingParams timings_;
+  fault::BankContext context_;
+  const RowScrambler* scrambler_;
+  const fault::RowHammerModel* rh_model_;
+  const fault::RetentionModel* retention_model_;
+
+  BankTiming timing_;
+  std::uint32_t open_physical_ = 0;
+  Cycle act_cycle_ = 0;
+
+  std::unordered_map<std::uint32_t, RowState> rows_;
+  std::unordered_map<std::uint32_t, double> disturbance_;
+  std::unordered_map<std::uint32_t, Cycle> last_refresh_;
+  /// Refresh timestamp for rows with no explicit last_refresh_ entry
+  /// (power-up = 0; advanced by full-refresh events like self-refresh).
+  Cycle epoch_ = 0;
+  std::vector<std::uint8_t> scratch_above_;
+  std::vector<std::uint8_t> scratch_below_;
+  Stats stats_;
+};
+
+}  // namespace rh::hbm

@@ -1,0 +1,32 @@
+// DRAM command vocabulary visible at the HBM2 interface.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rh::hbm {
+
+enum class CommandKind : std::uint8_t {
+  kActivate,       ///< ACT: open a row in a bank
+  kPrecharge,      ///< PRE: close the open row in a bank
+  kPrechargeAll,   ///< PREA: close all open rows in the pseudo channel
+  kRead,           ///< RD: burst-read one column of the open row
+  kWrite,          ///< WR: burst-write one column of the open row
+  kRefresh,        ///< REF: all-bank periodic refresh step
+  kModeRegisterSet  ///< MRS: write a mode register
+};
+
+[[nodiscard]] constexpr std::string_view to_string(CommandKind k) {
+  switch (k) {
+    case CommandKind::kActivate: return "ACT";
+    case CommandKind::kPrecharge: return "PRE";
+    case CommandKind::kPrechargeAll: return "PREA";
+    case CommandKind::kRead: return "RD";
+    case CommandKind::kWrite: return "WR";
+    case CommandKind::kRefresh: return "REF";
+    case CommandKind::kModeRegisterSet: return "MRS";
+  }
+  return "?";
+}
+
+}  // namespace rh::hbm

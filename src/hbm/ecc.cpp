@@ -1,0 +1,37 @@
+#include "hbm/ecc.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace rh::hbm {
+
+std::size_t popcount_diff(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b) {
+  RH_EXPECTS(a.size() == b.size());
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    count += static_cast<std::size_t>(std::popcount(static_cast<unsigned>(a[i] ^ b[i])));
+  }
+  return count;
+}
+
+std::size_t ecc_correct_read(std::span<std::uint8_t> out, std::span<const std::uint8_t> written) {
+  RH_EXPECTS(out.size() == written.size());
+  RH_EXPECTS(out.size() % 8 == 0);
+  std::size_t corrected = 0;
+  for (std::size_t off = 0; off < out.size(); off += 8) {
+    std::uint64_t raw = 0;
+    std::uint64_t ref = 0;
+    std::memcpy(&raw, out.data() + off, 8);
+    std::memcpy(&ref, written.data() + off, 8);
+    if (raw == ref) continue;
+    if (std::popcount(raw ^ ref) == 1) {
+      std::memcpy(out.data() + off, &ref, 8);
+      ++corrected;
+    }
+  }
+  return corrected;
+}
+
+}  // namespace rh::hbm

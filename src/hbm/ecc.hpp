@@ -1,0 +1,34 @@
+// On-die ECC model.
+//
+// Modern high-density DRAM (including HBM2) ships single-error-correcting
+// on-die ECC over 64-bit words. The check bits never leave the die, so we
+// model the *semantics* rather than the code: the device remembers the last
+// written image of each row; on the read path, any 64-bit word whose raw
+// (possibly corrupted) content differs from the written content in exactly
+// one bit is returned corrected, while words with 2+ errors are returned
+// raw (detected-uncorrectable; we do not model miscorrection).
+//
+// Correction happens only on the read data path — the array keeps the raw
+// charge — matching real on-die ECC, where errors stay latent in the array.
+// The paper disables ECC via the mode register for all experiments (§3.1);
+// a unit test shows why: with ECC on, single-bit RowHammer flips vanish
+// from the host's view.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace rh::hbm {
+
+/// Counts differing bits between two equal-sized byte spans.
+[[nodiscard]] std::size_t popcount_diff(std::span<const std::uint8_t> a,
+                                        std::span<const std::uint8_t> b);
+
+/// Applies on-die-ECC read-path correction to `out` (initially the raw
+/// data), using `written` as the reference image. Both spans must be the
+/// same size and a multiple of 8 bytes (one codeword = 64 data bits).
+/// Returns the number of corrected (single-error) codewords.
+std::size_t ecc_correct_read(std::span<std::uint8_t> out, std::span<const std::uint8_t> written);
+
+}  // namespace rh::hbm

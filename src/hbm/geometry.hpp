@@ -1,0 +1,59 @@
+// HBM2 stack geometry. Defaults mirror the chip the paper tests (§3):
+// 4 GiB stack, 8 channels, 2 pseudo channels per channel, 16 banks per
+// pseudo channel, 16384 rows per bank, 32 columns per row. Channels are
+// placed pairwise on 4 stacked DRAM dies (the paper's hypothesis for the
+// grouped per-channel behaviour it observes in Figs. 3 and 4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace rh::hbm {
+
+struct Geometry {
+  std::uint32_t channels = 8;
+  std::uint32_t pseudo_channels_per_channel = 2;
+  std::uint32_t banks_per_pseudo_channel = 16;
+  std::uint32_t rows_per_bank = 16384;
+  std::uint32_t columns_per_row = 32;
+  /// Bytes transferred per column access: 64-bit pseudo-channel interface at
+  /// burst length 4 = 32 bytes.
+  std::uint32_t bytes_per_column = 32;
+  /// Number of stacked DRAM dies; channels are distributed evenly over dies.
+  std::uint32_t dies = 4;
+
+  [[nodiscard]] constexpr std::uint32_t row_bytes() const {
+    return columns_per_row * bytes_per_column;
+  }
+  [[nodiscard]] constexpr std::uint32_t row_bits() const { return row_bytes() * 8; }
+  [[nodiscard]] constexpr std::uint32_t total_banks() const {
+    return channels * pseudo_channels_per_channel * banks_per_pseudo_channel;
+  }
+  [[nodiscard]] constexpr std::uint64_t stack_bytes() const {
+    return static_cast<std::uint64_t>(total_banks()) * rows_per_bank * row_bytes();
+  }
+  [[nodiscard]] constexpr std::uint32_t channels_per_die() const { return channels / dies; }
+
+  /// Die index hosting `channel` (channels {2d, 2d+1} live on die d by
+  /// default). Precondition: channel < channels.
+  [[nodiscard]] std::uint32_t die_of_channel(std::uint32_t channel) const {
+    RH_EXPECTS(channel < channels);
+    return channel / channels_per_die();
+  }
+
+  /// Validates internal consistency; throws ConfigError via RH_EXPECTS-style
+  /// checks if the geometry is degenerate.
+  void validate() const {
+    RH_EXPECTS(channels > 0 && pseudo_channels_per_channel > 0);
+    RH_EXPECTS(banks_per_pseudo_channel > 0 && rows_per_bank > 0);
+    RH_EXPECTS(columns_per_row > 0 && bytes_per_column > 0);
+    RH_EXPECTS(dies > 0 && channels % dies == 0);
+  }
+};
+
+/// The paper's device: 4 GiB stack as described in §3.
+[[nodiscard]] inline Geometry paper_geometry() { return Geometry{}; }
+
+}  // namespace rh::hbm

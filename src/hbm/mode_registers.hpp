@@ -1,0 +1,53 @@
+// HBM2 mode registers (JESD235-style).
+//
+// We model the registers the paper's methodology touches:
+//   - MR4 bit 0: on-die ECC enable. The paper disables ECC "by setting the
+//     corresponding HBM2 mode register bit to zero" (§3.1).
+//   - MR15: the *documented* Target Row Refresh (TRR) mode — enable bit,
+//     target bank, pseudo-channel select. This is the standard's explicit TRR
+//     mode; the paper's §5 discovery is about an additional *undisclosed*
+//     mechanism that exists regardless of this register.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace rh::hbm {
+
+class ModeRegisters {
+public:
+  static constexpr std::uint32_t kCount = 16;
+  static constexpr std::uint32_t kEccRegister = 4;
+  static constexpr std::uint32_t kTrrRegister = 15;
+
+  ModeRegisters() {
+    // Power-on defaults: ECC enabled (bit set), documented TRR mode off.
+    raw_[kEccRegister] = 0x1;
+    raw_[kTrrRegister] = 0x0;
+  }
+
+  /// Raw MRS write (what the device receives on the bus).
+  void set(std::uint32_t reg, std::uint32_t value) {
+    RH_EXPECTS(reg < kCount);
+    raw_[reg] = value & 0xffu;
+  }
+
+  [[nodiscard]] std::uint32_t get(std::uint32_t reg) const {
+    RH_EXPECTS(reg < kCount);
+    return raw_[reg];
+  }
+
+  [[nodiscard]] bool ecc_enabled() const { return (raw_[kEccRegister] & 0x1u) != 0; }
+
+  /// Documented JEDEC TRR mode fields (MR15).
+  [[nodiscard]] bool trr_mode_enabled() const { return (raw_[kTrrRegister] & 0x10u) != 0; }
+  [[nodiscard]] std::uint32_t trr_mode_bank() const { return raw_[kTrrRegister] & 0x0fu; }
+  [[nodiscard]] bool trr_mode_pseudo_channel() const { return (raw_[kTrrRegister] & 0x20u) != 0; }
+
+private:
+  std::array<std::uint32_t, kCount> raw_{};
+};
+
+}  // namespace rh::hbm

@@ -1,0 +1,96 @@
+// One HBM2 pseudo channel: 16 banks behind a shared 64-bit data path, a
+// refresh pointer, and the in-DRAM mitigation engines that snoop its command
+// stream (the proprietary sampler TRR of paper §5 and the documented JEDEC
+// TRR mode).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "fault/retention_model.hpp"
+#include "fault/rowhammer_model.hpp"
+#include "hbm/bank.hpp"
+#include "hbm/geometry.hpp"
+#include "hbm/scramble.hpp"
+#include "hbm/timing.hpp"
+#include "hbm/timing_checker.hpp"
+#include "trr/documented_trr.hpp"
+#include "trr/proprietary_trr.hpp"
+
+namespace rh::hbm {
+
+class PseudoChannel {
+public:
+  PseudoChannel(const Geometry& geometry, const TimingParams& timings, std::uint32_t channel,
+                std::uint32_t pseudo_channel, const RowScrambler& scrambler,
+                const fault::RowHammerModel& rh_model,
+                const fault::RetentionModel& retention_model,
+                const trr::ProprietaryTrrConfig& trr_config);
+
+  void activate(std::uint32_t bank, std::uint32_t row, Cycle now, double temperature_c);
+  void precharge(std::uint32_t bank, Cycle now, double temperature_c);
+  void precharge_all(Cycle now, double temperature_c);
+  void read(std::uint32_t bank, std::uint32_t column, Cycle now, bool ecc,
+            std::span<std::uint8_t> out);
+  void write(std::uint32_t bank, std::uint32_t column, std::span<const std::uint8_t> data,
+             Cycle now);
+
+  /// One periodic REF: advances the refresh pointer over every bank and
+  /// gives both TRR engines their trigger opportunity. All banks must be
+  /// precharged (ProtocolError otherwise).
+  void refresh(Cycle now, double temperature_c);
+
+  /// Self-refresh entry: the device refreshes itself internally; every
+  /// command except the exit is rejected until then. All banks must be
+  /// precharged.
+  void enter_self_refresh(Cycle now);
+  /// Self-refresh exit at `now`. Internal refresh progressed at the tREFI
+  /// cadence while inside; a stay of at least one refresh window leaves
+  /// every row freshly refreshed. Also resets the proprietary TRR engine
+  /// (sampler and REF counter), as vendor implementations do.
+  void exit_self_refresh(Cycle now, double temperature_c);
+  [[nodiscard]] bool in_self_refresh() const { return self_refresh_; }
+
+  /// Batch hammer macro-ops (see bank.hpp). The TRR sampler observes these
+  /// like ordinary activations.
+  void hammer_pair(std::uint32_t bank, std::uint32_t row_a, std::uint32_t row_b,
+                   std::uint64_t count, Cycle on_time, Cycle end, double temperature_c);
+  void hammer_single(std::uint32_t bank, std::uint32_t row, std::uint64_t count, Cycle on_time,
+                     Cycle end, double temperature_c);
+
+  [[nodiscard]] Bank& bank(std::uint32_t index);
+  [[nodiscard]] const Bank& bank(std::uint32_t index) const;
+  [[nodiscard]] std::uint32_t bank_count() const {
+    return static_cast<std::uint32_t>(banks_.size());
+  }
+
+  /// Documented JEDEC TRR mode control (driven by device MRS writes).
+  trr::DocumentedTrrMode& documented_trr() { return documented_trr_; }
+  /// Proprietary mitigation introspection (tests only; the host-visible
+  /// interface never exposes this).
+  [[nodiscard]] const trr::ProprietaryTrr& proprietary_trr() const { return proprietary_trr_; }
+
+private:
+  /// Refreshes the physical neighbourhood of a logical aggressor row.
+  void refresh_neighbourhood(std::uint32_t bank, std::uint32_t logical_row,
+                             std::uint32_t radius, Cycle now, double temperature_c);
+
+  /// Throws ProtocolError if the pseudo channel is in self-refresh.
+  void check_not_self_refreshing() const;
+
+  const Geometry* geometry_;
+  const RowScrambler* scrambler_;
+  TimingParams timings_;
+  ChannelTiming channel_timing_;
+  std::vector<Bank> banks_;
+  trr::ProprietaryTrr proprietary_trr_;
+  trr::DocumentedTrrMode documented_trr_;
+  std::uint32_t refresh_pointer_ = 0;
+  std::uint32_t rows_per_ref_ = 1;
+  bool self_refresh_ = false;
+  Cycle self_refresh_entry_ = 0;
+};
+
+}  // namespace rh::hbm

@@ -1,0 +1,72 @@
+// Logical-to-physical row-address scrambling.
+//
+// DRAM vendors remap the memory-controller-visible (logical) row address at
+// the row decoder, so logically consecutive rows are not always physically
+// adjacent. RowHammer experiments must therefore reverse engineer the mapping
+// before choosing aggressor rows (§3.1 of the paper, following prior work).
+//
+// All supported mappings are involutions (l2p == p2l), which is both common
+// in real decoders (XOR-based remaps) and convenient to verify.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/assert.hpp"
+
+namespace rh::hbm {
+
+enum class ScrambleKind : std::uint8_t {
+  kIdentity,  ///< physical == logical
+  kPairSwap,  ///< groups of 4: logical {0,1,2,3} -> physical {0,2,1,3}
+  kXorFold    ///< bit1 twists bit0: physical = logical ^ ((logical >> 1) & 1)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ScrambleKind k) {
+  switch (k) {
+    case ScrambleKind::kIdentity: return "identity";
+    case ScrambleKind::kPairSwap: return "pair-swap";
+    case ScrambleKind::kXorFold: return "xor-fold";
+  }
+  return "?";
+}
+
+/// Stateless row-address scrambler for one bank.
+class RowScrambler {
+public:
+  explicit RowScrambler(ScrambleKind kind, std::uint32_t rows_per_bank)
+      : kind_(kind), rows_(rows_per_bank) {
+    RH_EXPECTS(rows_per_bank >= 4 && rows_per_bank % 4 == 0);
+  }
+
+  [[nodiscard]] ScrambleKind kind() const { return kind_; }
+
+  /// Physical row driven by the decoder for logical row `logical`.
+  [[nodiscard]] std::uint32_t logical_to_physical(std::uint32_t logical) const {
+    RH_EXPECTS(logical < rows_);
+    switch (kind_) {
+      case ScrambleKind::kIdentity: return logical;
+      case ScrambleKind::kPairSwap: {
+        // Within each aligned group of 4, swap the middle two entries.
+        const std::uint32_t off = logical & 3u;
+        if (off == 1) return logical + 1;
+        if (off == 2) return logical - 1;
+        return logical;
+      }
+      case ScrambleKind::kXorFold: return logical ^ ((logical >> 1) & 1u);
+    }
+    return logical;
+  }
+
+  /// Logical row that decodes to physical row `physical`. All supported
+  /// mappings are involutions, so this mirrors logical_to_physical.
+  [[nodiscard]] std::uint32_t physical_to_logical(std::uint32_t physical) const {
+    return logical_to_physical(physical);
+  }
+
+private:
+  ScrambleKind kind_;
+  std::uint32_t rows_;
+};
+
+}  // namespace rh::hbm

@@ -1,0 +1,131 @@
+// Subarray layout within a bank.
+//
+// The paper reverse engineers subarray boundaries with single-sided
+// RowHammer (footnote 3) and finds subarrays of either 832 or 768 rows, with
+// the *last* subarray of the bank (832 rows) exhibiting far fewer bitflips
+// (Fig. 5, "SA Z") — hypothesized to sit next to the shared I/O circuitry.
+//
+// Our default layout covers 16384 rows as 8x832, 4x768, 8x832 (20 subarrays):
+// the first tested region lands in 832-row subarrays (paper's SA X), the
+// middle region spans 768-row subarrays (SA Y), and the bank ends with an
+// 832-row subarray (SA Z).
+//
+// Subarray boundaries are *physical-row* concepts: callers must pass physical
+// row indices (after scrambling).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace rh::hbm {
+
+/// Immutable description of where each subarray starts and ends.
+class SubarrayLayout {
+public:
+  /// Builds the default paper-calibrated layout for `rows_per_bank` rows.
+  /// For the canonical 16384-row bank this is 8x832 + 4x768 + 8x832. Other
+  /// row counts get a uniform best-effort tiling with 832-row subarrays
+  /// (remainder merged into the final subarray).
+  static SubarrayLayout paper_layout(std::uint32_t rows_per_bank);
+
+  /// Builds a layout from explicit subarray sizes (must sum to the bank size).
+  explicit SubarrayLayout(std::vector<std::uint32_t> sizes);
+
+  [[nodiscard]] std::uint32_t subarray_count() const {
+    return static_cast<std::uint32_t>(starts_.size());
+  }
+
+  /// Index of the subarray containing physical row `row`.
+  [[nodiscard]] std::uint32_t subarray_of(std::uint32_t row) const;
+
+  /// First physical row of subarray `sa`.
+  [[nodiscard]] std::uint32_t start_of(std::uint32_t sa) const {
+    RH_EXPECTS(sa < subarray_count());
+    return starts_[sa];
+  }
+
+  /// Number of rows in subarray `sa`.
+  [[nodiscard]] std::uint32_t size_of(std::uint32_t sa) const {
+    RH_EXPECTS(sa < subarray_count());
+    return sizes_[sa];
+  }
+
+  /// Total rows covered (== rows_per_bank).
+  [[nodiscard]] std::uint32_t total_rows() const { return total_rows_; }
+
+  /// Relative position of `row` inside its subarray, in [0, 1). 0 and ~1 are
+  /// next to the sense amplifiers at the subarray edges; 0.5 is mid-array.
+  [[nodiscard]] double relative_position(std::uint32_t row) const;
+
+  /// True if `row` lies in the bank's final subarray (the paper's SA Z).
+  [[nodiscard]] bool in_last_subarray(std::uint32_t row) const {
+    return subarray_of(row) == subarray_count() - 1;
+  }
+
+  /// True if `rowA` and `rowB` are in different subarrays (an aggressor at a
+  /// subarray edge only disturbs victims on its own side — the paper's
+  /// boundary reverse-engineering signal).
+  [[nodiscard]] bool crosses_boundary(std::uint32_t rowA, std::uint32_t rowB) const {
+    return subarray_of(rowA) != subarray_of(rowB);
+  }
+
+private:
+  std::vector<std::uint32_t> starts_;
+  std::vector<std::uint32_t> sizes_;
+  std::uint32_t total_rows_ = 0;
+};
+
+inline SubarrayLayout::SubarrayLayout(std::vector<std::uint32_t> sizes) : sizes_(std::move(sizes)) {
+  RH_EXPECTS(!sizes_.empty());
+  starts_.reserve(sizes_.size());
+  std::uint32_t at = 0;
+  for (std::uint32_t s : sizes_) {
+    RH_EXPECTS(s > 0);
+    starts_.push_back(at);
+    at += s;
+  }
+  total_rows_ = at;
+}
+
+inline SubarrayLayout SubarrayLayout::paper_layout(std::uint32_t rows_per_bank) {
+  std::vector<std::uint32_t> sizes;
+  if (rows_per_bank == 16384) {
+    for (int i = 0; i < 8; ++i) sizes.push_back(832);
+    for (int i = 0; i < 4; ++i) sizes.push_back(768);
+    for (int i = 0; i < 8; ++i) sizes.push_back(832);
+  } else {
+    std::uint32_t remaining = rows_per_bank;
+    while (remaining > 2 * 832) {
+      sizes.push_back(832);
+      remaining -= 832;
+    }
+    sizes.push_back(remaining);
+  }
+  return SubarrayLayout(std::move(sizes));
+}
+
+inline std::uint32_t SubarrayLayout::subarray_of(std::uint32_t row) const {
+  RH_EXPECTS(row < total_rows_);
+  // Binary search over starts_ (20 entries: a linear scan would also do, but
+  // this is on the per-bit fault-model path via relative_position).
+  std::uint32_t lo = 0;
+  std::uint32_t hi = subarray_count();
+  while (hi - lo > 1) {
+    const std::uint32_t mid = (lo + hi) / 2;
+    if (starts_[mid] <= row) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+inline double SubarrayLayout::relative_position(std::uint32_t row) const {
+  const std::uint32_t sa = subarray_of(row);
+  return (static_cast<double>(row - starts_[sa]) + 0.5) / static_cast<double>(sizes_[sa]);
+}
+
+}  // namespace rh::hbm

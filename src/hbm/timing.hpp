@@ -1,0 +1,57 @@
+// HBM2 interface clock and timing parameters.
+//
+// The paper's DRAM Bender build controls command timing at 1.66 ns
+// granularity (600 MHz HBM2 interface clock, §3). All timings here are in
+// interface-clock cycles; values follow JESD235-class HBM2 speed bins.
+//
+// Key derived quantity the paper relies on (§3.1): one double-sided hammer is
+// two ACT+PRE pairs, so 256 K hammers = 512 K row cycles * tRC(46.7 ns)
+// ≈ 23.9 ms — safely inside the 27 ms bound that keeps retention failures
+// from contaminating RowHammer measurements (32 ms refresh window).
+#pragma once
+
+#include <cstdint>
+
+namespace rh::hbm {
+
+/// Simulated time in interface-clock cycles.
+using Cycle = std::uint64_t;
+
+/// Picoseconds per interface clock cycle: 1.66 ns at 600 MHz.
+inline constexpr std::uint64_t kCyclePicoseconds = 1667;
+
+/// Converts cycles to milliseconds of simulated wall-clock time.
+[[nodiscard]] constexpr double cycles_to_ms(Cycle c) {
+  return static_cast<double>(c) * static_cast<double>(kCyclePicoseconds) * 1e-9;
+}
+
+/// Converts a millisecond duration to interface cycles (rounded down).
+[[nodiscard]] constexpr Cycle ms_to_cycles(double ms) {
+  return static_cast<Cycle>(ms * 1e9 / static_cast<double>(kCyclePicoseconds));
+}
+
+/// Per-bank / per-channel timing constraints, in cycles.
+struct TimingParams {
+  Cycle tRC = 28;    ///< ACT-to-ACT, same bank (46.7 ns)
+  Cycle tRAS = 20;   ///< ACT-to-PRE, same bank (33.3 ns)
+  Cycle tRP = 9;     ///< PRE-to-ACT, same bank (15.0 ns)
+  Cycle tRCD = 12;   ///< ACT-to-RD/WR, same bank (20.0 ns)
+  Cycle tWR = 10;    ///< end of WR to PRE (16.7 ns)
+  Cycle tRTP = 5;    ///< RD to PRE (8.3 ns)
+  Cycle tCCD = 2;    ///< column-to-column (3.3 ns)
+  Cycle tRRD = 4;    ///< ACT-to-ACT, different banks, same pseudo channel
+  Cycle tRFC = 156;  ///< REF to next command (260 ns)
+  Cycle tREFI = 2340;  ///< nominal REF-to-REF interval (3.9 us)
+
+  /// Standard refresh window: every row refreshed once per 32 ms.
+  Cycle refresh_window = ms_to_cycles(32.0);
+
+  /// REF commands needed per refresh window (8192 for 16 K rows refreshed in
+  /// pairs, typical for this density class).
+  std::uint32_t refs_per_window = 8192;
+};
+
+/// The paper's timing set (defaults above).
+[[nodiscard]] inline TimingParams paper_timings() { return TimingParams{}; }
+
+}  // namespace rh::hbm

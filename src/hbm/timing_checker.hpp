@@ -1,0 +1,75 @@
+// JEDEC-style command-timing validation.
+//
+// DRAM Bender gives the experimenter cycle-precise control of the command
+// bus — and with it the ability to issue illegal sequences. Real chips
+// silently misbehave; our device *throws* (TimingError / ProtocolError) so
+// test programs are validated as they run. Program builders in src/core
+// insert the correct spacing; these checks are what prove they do.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "hbm/timing.hpp"
+
+namespace rh::hbm {
+
+/// Per-bank timing + open/closed state.
+class BankTiming {
+public:
+  explicit BankTiming(const TimingParams& t) : t_(&t) {}
+
+  [[nodiscard]] bool open() const { return open_; }
+  [[nodiscard]] std::uint32_t open_row() const { return open_row_; }
+  [[nodiscard]] Cycle last_activate() const { return last_act_; }
+
+  /// Validates and records an ACT at `now` opening `logical_row`.
+  void on_activate(Cycle now, std::uint32_t logical_row);
+  /// Validates and records a PRE at `now`.
+  void on_precharge(Cycle now);
+  /// Validates and records a RD at `now`.
+  void on_read(Cycle now);
+  /// Validates and records a WR at `now`.
+  void on_write(Cycle now);
+  /// Forces closed state (REF, PREA, batch ops).
+  void force_closed(Cycle now);
+
+  /// Records the end of a batch hammer macro-op: the bank finished its last
+  /// ACT/PRE pair at `end`, so subsequent ACTs respect tRC/tRP from there.
+  void note_batch_end(Cycle end);
+
+private:
+  const TimingParams* t_;
+  bool open_ = false;
+  std::uint32_t open_row_ = 0;
+  Cycle last_act_ = 0;
+  Cycle last_pre_ = 0;
+  Cycle last_rd_ = 0;
+  Cycle last_wr_ = 0;
+  bool ever_activated_ = false;
+  bool ever_precharged_ = false;
+};
+
+/// Pseudo-channel-level constraints: tRRD across banks, tCCD on the shared
+/// data bus, tRFC after REF.
+class ChannelTiming {
+public:
+  explicit ChannelTiming(const TimingParams& t) : t_(&t) {}
+
+  void on_activate(Cycle now);
+  void on_column(Cycle now);
+  void on_refresh(Cycle now);
+  /// Throws if a command at `now` falls inside the tRFC window of a REF.
+  void check_not_refreshing(Cycle now) const;
+
+private:
+  const TimingParams* t_;
+  Cycle last_act_ = 0;
+  Cycle last_col_ = 0;
+  Cycle ref_done_ = 0;
+  bool ever_activated_ = false;
+  bool ever_column_ = false;
+};
+
+}  // namespace rh::hbm

@@ -1,0 +1,30 @@
+#include "trr/documented_trr.hpp"
+
+#include <algorithm>
+
+namespace rh::trr {
+
+void DocumentedTrrMode::enter(std::uint32_t bank) {
+  active_ = true;
+  bank_ = bank;
+  aggressors_.clear();
+}
+
+void DocumentedTrrMode::exit() {
+  active_ = false;
+  aggressors_.clear();
+}
+
+void DocumentedTrrMode::observe_activate(std::uint32_t bank, std::uint32_t logical_row) {
+  if (!active_ || bank != bank_) return;
+  if (std::find(aggressors_.begin(), aggressors_.end(), logical_row) != aggressors_.end()) return;
+  if (aggressors_.size() >= kMaxAggressors) return;
+  aggressors_.push_back(logical_row);
+}
+
+std::optional<DocumentedTrrAction> DocumentedTrrMode::on_refresh() {
+  if (!active_ || aggressors_.empty()) return std::nullopt;
+  return DocumentedTrrAction{bank_, aggressors_};
+}
+
+}  // namespace rh::trr

@@ -1,0 +1,50 @@
+// The *documented* HBM2 TRR mode (JESD235).
+//
+// The standard specifies an explicit Target Row Refresh mode: the memory
+// controller enables TRR mode via a mode register (designating a bank),
+// activates the aggressor row(s) it wants mitigated, and subsequent REF
+// commands refresh the aggressors' neighbourhoods until the mode is exited.
+// This is entirely controller-visible — unlike the proprietary mechanism of
+// paper §5, which exists *in addition to* this mode (footnote 1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace rh::trr {
+
+/// A victim-refresh the documented mode wants performed at a REF boundary.
+struct DocumentedTrrAction {
+  std::uint32_t bank = 0;
+  std::vector<std::uint32_t> logical_rows;  ///< aggressors announced by the controller
+};
+
+class DocumentedTrrMode {
+public:
+  /// Mode entry (MRS write with the TRR-enable bit): begins capturing
+  /// aggressor activations in `bank`.
+  void enter(std::uint32_t bank);
+
+  /// Mode exit (MRS write clearing the bit).
+  void exit();
+
+  [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] std::uint32_t bank() const { return bank_; }
+
+  /// Called on every ACT while the mode is active; records aggressors in the
+  /// designated bank (the standard allows up to 4 per TRR cycle).
+  void observe_activate(std::uint32_t bank, std::uint32_t logical_row);
+
+  /// Called on each REF while active: returns the recorded aggressors whose
+  /// neighbourhoods must be refreshed (the device performs the refresh).
+  [[nodiscard]] std::optional<DocumentedTrrAction> on_refresh();
+
+private:
+  static constexpr std::size_t kMaxAggressors = 4;
+  bool active_ = false;
+  std::uint32_t bank_ = 0;
+  std::vector<std::uint32_t> aggressors_;
+};
+
+}  // namespace rh::trr

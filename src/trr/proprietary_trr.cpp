@@ -1,0 +1,33 @@
+#include "trr/proprietary_trr.hpp"
+
+#include "common/assert.hpp"
+
+namespace rh::trr {
+
+ProprietaryTrr::ProprietaryTrr(const ProprietaryTrrConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
+  RH_EXPECTS(cfg_.period > 0);
+  RH_EXPECTS(cfg_.sample_probability >= 0.0 && cfg_.sample_probability <= 1.0);
+}
+
+void ProprietaryTrr::observe_activate(std::uint32_t bank, std::uint32_t logical_row) {
+  if (!cfg_.enabled) return;
+  if (cfg_.sample_probability < 1.0 && rng_.uniform() >= cfg_.sample_probability) return;
+  sample_ = TrrAction{bank, logical_row};
+  sample_valid_ = true;
+}
+
+std::optional<TrrAction> ProprietaryTrr::on_refresh() {
+  if (!cfg_.enabled) return std::nullopt;
+  ++ref_count_;
+  if (ref_count_ % cfg_.period != 0) return std::nullopt;
+  if (!sample_valid_) return std::nullopt;
+  sample_valid_ = false;
+  return sample_;
+}
+
+void ProprietaryTrr::reset() {
+  ref_count_ = 0;
+  sample_valid_ = false;
+}
+
+}  // namespace rh::trr

@@ -1,0 +1,74 @@
+// The *undisclosed* in-DRAM Target Row Refresh mechanism (paper §5).
+//
+// The paper demonstrates (via the U-TRR retention side channel) that the
+// tested HBM2 chip implements a proprietary TRR that:
+//   - samples aggressor-row activations invisibly to the memory controller,
+//   - is triggered by periodic REF commands, and
+//   - performs one victim-row refresh every 17 REFs, resembling the
+//     mechanism U-TRR (MICRO'21) uncovered in DDR4 chips from "Vendor C".
+//
+// We model exactly that: a single-entry activation sampler per pseudo
+// channel and a REF counter; every `period`-th REF spends part of its
+// refresh window preventively refreshing the sampled row's physical
+// neighbours. The device (not this class) resolves logical->physical
+// adjacency and performs the actual refresh, since the row decoder lives
+// there.
+//
+// Nothing in the host-visible interface exposes this mechanism — the U-TRR
+// methodology in core/utrr.* must *discover* the period from the outside.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.hpp"
+
+namespace rh::trr {
+
+struct ProprietaryTrrConfig {
+  bool enabled = true;
+  /// Victim-row refresh fires once per this many REF commands (paper: 17).
+  std::uint32_t period = 17;
+  /// How far around the sampled aggressor the mitigation refreshes
+  /// (physical distance; 2 covers the blast radius).
+  std::uint32_t neighborhood = 2;
+  /// Probability that any given ACT replaces the sampler contents. 1.0 is
+  /// a last-activation sampler (Vendor-C-like behaviour under U-TRR's
+  /// single-aggressor probe).
+  double sample_probability = 1.0;
+  /// Seed for the sampling coin flips when sample_probability < 1.
+  std::uint64_t seed = 0x7127e5eedULL;
+};
+
+/// What the mitigation decided to do at a REF boundary.
+struct TrrAction {
+  std::uint32_t bank = 0;
+  std::uint32_t logical_row = 0;
+};
+
+class ProprietaryTrr {
+public:
+  explicit ProprietaryTrr(const ProprietaryTrrConfig& cfg);
+
+  /// Called by the device on every ACT in this pseudo channel.
+  void observe_activate(std::uint32_t bank, std::uint32_t logical_row);
+
+  /// Called by the device on every REF in this pseudo channel. Returns the
+  /// victim-refresh action when this REF is the one-in-`period` TRR slot and
+  /// an aggressor has been sampled since the last firing.
+  [[nodiscard]] std::optional<TrrAction> on_refresh();
+
+  /// Clears sampler and counter (power-up / self-refresh exit).
+  void reset();
+
+  [[nodiscard]] const ProprietaryTrrConfig& config() const { return cfg_; }
+
+private:
+  ProprietaryTrrConfig cfg_;
+  common::Xoshiro256 rng_;
+  std::uint64_t ref_count_ = 0;
+  bool sample_valid_ = false;
+  TrrAction sample_{};
+};
+
+}  // namespace rh::trr

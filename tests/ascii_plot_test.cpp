@@ -1,0 +1,91 @@
+#include "common/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rh::common {
+namespace {
+
+BoxStats simple_box() {
+  BoxStats s;
+  s.min = 0.0;
+  s.q1 = 1.0;
+  s.median = 2.0;
+  s.q3 = 3.0;
+  s.max = 4.0;
+  s.mean = 2.0;
+  s.count = 5;
+  return s;
+}
+
+TEST(Boxplot, RendersMarkersForAllQuantiles) {
+  std::ostringstream os;
+  render_boxplot(os, {{"row", simple_box()}}, 40);
+  const std::string out = os.str();
+  EXPECT_NE(out.find('['), std::string::npos);
+  EXPECT_NE(out.find(']'), std::string::npos);
+  EXPECT_NE(out.find('M'), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+  EXPECT_NE(out.find("row"), std::string::npos);
+}
+
+TEST(Boxplot, HandlesEmptyInputQuietly) {
+  std::ostringstream os;
+  render_boxplot(os, {}, 40);
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(Boxplot, AlignsMultipleLabels) {
+  std::ostringstream os;
+  render_boxplot(os, {{"a", simple_box()}, {"longer", simple_box()}}, 40);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("a     "), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+}
+
+TEST(LinePlot, RendersSeriesAndRange) {
+  std::ostringstream os;
+  std::vector<double> ys;
+  for (int i = 0; i < 100; ++i) ys.push_back(static_cast<double>(i % 10));
+  render_line(os, ys, 50, 8, "title");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("100 points"), std::string::npos);
+}
+
+TEST(LinePlot, HandlesConstantSeries) {
+  std::ostringstream os;
+  render_line(os, std::vector<double>(20, 1.5), 30, 5);
+  EXPECT_NE(os.str().find('#'), std::string::npos);
+}
+
+TEST(LinePlot, HandlesEmptySeries) {
+  std::ostringstream os;
+  render_line(os, {}, 30, 5);
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(Scatter, PlacesGlyphs) {
+  std::ostringstream os;
+  render_scatter(os, {{0.0, 0.0, 'a'}, {1.0, 1.0, 'b'}}, 20, 10);
+  const std::string out = os.str();
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+TEST(Scatter, HandlesSinglePoint) {
+  std::ostringstream os;
+  render_scatter(os, {{0.5, 0.5, 'x'}}, 20, 10);
+  EXPECT_NE(os.str().find('x'), std::string::npos);
+}
+
+TEST(Scatter, HandlesEmptyInput) {
+  std::ostringstream os;
+  render_scatter(os, {}, 20, 10);
+  EXPECT_TRUE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace rh::common

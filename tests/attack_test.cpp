@@ -1,0 +1,122 @@
+#include "core/attack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bender/host.hpp"
+
+namespace rh::core {
+namespace {
+
+class AttackTest : public ::testing::Test {
+protected:
+  AttackTest()
+      : host_(hbm::DeviceConfig{}),
+        map_(RowMap::from_device(host_.device())),
+        attacker_(host_, map_) {
+    host_.device().set_temperature(85.0);
+  }
+
+  bender::BenderHost host_;
+  RowMap map_;
+  AttackRunner attacker_;
+  const Site site_{7, 0, 0};
+};
+
+TEST_F(AttackTest, BaselineWithoutRefreshFlips) {
+  AttackConfig config;
+  config.refs = 0;
+  const auto result = attacker_.double_sided(site_, 1200, config);
+  EXPECT_GT(result.victim_flips, 0u);
+}
+
+TEST_F(AttackTest, DenseRefreshBlocksTheNaiveAttack) {
+  AttackConfig config;
+  config.refs = 512;
+  const auto result = attacker_.double_sided(site_, 1200, config);
+  AttackConfig off = config;
+  off.refs = 0;
+  const auto baseline = attacker_.double_sided(site_, 1200, off);
+  ASSERT_GT(baseline.victim_flips, 0u);
+  EXPECT_LT(result.victim_flips, baseline.victim_flips / 10);
+}
+
+TEST_F(AttackTest, DecoyEvasionRestoresTheFlips) {
+  AttackConfig config;
+  config.refs = 512;
+  const auto naive = attacker_.double_sided(site_, 1200, config);
+  const auto decoy = attacker_.decoy_evasion(site_, 1200, config);
+  EXPECT_GT(decoy.victim_flips, naive.victim_flips);
+  // The decoy variant should approach the refresh-off baseline.
+  AttackConfig off = config;
+  off.refs = 0;
+  const auto baseline = attacker_.double_sided(site_, 1200, off);
+  EXPECT_GT(decoy.victim_flips * 2, baseline.victim_flips);
+}
+
+TEST_F(AttackTest, DecoyMustBeOutsideTheTrrNeighbourhood) {
+  // A decoy too close to the victim would let the TRR's neighbourhood
+  // refresh hit the victim anyway. Distance 1 (the decoy IS an aggressor)
+  // must behave like the naive attack.
+  AttackConfig close_decoy;
+  close_decoy.refs = 512;
+  close_decoy.decoy_distance = 1;
+  AttackConfig far_decoy;
+  far_decoy.refs = 512;
+  far_decoy.decoy_distance = 64;
+  const auto close_result = attacker_.decoy_evasion(site_, 1200, close_decoy);
+  const auto far_result = attacker_.decoy_evasion(site_, 1200, far_decoy);
+  EXPECT_GT(far_result.victim_flips, close_result.victim_flips);
+}
+
+TEST_F(AttackTest, AttackRunsInsideRealisticTiming) {
+  AttackConfig config;
+  config.refs = 512;
+  const auto result = attacker_.decoy_evasion(site_, 1200, config);
+  // 256 K hammers + 512 REFs + decoys is still a ~25 ms attack.
+  EXPECT_GT(result.dram_time_ms, 20.0);
+  EXPECT_LT(result.dram_time_ms, 40.0);
+}
+
+TEST_F(AttackTest, ManySidedLayoutAndAccounting) {
+  AttackConfig config;
+  config.refs = 0;
+  const auto result = attacker_.many_sided(site_, 1400, 3, config);
+  EXPECT_EQ(result.per_victim_flips.size(), 3u);
+  std::uint64_t sum = 0;
+  for (const auto f : result.per_victim_flips) sum += f;
+  EXPECT_EQ(sum, result.total_victim_flips);
+  EXPECT_GT(result.total_victim_flips, 0u);
+}
+
+TEST_F(AttackTest, ManySidedEvadesTheSamplerUnderRefresh) {
+  // TRRespass in miniature: with refresh running, the naive double-sided
+  // attack is blocked, but many-sided hammering overwhelms the one-entry
+  // sampler and some victims keep flipping.
+  AttackConfig config;
+  config.refs = 512;
+  const auto naive = attacker_.double_sided(site_, 1400, config);
+  const auto many = attacker_.many_sided(site_, 1400, 4, config);
+  EXPECT_GT(many.total_victim_flips, naive.victim_flips);
+  EXPECT_GT(many.total_victim_flips, 0u);
+}
+
+TEST_F(AttackTest, ManySidedSamplerProtectsOnlyTheLastAggressorsVictims) {
+  // The sampler always holds the most recent ACT before the REF — the last
+  // aggressor in the round-robin — so the victims far from it flip more.
+  AttackConfig config;
+  config.refs = 512;
+  const auto many = attacker_.many_sided(site_, 1400, 4, config);
+  ASSERT_EQ(many.per_victim_flips.size(), 4u);
+  EXPECT_GT(many.per_victim_flips.front(), many.per_victim_flips.back());
+}
+
+TEST_F(AttackTest, ResultsAreDeterministic) {
+  AttackConfig config;
+  config.refs = 64;
+  const auto a = attacker_.decoy_evasion(site_, 1300, config);
+  const auto b = attacker_.decoy_evasion(site_, 1300, config);
+  EXPECT_EQ(a.victim_flips, b.victim_flips);
+}
+
+}  // namespace
+}  // namespace rh::core

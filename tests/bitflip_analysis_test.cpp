@@ -1,0 +1,82 @@
+#include "core/bitflip_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bender/host.hpp"
+
+namespace rh::core {
+namespace {
+
+class BitflipAnalysisTest : public ::testing::Test {
+protected:
+  BitflipAnalysisTest()
+      : host_(hbm::DeviceConfig{}),
+        map_(RowMap::from_device(host_.device())),
+        analyzer_(host_, map_) {
+    host_.device().set_temperature(85.0);
+  }
+
+  bender::BenderHost host_;
+  RowMap map_;
+  BitflipAnalyzer analyzer_;
+  const Site site_{7, 0, 0};
+};
+
+TEST_F(BitflipAnalysisTest, ProfileAccountsEveryFlipOnce) {
+  const auto profile = analyzer_.profile_row(site_, 416, DataPattern::kRowstripe0);
+  ASSERT_GT(profile.flipped_bits.size(), 0u);
+  EXPECT_EQ(profile.directions.total(), profile.flipped_bits.size());
+  const std::uint64_t column_sum = std::accumulate(profile.flips_per_column.begin(),
+                                                   profile.flips_per_column.end(), std::uint64_t{0});
+  EXPECT_EQ(column_sum, profile.flipped_bits.size());
+}
+
+TEST_F(BitflipAnalysisTest, AllZeroVictimFlipsOnlyUpward) {
+  const auto profile = analyzer_.profile_row(site_, 416, DataPattern::kRowstripe0);
+  EXPECT_GT(profile.directions.zero_to_one, 0u);
+  EXPECT_EQ(profile.directions.one_to_zero, 0u);
+  EXPECT_DOUBLE_EQ(profile.directions.zero_to_one_fraction(), 1.0);
+}
+
+TEST_F(BitflipAnalysisTest, AllOneVictimFlipsOnlyDownward) {
+  const auto profile = analyzer_.profile_row(site_, 416, DataPattern::kRowstripe1);
+  EXPECT_EQ(profile.directions.zero_to_one, 0u);
+  EXPECT_GT(profile.directions.one_to_zero, 0u);
+}
+
+TEST_F(BitflipAnalysisTest, CheckeredPatternsFlipInBothDirections) {
+  FlipDirectionStats census =
+      analyzer_.direction_census(site_, 400, 8, 5, DataPattern::kCheckered0);
+  EXPECT_GT(census.zero_to_one, 0u);
+  EXPECT_GT(census.one_to_zero, 0u);
+  // Anti-cell majority + stronger anti-cell coupling: stored zeros flip
+  // (to one) more often than stored ones on this chip.
+  EXPECT_GT(census.zero_to_one, census.one_to_zero);
+}
+
+TEST_F(BitflipAnalysisTest, FlipsAreSpreadAcrossColumns) {
+  const auto profile = analyzer_.profile_row(site_, 416, DataPattern::kRowstripe0);
+  std::size_t columns_with_flips = 0;
+  for (const auto count : profile.flips_per_column) {
+    columns_with_flips += count > 0;
+  }
+  // With percent-scale BER over 32 columns, flips should touch most bursts.
+  EXPECT_GT(columns_with_flips, profile.flips_per_column.size() / 2);
+}
+
+TEST_F(BitflipAnalysisTest, RowHammerFlipsAreFullyRepeatable) {
+  // Deterministic thresholds + identical experiments = identical flips;
+  // this is the property real studies exploit for memory templating.
+  EXPECT_DOUBLE_EQ(analyzer_.repeatability(site_, 420, DataPattern::kRowstripe0), 1.0);
+}
+
+TEST_F(BitflipAnalysisTest, ProfilesAreDeterministic) {
+  const auto a = analyzer_.profile_row(site_, 500, DataPattern::kCheckered1);
+  const auto b = analyzer_.profile_row(site_, 500, DataPattern::kCheckered1);
+  EXPECT_EQ(a.flipped_bits, b.flipped_bits);
+}
+
+}  // namespace
+}  // namespace rh::core

@@ -1,0 +1,151 @@
+#include "core/characterizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bender/host.hpp"
+#include "common/error.hpp"
+
+namespace rh::core {
+namespace {
+
+class CharacterizerTest : public ::testing::Test {
+protected:
+  CharacterizerTest()
+      : host_(hbm::DeviceConfig{}),
+        map_(RowMap::from_device(host_.device())),
+        chr_(host_, map_) {
+    host_.device().set_temperature(85.0);
+  }
+
+  bender::BenderHost host_;
+  RowMap map_;
+  Characterizer chr_;
+};
+
+TEST_F(CharacterizerTest, BerAt256KHammersFlipsVulnerableRows) {
+  const Site site{7, 0, 0};  // most vulnerable channel
+  const auto ber = chr_.measure_ber(site, 416, DataPattern::kRowstripe0);
+  EXPECT_GT(ber.bit_errors, 0u);
+  EXPECT_EQ(ber.bits_tested, host_.device().geometry().row_bits());
+  EXPECT_GT(ber.ber(), 0.0);
+  EXPECT_LT(ber.ber(), 0.5);
+}
+
+TEST_F(CharacterizerTest, BerIsRepeatable) {
+  const Site site{7, 0, 0};
+  const auto a = chr_.measure_ber(site, 500, DataPattern::kRowstripe0);
+  const auto b = chr_.measure_ber(site, 500, DataPattern::kRowstripe0);
+  EXPECT_EQ(a.bit_errors, b.bit_errors);
+}
+
+TEST_F(CharacterizerTest, BerProgramStaysInsideTheRetentionBound) {
+  const Site site{0, 0, 0};
+  const auto ber = chr_.measure_ber(site, 100, DataPattern::kRowstripe0);
+  // §3.1: experiments finish within 27 ms.
+  EXPECT_LT(ber.elapsed_ms, 27.0);
+  EXPECT_GT(ber.elapsed_ms, 20.0);  // 256 K double-sided hammers ~ 24 ms
+}
+
+TEST_F(CharacterizerTest, OversizedHammerCountViolatesTheMethodologyGuard) {
+  const Site site{0, 0, 0};
+  EXPECT_THROW((void)chr_.measure_ber(site, 100, DataPattern::kRowstripe0, 300'000),
+               common::ConfigError);
+}
+
+TEST_F(CharacterizerTest, TheGuardCanBeLiftedForAblations) {
+  CharacterizerConfig cfg;
+  cfg.enforce_retention_bound = false;
+  Characterizer loose(host_, map_, cfg);
+  const Site site{0, 0, 0};
+  // Runs (and may collect retention flips on top) — but does not throw.
+  const auto ber = loose.measure_ber(site, 100, DataPattern::kRowstripe0, 300'000);
+  EXPECT_GT(ber.elapsed_ms, 27.0);
+}
+
+TEST_F(CharacterizerTest, HcFirstIsExactAtToleranceOne) {
+  const Site site{7, 0, 0};
+  const auto hc = chr_.measure_hc_first(site, 416, DataPattern::kRowstripe0, 1);
+  ASSERT_TRUE(hc.has_value());
+  ASSERT_GT(*hc, 1u);
+  // Exactness: no flip one hammer earlier, flip at HC_first.
+  EXPECT_EQ(chr_.measure_ber(site, 416, DataPattern::kRowstripe0, *hc - 1).bit_errors, 0u);
+  EXPECT_GT(chr_.measure_ber(site, 416, DataPattern::kRowstripe0, *hc).bit_errors, 0u);
+}
+
+TEST_F(CharacterizerTest, HcFirstToleranceBoundsTheAnswerFromAbove) {
+  const Site site{7, 0, 0};
+  const auto exact = chr_.measure_hc_first(site, 416, DataPattern::kRowstripe0, 1);
+  const auto coarse = chr_.measure_hc_first(site, 416, DataPattern::kRowstripe0, 4096);
+  ASSERT_TRUE(exact && coarse);
+  EXPECT_GE(*coarse, *exact);
+  EXPECT_LE(*coarse, *exact + 4096);
+}
+
+TEST_F(CharacterizerTest, LastSubarrayRowsAreFarHarderToFlip) {
+  // The attenuated last subarray (paper's SA Z): a row there either never
+  // flips within 256 K hammers or needs several times more hammers than the
+  // equivalent mid-bank row.
+  const Site site{0, 0, 0};
+  const std::uint32_t last_sa_row = host_.device().geometry().rows_per_bank - 416;
+  const auto mid = chr_.measure_hc_first(site, 416, DataPattern::kRowstripe0, 2048);
+  const auto last = chr_.measure_hc_first(site, last_sa_row, DataPattern::kRowstripe0, 2048);
+  ASSERT_TRUE(mid.has_value());
+  if (last.has_value()) {
+    EXPECT_GT(*last, *mid * 3);
+  } else {
+    SUCCEED();  // never flipped: even stronger attenuation
+  }
+}
+
+TEST_F(CharacterizerTest, EdgeRowsFallBackToSingleSidedHammering) {
+  const Site site{7, 0, 0};
+  const auto ber0 = chr_.measure_ber(site, 0, DataPattern::kRowstripe0);
+  const auto ber_last =
+      chr_.measure_ber(site, host_.device().geometry().rows_per_bank - 1,
+                       DataPattern::kRowstripe0);
+  // Either may flip or not (single-sided, last subarray), but both must run
+  // legally and within the bound.
+  EXPECT_LT(ber0.elapsed_ms, 27.0);
+  EXPECT_LT(ber_last.elapsed_ms, 27.0);
+}
+
+TEST_F(CharacterizerTest, CharacterizeRowPicksTheStrongestPatternAsWcdp) {
+  const Site site{7, 0, 0};
+  const RowRecord rec = chr_.characterize_row(site, 416);
+  const auto wcdp_hc = rec.hc_first[static_cast<std::size_t>(rec.wcdp)];
+  ASSERT_TRUE(wcdp_hc.has_value());
+  for (std::size_t i = 0; i < kAllPatterns.size(); ++i) {
+    if (rec.hc_first[i]) {
+      EXPECT_LE(*wcdp_hc, *rec.hc_first[i] + chr_.config().wcdp_tolerance);
+    }
+  }
+  EXPECT_EQ(rec.min_hc_first(), wcdp_hc);
+}
+
+TEST_F(CharacterizerTest, FlipDirectionsMatchThePatternByte) {
+  const Site site{7, 0, 0};
+  const auto rs0 = chr_.measure_ber(site, 416, DataPattern::kRowstripe0);
+  EXPECT_EQ(rs0.ones_to_zeros, 0u);  // all-zero victim can only flip 0 -> 1
+  EXPECT_EQ(rs0.zeros_to_ones, rs0.bit_errors);
+  const auto rs1 = chr_.measure_ber(site, 416, DataPattern::kRowstripe1);
+  EXPECT_EQ(rs1.zeros_to_ones, 0u);  // all-one victim can only flip 1 -> 0
+}
+
+TEST_F(CharacterizerTest, MoreHammersNeverFlipFewerBits) {
+  const Site site{7, 0, 0};
+  std::uint64_t prev = 0;
+  for (const std::uint64_t hammers : {65'536ULL, 131'072ULL, 262'144ULL}) {
+    const auto ber = chr_.measure_ber(site, 416, DataPattern::kRowstripe0, hammers);
+    EXPECT_GE(ber.bit_errors, prev);
+    prev = ber.bit_errors;
+  }
+}
+
+TEST_F(CharacterizerTest, RejectsDegenerateConfig) {
+  CharacterizerConfig cfg;
+  cfg.ber_hammers = 0;
+  EXPECT_THROW(Characterizer(host_, map_, cfg), common::PreconditionError);
+}
+
+}  // namespace
+}  // namespace rh::core

@@ -1,0 +1,74 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace rh::common {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> argv_tail) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), argv_tail.begin(), argv_tail.end());
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  const auto args = make({"--stride=16"});
+  EXPECT_EQ(args.get_int("stride", 0), 16);
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  const auto args = make({"--stride", "32"});
+  EXPECT_EQ(args.get_int("stride", 0), 32);
+}
+
+TEST(Cli, ParsesBooleanFlag) {
+  const auto args = make({"--full"});
+  EXPECT_TRUE(args.has("full"));
+  EXPECT_FALSE(args.has("other"));
+}
+
+TEST(Cli, KeepsPositionalArguments) {
+  const auto args = make({"input.csv", "--k=v", "output.csv"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.csv");
+  EXPECT_EQ(args.positional()[1], "output.csv");
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const auto args = make({});
+  EXPECT_EQ(args.get("name", "fallback"), "fallback");
+  EXPECT_EQ(args.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 2.5), 2.5);
+}
+
+TEST(Cli, RejectsNonNumericValues) {
+  const auto args = make({"--n=abc"});
+  EXPECT_THROW((void)args.get_int("n", 0), ConfigError);
+  const auto args2 = make({"--x=1.5zzz"});
+  EXPECT_THROW((void)args2.get_double("x", 0.0), ConfigError);
+}
+
+TEST(Cli, RejectsBareDashes) { EXPECT_THROW(make({"--"}), ConfigError); }
+
+TEST(Cli, ParsesDoubles) {
+  const auto args = make({"--temp=85.5"});
+  EXPECT_DOUBLE_EQ(args.get_double("temp", 0.0), 85.5);
+}
+
+TEST(Cli, TracksUnqueriedFlags) {
+  const auto args = make({"--used=1", "--typo=2"});
+  (void)args.get_int("used", 0);
+  const auto unqueried = args.unqueried_flags();
+  ASSERT_EQ(unqueried.size(), 1u);
+  EXPECT_EQ(unqueried[0], "typo");
+}
+
+TEST(Cli, NegativeNumbersAsValues) {
+  const auto args = make({"--offset=-12"});
+  EXPECT_EQ(args.get_int("offset", 0), -12);
+}
+
+}  // namespace
+}  // namespace rh::common

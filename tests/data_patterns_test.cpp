@@ -1,0 +1,54 @@
+#include "core/data_patterns.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rh::core {
+namespace {
+
+TEST(DataPatterns, Table1VictimBytes) {
+  EXPECT_EQ(victim_byte(DataPattern::kRowstripe0), 0x00);
+  EXPECT_EQ(victim_byte(DataPattern::kRowstripe1), 0xFF);
+  EXPECT_EQ(victim_byte(DataPattern::kCheckered0), 0x55);
+  EXPECT_EQ(victim_byte(DataPattern::kCheckered1), 0xAA);
+}
+
+TEST(DataPatterns, Table1AggressorBytes) {
+  EXPECT_EQ(aggressor_byte(DataPattern::kRowstripe0), 0xFF);
+  EXPECT_EQ(aggressor_byte(DataPattern::kRowstripe1), 0x00);
+  EXPECT_EQ(aggressor_byte(DataPattern::kCheckered0), 0xAA);
+  EXPECT_EQ(aggressor_byte(DataPattern::kCheckered1), 0x55);
+}
+
+TEST(DataPatterns, SurroundingRowsCarryTheVictimByte) {
+  // Table 1: V±[2:8] match the victim row's value.
+  for (const auto p : kAllPatterns) {
+    EXPECT_EQ(surround_byte(p), victim_byte(p));
+  }
+}
+
+TEST(DataPatterns, AggressorIsAlwaysTheVictimComplement) {
+  for (const auto p : kAllPatterns) {
+    EXPECT_EQ(aggressor_byte(p), static_cast<std::uint8_t>(~victim_byte(p)));
+  }
+}
+
+TEST(DataPatterns, NamesRoundTrip) {
+  EXPECT_EQ(to_string(DataPattern::kRowstripe0), "Rowstripe0");
+  EXPECT_EQ(to_string(DataPattern::kRowstripe1), "Rowstripe1");
+  EXPECT_EQ(to_string(DataPattern::kCheckered0), "Checkered0");
+  EXPECT_EQ(to_string(DataPattern::kCheckered1), "Checkered1");
+}
+
+TEST(DataPatterns, RowImageFillsTheWholeRow) {
+  const auto geometry = hbm::paper_geometry();
+  const auto image = make_row_image(geometry, 0x5A);
+  EXPECT_EQ(image.size(), geometry.row_bytes());
+  for (const auto b : image) EXPECT_EQ(b, 0x5A);
+}
+
+TEST(DataPatterns, AllPatternsEnumeratesFour) {
+  EXPECT_EQ(kAllPatterns.size(), 4u);
+}
+
+}  // namespace
+}  // namespace rh::core

@@ -1,0 +1,136 @@
+#include "hbm/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace rh::hbm {
+namespace {
+
+class DeviceTest : public ::testing::Test {
+protected:
+  DeviceTest() : device_(DeviceConfig{}) {}
+
+  /// Writes one column of `row` with `value` through the command interface.
+  Cycle write_col0(const BankAddress& bank, std::uint32_t row, std::uint8_t value, Cycle t) {
+    device_.activate(bank, row, t);
+    std::vector<std::uint8_t> burst(device_.geometry().bytes_per_column, value);
+    device_.write(bank, 0, burst, t + device_.timings().tRCD);
+    device_.precharge(bank, t + device_.timings().tRCD + device_.timings().tWR);
+    return t + device_.timings().tRC + device_.timings().tWR;
+  }
+
+  Device device_;
+};
+
+TEST_F(DeviceTest, CommandRoundTripThroughHierarchy) {
+  const BankAddress bank{3, 1, 7};
+  Cycle t = write_col0(bank, 42, 0x5A, 1000);
+  device_.activate(bank, 42, t);
+  std::vector<std::uint8_t> burst(device_.geometry().bytes_per_column);
+  device_.read(bank, 0, t + device_.timings().tRCD, burst);
+  for (const auto b : burst) EXPECT_EQ(b, 0x5A);
+}
+
+TEST_F(DeviceTest, ChannelsAndPseudoChannelsAreIsolated) {
+  const BankAddress a{0, 0, 0};
+  const BankAddress b{0, 1, 0};
+  const BankAddress c{1, 0, 0};
+  Cycle t = write_col0(a, 10, 0xAA, 1000);
+  // Same bank index in other channel/pc still has power-on content.
+  for (const auto& addr : {b, c}) {
+    device_.activate(addr, 10, t);
+    std::vector<std::uint8_t> burst(device_.geometry().bytes_per_column);
+    device_.read(addr, 0, t + device_.timings().tRCD, burst);
+    bool all_aa = true;
+    for (const auto byte : burst) all_aa &= (byte == 0xAA);
+    EXPECT_FALSE(all_aa);
+    device_.precharge(addr, t + device_.timings().tRAS + device_.timings().tRTP);
+    t += 2 * device_.timings().tRC;
+  }
+}
+
+TEST_F(DeviceTest, MrsTogglesEcc) {
+  EXPECT_TRUE(device_.mode_registers(0).ecc_enabled());
+  device_.mode_register_set(0, ModeRegisters::kEccRegister, 0x0, 100);
+  EXPECT_FALSE(device_.mode_registers(0).ecc_enabled());
+  EXPECT_TRUE(device_.mode_registers(1).ecc_enabled());  // per channel
+}
+
+TEST_F(DeviceTest, RefreshRequiresClosedBanks) {
+  device_.activate(BankAddress{0, 0, 0}, 5, 1000);
+  EXPECT_THROW(device_.refresh(0, 0, 2000), common::ProtocolError);
+  device_.precharge(BankAddress{0, 0, 0}, 1000 + device_.timings().tRAS);
+  device_.refresh(0, 0, 2000);
+}
+
+TEST_F(DeviceTest, ProprietaryTrrClearsVictimDisturbanceViaRefresh) {
+  const BankAddress bank{0, 0, 0};
+  const auto& trr_cfg = device_.config().trr;
+  Cycle t = 1000;
+  // Hammer, then feed REFs until the one-in-17 TRR slot fires.
+  device_.hammer_pair(bank, 99, 101, 50'000, device_.timings().tRAS,
+                      t + 100'000ULL * device_.timings().tRC);
+  t += 100'000ULL * device_.timings().tRC + device_.timings().tRP;
+  const std::uint32_t victim_physical = device_.scrambler().logical_to_physical(100);
+  ASSERT_GT(device_.bank(bank).disturbance_of_physical(victim_physical), 0.0);
+  for (std::uint32_t ref = 0; ref < trr_cfg.period; ++ref) {
+    device_.refresh(0, 0, t);
+    t += device_.timings().tRFC + 1;
+  }
+  EXPECT_DOUBLE_EQ(device_.bank(bank).disturbance_of_physical(victim_physical), 0.0);
+}
+
+TEST_F(DeviceTest, DocumentedTrrModeRefreshesAnnouncedAggressorsVictims) {
+  // Engage the documented JEDEC TRR mode on bank 2 of pseudo channel 0.
+  device_.mode_register_set(0, ModeRegisters::kTrrRegister, 0x10 | 0x2, 100);
+  const BankAddress bank{0, 0, 2};
+  Cycle t = 1000;
+  device_.hammer_pair(bank, 99, 101, 50'000, device_.timings().tRAS,
+                      t + 100'000ULL * device_.timings().tRC);
+  t += 100'000ULL * device_.timings().tRC + device_.timings().tRP;
+  // Announce the aggressors with ordinary ACTs, then one REF.
+  device_.activate(bank, 99, t);
+  device_.precharge(bank, t + device_.timings().tRAS);
+  t += device_.timings().tRC;
+  device_.refresh(0, 0, t);
+  const std::uint32_t victim_physical = device_.scrambler().logical_to_physical(100);
+  EXPECT_DOUBLE_EQ(device_.bank(bank).disturbance_of_physical(victim_physical), 0.0);
+}
+
+TEST_F(DeviceTest, TemperatureIsDeviceGlobal) {
+  device_.set_temperature(45.0);
+  EXPECT_DOUBLE_EQ(device_.temperature(), 45.0);
+}
+
+TEST_F(DeviceTest, RejectsInvalidAddresses) {
+  EXPECT_THROW(device_.activate(BankAddress{8, 0, 0}, 0, 100), common::PreconditionError);
+  EXPECT_THROW(device_.activate(BankAddress{0, 2, 0}, 0, 100), common::PreconditionError);
+  EXPECT_THROW(device_.activate(BankAddress{0, 0, 16}, 0, 100), common::PreconditionError);
+}
+
+TEST_F(DeviceTest, ScramblerIsAppliedOnTheRowPath) {
+  // With the default pair-swap mapping, logical 1 decodes to physical 2:
+  // hammering logical rows 1's *logical* neighbours does not bracket it.
+  const auto& s = device_.scrambler();
+  EXPECT_EQ(s.kind(), ScrambleKind::kPairSwap);
+  EXPECT_EQ(s.logical_to_physical(1), 2u);
+  const BankAddress bank{0, 0, 0};
+  device_.activate(bank, 1, 1000);  // physical 2: disturbs physical 1 and 3
+  const auto& b = device_.bank(bank);
+  EXPECT_GT(b.disturbance_of_physical(1), 0.0);
+  EXPECT_GT(b.disturbance_of_physical(3), 0.0);
+  EXPECT_DOUBLE_EQ(b.disturbance_of_physical(2), 0.0);
+}
+
+TEST_F(DeviceTest, RefreshSweepCoversTheBankOncePerWindow) {
+  // 8192 REFs refresh 2 rows per bank each: a full sweep of 16384 rows.
+  const auto& t = device_.timings();
+  EXPECT_EQ(t.refs_per_window * (device_.geometry().rows_per_bank / t.refs_per_window),
+            device_.geometry().rows_per_bank);
+}
+
+}  // namespace
+}  // namespace rh::hbm

@@ -1,0 +1,67 @@
+#include "hbm/ecc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace rh::hbm {
+namespace {
+
+TEST(PopcountDiff, CountsDifferingBits) {
+  const std::vector<std::uint8_t> a{0x00, 0xFF, 0x0F};
+  const std::vector<std::uint8_t> b{0x01, 0xFF, 0xF0};
+  EXPECT_EQ(popcount_diff(a, b), 1u + 0u + 8u);
+}
+
+TEST(PopcountDiff, RejectsSizeMismatch) {
+  const std::vector<std::uint8_t> a{0x00};
+  const std::vector<std::uint8_t> b{0x00, 0x00};
+  EXPECT_THROW((void)popcount_diff(a, b), common::PreconditionError);
+}
+
+TEST(EccCorrectRead, LeavesCleanDataAlone) {
+  std::vector<std::uint8_t> raw(16, 0xA5);
+  const std::vector<std::uint8_t> written(16, 0xA5);
+  EXPECT_EQ(ecc_correct_read(raw, written), 0u);
+  EXPECT_EQ(raw, written);
+}
+
+TEST(EccCorrectRead, CorrectsSingleBitPerCodeword) {
+  std::vector<std::uint8_t> raw(16, 0x00);
+  const std::vector<std::uint8_t> written(16, 0x00);
+  raw[3] = 0x10;   // one flip in word 0
+  raw[9] = 0x02;   // one flip in word 1
+  EXPECT_EQ(ecc_correct_read(raw, written), 2u);
+  EXPECT_EQ(raw, written);
+}
+
+TEST(EccCorrectRead, LeavesDoubleErrorsUncorrected) {
+  std::vector<std::uint8_t> raw(8, 0x00);
+  const std::vector<std::uint8_t> written(8, 0x00);
+  raw[0] = 0x03;  // two flips in the same 64-bit word
+  EXPECT_EQ(ecc_correct_read(raw, written), 0u);
+  EXPECT_EQ(raw[0], 0x03);
+}
+
+TEST(EccCorrectRead, MixedWords) {
+  std::vector<std::uint8_t> raw(24, 0xFF);
+  const std::vector<std::uint8_t> written(24, 0xFF);
+  raw[1] ^= 0x01;          // word 0: 1 flip -> corrected
+  raw[8] ^= 0x81;          // word 1: 2 flips -> kept
+  raw[23] ^= 0x40;         // word 2: 1 flip -> corrected
+  EXPECT_EQ(ecc_correct_read(raw, written), 2u);
+  EXPECT_EQ(raw[1], 0xFF);
+  EXPECT_EQ(raw[8], 0xFF ^ 0x81);
+  EXPECT_EQ(raw[23], 0xFF);
+}
+
+TEST(EccCorrectRead, RejectsNonCodewordSizes) {
+  std::vector<std::uint8_t> raw(7, 0);
+  const std::vector<std::uint8_t> written(7, 0);
+  EXPECT_THROW((void)ecc_correct_read(raw, written), common::PreconditionError);
+}
+
+}  // namespace
+}  // namespace rh::hbm

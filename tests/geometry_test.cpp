@@ -1,0 +1,88 @@
+#include "hbm/geometry.hpp"
+#include "hbm/address.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace rh::hbm {
+namespace {
+
+TEST(Geometry, PaperDeviceMatchesSection3) {
+  const Geometry g = paper_geometry();
+  EXPECT_EQ(g.channels, 8u);
+  EXPECT_EQ(g.pseudo_channels_per_channel, 2u);
+  EXPECT_EQ(g.banks_per_pseudo_channel, 16u);
+  EXPECT_EQ(g.rows_per_bank, 16384u);
+  EXPECT_EQ(g.columns_per_row, 32u);
+}
+
+TEST(Geometry, StackDensityIsFourGiB) {
+  EXPECT_EQ(paper_geometry().stack_bytes(), 4ULL * 1024 * 1024 * 1024);
+}
+
+TEST(Geometry, RowIsOneKiB) {
+  const Geometry g = paper_geometry();
+  EXPECT_EQ(g.row_bytes(), 1024u);
+  EXPECT_EQ(g.row_bits(), 8192u);
+}
+
+TEST(Geometry, TotalBanksMatchFigure6) {
+  // Fig. 6 plots 256 banks: 8 channels x 2 pseudo channels x 16 banks.
+  EXPECT_EQ(paper_geometry().total_banks(), 256u);
+}
+
+TEST(Geometry, ChannelsMapPairwiseOntoDies) {
+  const Geometry g = paper_geometry();
+  EXPECT_EQ(g.channels_per_die(), 2u);
+  EXPECT_EQ(g.die_of_channel(0), 0u);
+  EXPECT_EQ(g.die_of_channel(1), 0u);
+  EXPECT_EQ(g.die_of_channel(6), 3u);
+  EXPECT_EQ(g.die_of_channel(7), 3u);
+}
+
+TEST(Geometry, DieOfChannelRejectsOutOfRange) {
+  EXPECT_THROW((void)paper_geometry().die_of_channel(8), common::PreconditionError);
+}
+
+TEST(Geometry, ValidateRejectsDegenerateShapes) {
+  Geometry g = paper_geometry();
+  g.channels = 0;
+  EXPECT_THROW(g.validate(), common::PreconditionError);
+
+  Geometry g2 = paper_geometry();
+  g2.dies = 3;  // 8 channels not divisible by 3 dies
+  EXPECT_THROW(g2.validate(), common::PreconditionError);
+}
+
+TEST(BankAddress, FlatIndexIsBijectiveOverTheStack) {
+  const Geometry g = paper_geometry();
+  std::vector<bool> seen(g.total_banks(), false);
+  for (std::uint32_t ch = 0; ch < g.channels; ++ch) {
+    for (std::uint32_t pc = 0; pc < g.pseudo_channels_per_channel; ++pc) {
+      for (std::uint32_t bank = 0; bank < g.banks_per_pseudo_channel; ++bank) {
+        const std::uint32_t flat = BankAddress{ch, pc, bank}.flat_index(g);
+        ASSERT_LT(flat, seen.size());
+        EXPECT_FALSE(seen[flat]);
+        seen[flat] = true;
+      }
+    }
+  }
+}
+
+TEST(BankAddress, ValidChecksEveryField) {
+  const Geometry g = paper_geometry();
+  EXPECT_TRUE((BankAddress{7, 1, 15}.valid(g)));
+  EXPECT_FALSE((BankAddress{8, 0, 0}.valid(g)));
+  EXPECT_FALSE((BankAddress{0, 2, 0}.valid(g)));
+  EXPECT_FALSE((BankAddress{0, 0, 16}.valid(g)));
+}
+
+TEST(RowAddress, ValidChecksRowRange) {
+  const Geometry g = paper_geometry();
+  EXPECT_TRUE((RowAddress{{0, 0, 0}, 16383}.valid(g)));
+  EXPECT_FALSE((RowAddress{{0, 0, 0}, 16384}.valid(g)));
+}
+
+}  // namespace
+}  // namespace rh::hbm

@@ -1,0 +1,77 @@
+#include "bender/host.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/data_patterns.hpp"
+
+namespace rh::bender {
+namespace {
+
+class HostTest : public ::testing::Test {
+protected:
+  HostTest() : host_(hbm::DeviceConfig{}) {}
+  BenderHost host_;
+};
+
+TEST_F(HostTest, ClockAdvancesWithEachProgram) {
+  ProgramBuilder b(host_.device().geometry(), host_.device().timings());
+  b.sleep(1000);
+  const hbm::Cycle before = host_.now();
+  const auto result = host_.run(b.take(), 0, 0);
+  EXPECT_EQ(result.start_cycle, before);
+  EXPECT_EQ(host_.now(), result.end_cycle);
+  EXPECT_GE(host_.now() - before, 1000u);
+}
+
+TEST_F(HostTest, IdleAdvancesTimeWithoutCommands) {
+  const hbm::Cycle before = host_.now();
+  host_.idle_ms(5.0);
+  EXPECT_EQ(host_.now() - before, hbm::ms_to_cycles(5.0));
+}
+
+TEST_F(HostTest, ConsecutiveProgramsSeeMonotoneTime) {
+  ProgramBuilder b1(host_.device().geometry(), host_.device().timings());
+  b1.program().set_wide_register(0, core::make_row_image(host_.device().geometry(), 0x77));
+  b1.init_row(0, 9, 0);
+  (void)host_.run(b1.take(), 0, 0);
+
+  // A second program can legally re-activate the same bank because the
+  // clock carried over (tRP / tRC already elapsed inside program 1's tail).
+  ProgramBuilder b2(host_.device().geometry(), host_.device().timings());
+  b2.read_row(0, 9);
+  const auto result = host_.run(b2.take(), 0, 0);
+  for (const auto byte : result.readback) EXPECT_EQ(byte, 0x77);
+}
+
+TEST_F(HostTest, SetChipTemperatureDrivesTheRigAndDevice) {
+  host_.set_chip_temperature(85.0);
+  EXPECT_NEAR(host_.device().temperature(), 85.0, 0.6);
+  EXPECT_NEAR(host_.thermal().temperature(), host_.device().temperature(), 1e-9);
+  const hbm::Cycle after_heat = host_.now();
+  EXPECT_GT(after_heat, 0u);  // heating took simulated wall-clock time
+  host_.set_chip_temperature(45.0);
+  EXPECT_NEAR(host_.device().temperature(), 45.0, 0.6);
+}
+
+TEST_F(HostTest, RetentionAccruesAcrossIdle) {
+  // Write a row, idle far beyond the refresh window, read it back: decay.
+  const auto& geometry = host_.device().geometry();
+  ProgramBuilder init(geometry, host_.device().timings());
+  init.program().set_wide_register(0, core::make_row_image(geometry, 0x00));
+  init.init_row(0, 500, 0);
+  (void)host_.run(init.take(), 0, 0);
+
+  host_.idle_ms(60'000.0);
+
+  ProgramBuilder read(geometry, host_.device().timings());
+  read.read_row(0, 500);
+  const auto result = host_.run(read.take(), 0, 0);
+  std::uint64_t flips = 0;
+  for (const auto byte : result.readback) {
+    flips += static_cast<std::uint64_t>(std::popcount(static_cast<unsigned>(byte)));
+  }
+  EXPECT_GT(flips, 0u);
+}
+
+}  // namespace
+}  // namespace rh::bender

@@ -1,0 +1,159 @@
+// Cross-module integration: the whole stack driven the way a user would
+// drive it, plus the paper's methodology invariants that only hold when all
+// the layers cooperate.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "bender/host.hpp"
+#include "core/characterizer.hpp"
+#include "core/data_patterns.hpp"
+#include "core/row_map.hpp"
+
+namespace rh {
+namespace {
+
+TEST(Integration, EndToEndQuickstartFlow) {
+  // Power up, heat to 85 degC, reverse engineer the row decoder, measure a
+  // row: the examples/quickstart.cpp flow, asserted.
+  bender::BenderHost host{hbm::DeviceConfig{}};
+  host.set_chip_temperature(85.0);
+  const core::Site site{7, 0, 0};
+
+  const core::RowMap recovered = core::reverse_engineer_window(host, site, 128, 64);
+  core::Characterizer chr(host, recovered);
+  const auto record = chr.characterize_row(site, 416);
+  EXPECT_GT(record.wcdp_ber().ber(), 0.0);
+  EXPECT_TRUE(record.min_hc_first().has_value());
+}
+
+TEST(Integration, HammeringOneChannelNeverDisturbsAnother) {
+  // A6 (paper §6, future work 3): no cross-channel interference.
+  bender::BenderHost host{hbm::DeviceConfig{}};
+  host.device().set_temperature(85.0);
+  const core::RowMap map = core::RowMap::from_device(host.device());
+  const auto& geometry = host.device().geometry();
+
+  // Initialize a victim row in channel 2.
+  bender::ProgramBuilder init(geometry, host.device().timings());
+  init.mrs(hbm::ModeRegisters::kEccRegister, 0x0);
+  init.program().set_wide_register(0, core::make_row_image(geometry, 0x00));
+  init.init_row(0, map.physical_to_logical(2048), 0);
+  (void)host.run(init.take(), 2, 0);
+
+  // Hammer the same coordinates, hard, in channel 5.
+  core::Characterizer chr(host, map);
+  (void)chr.measure_ber(core::Site{5, 0, 0}, 2048, core::DataPattern::kRowstripe0);
+
+  // Channel 2's row is untouched.
+  bender::ProgramBuilder read(geometry, host.device().timings());
+  read.read_row(0, map.physical_to_logical(2048));
+  const auto result = host.run(read.take(), 2, 0);
+  for (const auto byte : result.readback) EXPECT_EQ(byte, 0x00);
+}
+
+TEST(Integration, DisablingRefreshDisablesTheOnDieMitigation) {
+  // §3.1: "disabling periodic refresh disables all known on-die RH defense
+  // mechanisms" — characterization results must be identical whether or not
+  // the chip ships the proprietary TRR, because no REF is ever issued.
+  hbm::DeviceConfig with_trr;
+  hbm::DeviceConfig without_trr;
+  without_trr.trr.enabled = false;
+
+  auto measure = [](const hbm::DeviceConfig& cfg) {
+    bender::BenderHost host{cfg};
+    host.device().set_temperature(85.0);
+    core::Characterizer chr(host, core::RowMap::from_device(host.device()));
+    return chr.measure_ber(core::Site{7, 0, 0}, 500, core::DataPattern::kRowstripe0).bit_errors;
+  };
+  EXPECT_EQ(measure(with_trr), measure(without_trr));
+}
+
+TEST(Integration, EccOnMasksWhatEccOffReveals) {
+  // The reason §3.1 disables ECC: with the mode register left at its
+  // power-on default (ECC on), the same hammering shows fewer bitflips.
+  bender::BenderHost host{hbm::DeviceConfig{}};
+  host.device().set_temperature(85.0);
+  const core::RowMap map = core::RowMap::from_device(host.device());
+  const auto& geometry = host.device().geometry();
+  const core::Site site{7, 0, 0};
+  const std::uint32_t victim = 420;
+
+  auto run_once = [&](bool ecc_on) {
+    bender::ProgramBuilder b(geometry, host.device().timings());
+    b.mrs(hbm::ModeRegisters::kEccRegister, ecc_on ? 0x1 : 0x0);
+    b.program().set_wide_register(0, core::make_row_image(geometry, 0x00));
+    b.program().set_wide_register(1, core::make_row_image(geometry, 0xFF));
+    for (std::uint32_t p = victim - 2; p <= victim + 2; ++p) {
+      const bool agg = (p == victim - 1 || p == victim + 1);
+      b.init_row(0, map.physical_to_logical(p), agg ? 1 : 0);
+    }
+    b.ldi(0, map.physical_to_logical(victim - 1));
+    b.ldi(1, map.physical_to_logical(victim + 1));
+    b.hammer(0, 0, 1, 80'000);
+    b.read_row(0, map.physical_to_logical(victim));
+    const auto result = host.run(b.take(), site.channel, site.pseudo_channel);
+    std::uint64_t flips = 0;
+    for (const auto byte : result.readback) {
+      flips += static_cast<std::uint64_t>(std::popcount(static_cast<unsigned>(byte)));
+    }
+    return flips;
+  };
+
+  const std::uint64_t raw = run_once(false);
+  const std::uint64_t corrected = run_once(true);
+  ASSERT_GT(raw, 0u);
+  EXPECT_LT(corrected, raw);
+}
+
+TEST(Integration, BerExperimentLeavesSurroundingRowsMostlyIntact) {
+  // Blast radius sanity: rows at distance >= 3 from the victim keep their
+  // initialization value through a full 256 K-hammer experiment.
+  bender::BenderHost host{hbm::DeviceConfig{}};
+  host.device().set_temperature(85.0);
+  const core::RowMap map = core::RowMap::from_device(host.device());
+  core::Characterizer chr(host, map);
+  const core::Site site{7, 0, 0};
+  const std::uint32_t victim = 416;
+  (void)chr.measure_ber(site, victim, core::DataPattern::kRowstripe0);
+
+  const auto& geometry = host.device().geometry();
+  bender::ProgramBuilder read(geometry, host.device().timings());
+  read.mrs(hbm::ModeRegisters::kEccRegister, 0x0);
+  for (const std::uint32_t p : {victim - 5, victim + 5}) {
+    read.read_row(0, map.physical_to_logical(p));
+  }
+  const auto result = host.run(read.take(), site.channel, site.pseudo_channel);
+  std::uint64_t flips = 0;
+  for (const auto byte : result.readback) {
+    flips += static_cast<std::uint64_t>(std::popcount(static_cast<unsigned>(byte)));
+  }
+  EXPECT_EQ(flips, 0u);
+}
+
+TEST(Integration, SeedChangesTheChipButNotTheShape) {
+  // Two different "chips" (seeds) give different per-row numbers but the
+  // same qualitative ordering (ch7 worse than ch0).
+  auto mean_ber = [](std::uint64_t seed, std::uint32_t channel) {
+    hbm::DeviceConfig cfg;
+    cfg.fault.seed = seed;
+    bender::BenderHost host{cfg};
+    host.device().set_temperature(85.0);
+    core::Characterizer chr(host, core::RowMap::from_device(host.device()));
+    double sum = 0.0;
+    for (std::uint32_t i = 0; i < 6; ++i) {
+      sum += chr.measure_ber(core::Site{channel, 0, 0}, 400 + i * 31,
+                             core::DataPattern::kRowstripe0)
+                 .ber();
+    }
+    return sum / 6.0;
+  };
+  const double chip_a_ch7 = mean_ber(111, 7);
+  const double chip_b_ch7 = mean_ber(222, 7);
+  EXPECT_NE(chip_a_ch7, chip_b_ch7);
+  EXPECT_GT(mean_ber(111, 7), mean_ber(111, 0));
+  EXPECT_GT(mean_ber(222, 7), mean_ber(222, 0));
+}
+
+}  // namespace
+}  // namespace rh

@@ -1,0 +1,46 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rh::common {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+protected:
+  void TearDown() override { set_log_level(LogLevel::kWarn); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, EmitsToStderrWhenEnabled) {
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  log_info("hello ", 42);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("hello 42"), std::string::npos);
+  EXPECT_NE(err.find("INFO"), std::string::npos);
+}
+
+TEST_F(LoggingTest, SuppressesBelowThreshold) {
+  set_log_level(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  log_debug("quiet");
+  log_info("quiet");
+  log_warn("quiet");
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  ::testing::internal::CaptureStderr();
+  log_error("still quiet");
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+}  // namespace
+}  // namespace rh::common

@@ -1,0 +1,61 @@
+#include "hbm/mode_registers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace rh::hbm {
+namespace {
+
+TEST(ModeRegisters, PowerOnDefaultsEnableEccDisableTrrMode) {
+  const ModeRegisters mrs;
+  EXPECT_TRUE(mrs.ecc_enabled());
+  EXPECT_FALSE(mrs.trr_mode_enabled());
+}
+
+TEST(ModeRegisters, EccBitClearsAsThePaperDoes) {
+  // §3.1: "we disable ECC by setting the corresponding HBM2 mode register
+  // bit to zero".
+  ModeRegisters mrs;
+  mrs.set(ModeRegisters::kEccRegister, 0x0);
+  EXPECT_FALSE(mrs.ecc_enabled());
+  mrs.set(ModeRegisters::kEccRegister, 0x1);
+  EXPECT_TRUE(mrs.ecc_enabled());
+}
+
+TEST(ModeRegisters, TrrModeFieldsDecode) {
+  ModeRegisters mrs;
+  mrs.set(ModeRegisters::kTrrRegister, 0x10 | 0x5);
+  EXPECT_TRUE(mrs.trr_mode_enabled());
+  EXPECT_EQ(mrs.trr_mode_bank(), 5u);
+  EXPECT_FALSE(mrs.trr_mode_pseudo_channel());
+
+  mrs.set(ModeRegisters::kTrrRegister, 0x30 | 0xF);
+  EXPECT_TRUE(mrs.trr_mode_enabled());
+  EXPECT_EQ(mrs.trr_mode_bank(), 15u);
+  EXPECT_TRUE(mrs.trr_mode_pseudo_channel());
+}
+
+TEST(ModeRegisters, ValuesTruncateToOneByte) {
+  ModeRegisters mrs;
+  mrs.set(3, 0x1ff);
+  EXPECT_EQ(mrs.get(3), 0xffu);
+}
+
+TEST(ModeRegisters, RejectsOutOfRangeRegister) {
+  ModeRegisters mrs;
+  EXPECT_THROW(mrs.set(16, 0), common::PreconditionError);
+  EXPECT_THROW((void)mrs.get(16), common::PreconditionError);
+}
+
+TEST(ModeRegisters, IndependentRegisters) {
+  ModeRegisters mrs;
+  mrs.set(0, 0xaa);
+  mrs.set(1, 0x55);
+  EXPECT_EQ(mrs.get(0), 0xaau);
+  EXPECT_EQ(mrs.get(1), 0x55u);
+  EXPECT_TRUE(mrs.ecc_enabled());  // untouched
+}
+
+}  // namespace
+}  // namespace rh::hbm

@@ -1,0 +1,88 @@
+#include "fault/process_variation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/config.hpp"
+#include "hbm/geometry.hpp"
+
+namespace rh::fault {
+namespace {
+
+class ProcessVariationTest : public ::testing::Test {
+protected:
+  FaultConfig cfg_{};
+  hbm::Geometry geometry_ = hbm::paper_geometry();
+  ProcessVariation pv_{cfg_, geometry_};
+
+  BankContext bank(std::uint32_t ch, std::uint32_t pc = 0, std::uint32_t b = 0) const {
+    return BankContext::from(geometry_, hbm::BankAddress{ch, pc, b});
+  }
+};
+
+TEST_F(ProcessVariationTest, ChannelFactorsFollowDieOrdering) {
+  // Channels 6-7 (die 3) must be the most vulnerable (paper Figs. 3-4).
+  const double ch0 = pv_.channel_factor(0);
+  const double ch7 = pv_.channel_factor(7);
+  EXPECT_GT(ch7, ch0);
+  EXPECT_GT(ch7 / ch0, 1.1);
+  EXPECT_LT(ch7 / ch0, 1.8);
+}
+
+TEST_F(ProcessVariationTest, ChannelsOnOneDieAreCloserThanAcrossDies) {
+  // The paper highlights channel *pairs* (same die) behaving alike.
+  const double within = std::abs(pv_.channel_factor(6) - pv_.channel_factor(7));
+  const double across = std::abs(pv_.channel_factor(7) - pv_.channel_factor(0));
+  EXPECT_LT(within, across);
+}
+
+TEST_F(ProcessVariationTest, BankFactorsInheritChannelFactor) {
+  for (std::uint32_t b = 0; b < geometry_.banks_per_pseudo_channel; ++b) {
+    const double f = pv_.bank_factor(bank(7, 0, b));
+    EXPECT_NEAR(f, pv_.channel_factor(7), pv_.channel_factor(7) * 0.2);
+  }
+}
+
+TEST_F(ProcessVariationTest, BankJitterIsSmallButPresent) {
+  bool any_diff = false;
+  for (std::uint32_t b = 1; b < geometry_.banks_per_pseudo_channel; ++b) {
+    if (pv_.bank_factor(bank(0, 0, b)) != pv_.bank_factor(bank(0, 0, 0))) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(ProcessVariationTest, RowJitterIsDeterministicAndBounded) {
+  const auto b = bank(3);
+  for (std::uint32_t row = 0; row < 4096; row += 111) {
+    const double j1 = pv_.row_jitter(b, row);
+    const double j2 = pv_.row_jitter(b, row);
+    EXPECT_DOUBLE_EQ(j1, j2);
+    EXPECT_GT(j1, 0.4);
+    EXPECT_LT(j1, 2.5);
+  }
+}
+
+TEST_F(ProcessVariationTest, RowJitterVariesAcrossRowsAndBanks) {
+  const auto b0 = bank(0, 0, 0);
+  const auto b1 = bank(0, 0, 1);
+  EXPECT_NE(pv_.row_jitter(b0, 10), pv_.row_jitter(b0, 11));
+  EXPECT_NE(pv_.row_jitter(b0, 10), pv_.row_jitter(b1, 10));
+}
+
+TEST_F(ProcessVariationTest, DifferentSeedsGiveDifferentFabs) {
+  FaultConfig other = cfg_;
+  other.seed ^= 0x1111;
+  const ProcessVariation pv2(other, geometry_);
+  EXPECT_NE(pv_.channel_factor(0), pv2.channel_factor(0));
+}
+
+TEST_F(ProcessVariationTest, MeanRowJitterIsAboutUnity) {
+  const auto b = bank(1);
+  double sum = 0.0;
+  const int n = 2000;
+  for (int row = 0; row < n; ++row) sum += pv_.row_jitter(b, static_cast<std::uint32_t>(row));
+  // Lognormal with small sigma: mean ~ exp(sigma^2/2) ~ 1.02.
+  EXPECT_NEAR(sum / n, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace rh::fault

@@ -1,0 +1,129 @@
+#include "fault/retention_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/cell_traits.hpp"
+#include "hbm/geometry.hpp"
+
+namespace rh::fault {
+namespace {
+
+class RetentionModelTest : public ::testing::Test {
+protected:
+  BankContext bank(std::uint32_t ch = 0) const {
+    return BankContext::from(geometry_, hbm::BankAddress{ch, 0, 0});
+  }
+
+  std::size_t flips(std::uint32_t row, std::uint8_t value, double elapsed_s,
+                    double temp = 85.0) const {
+    std::vector<std::uint8_t> data(geometry_.row_bytes(), value);
+    return model_.apply(bank(), row, data, elapsed_s, temp);
+  }
+
+  FaultConfig cfg_{};
+  hbm::Geometry geometry_ = hbm::paper_geometry();
+  RetentionModel model_{cfg_, geometry_};
+};
+
+TEST_F(RetentionModelTest, ShortWaitsNeverDecay) {
+  // The paper's 27 ms experiment budget must be retention-safe at 85 degC.
+  EXPECT_EQ(flips(100, 0x00, 0.027), 0u);
+  EXPECT_EQ(flips(100, 0xFF, 0.027), 0u);
+}
+
+TEST_F(RetentionModelTest, GlobalMinBoundIsSound) {
+  const double bound = model_.global_min_retention_s(85.0);
+  EXPECT_GT(bound, 0.027);  // paper's methodology bound fits under it
+  for (std::uint32_t r = 0; r < 2000; r += 173) {
+    EXPECT_EQ(flips(r, 0x00, bound * 0.99), 0u) << "row " << r;
+  }
+}
+
+TEST_F(RetentionModelTest, LongWaitsDecayManyCells) {
+  EXPECT_GT(flips(100, 0x00, 600.0), 1000u);
+}
+
+TEST_F(RetentionModelTest, FlipCountIsMonotoneInElapsed) {
+  std::size_t prev = 0;
+  for (const double s : {0.05, 0.2, 1.0, 5.0, 25.0}) {
+    const std::size_t f = flips(100, 0x00, s);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST_F(RetentionModelTest, HeatHalvesRetention) {
+  // Same wait decays more at higher temperature (halving per +10 degC).
+  const double wait = 0.4;
+  EXPECT_GE(flips(100, 0x00, wait, 95.0), flips(100, 0x00, wait, 85.0));
+  EXPECT_GE(flips(100, 0x00, wait, 85.0), flips(100, 0x00, wait, 65.0));
+  // Quantitatively: t at 75C = 2x t at 85C.
+  EXPECT_NEAR(model_.cell_retention_s(bank(), 5, 3, 75.0),
+              2.0 * model_.cell_retention_s(bank(), 5, 3, 85.0), 1e-9);
+}
+
+TEST_F(RetentionModelTest, OnlyChargedCellsDecay) {
+  // A cell stores its charged value or its discharged value; decay flips
+  // charged cells only, so an all-zero row and an all-one row decay
+  // *different* (complementary) cell populations.
+  std::vector<std::uint8_t> zeros(geometry_.row_bytes(), 0x00);
+  std::vector<std::uint8_t> ones(geometry_.row_bytes(), 0xFF);
+  const double wait = 40.0;
+  model_.apply(bank(), 100, zeros, wait, 85.0);
+  model_.apply(bank(), 100, ones, wait, 85.0);
+  for (std::size_t i = 0; i < zeros.size(); ++i) {
+    // A bit cannot have decayed in both experiments: decayed-from-zero means
+    // the cell is anti (charged at 0), decayed-from-one means true.
+    const std::uint8_t decayed_from_zero = zeros[i];          // 0 -> 1 flips
+    const std::uint8_t decayed_from_one = static_cast<std::uint8_t>(~ones[i]);  // 1 -> 0 flips
+    EXPECT_EQ(decayed_from_zero & decayed_from_one, 0) << "byte " << i;
+  }
+}
+
+TEST_F(RetentionModelTest, DecayDirectionMatchesOrientation) {
+  std::vector<std::uint8_t> zeros(geometry_.row_bytes(), 0x00);
+  model_.apply(bank(), 100, zeros, 40.0, 85.0);
+  for (std::size_t i = 0; i < zeros.size(); ++i) {
+    for (std::uint32_t j = 0; j < 8; ++j) {
+      if ((zeros[i] >> j) & 1) {
+        const auto bit = static_cast<std::uint32_t>(i) * 8 + j;
+        EXPECT_TRUE(is_anti_cell(cfg_.seed, bank(), 100, bit, cfg_.anti_cell_fraction))
+            << "bit " << bit << " flipped 0->1 but is a true cell";
+      }
+    }
+  }
+}
+
+TEST_F(RetentionModelTest, RowMinRetentionIsConsistentWithApply) {
+  const double t_min = model_.row_min_retention_s(bank(), 321, 85.0);
+  EXPECT_EQ(flips(321, 0x00, t_min * 0.95) + flips(321, 0xFF, t_min * 0.95), 0u);
+  EXPECT_GT(flips(321, 0x00, t_min * 1.05) + flips(321, 0xFF, t_min * 1.05), 0u);
+}
+
+TEST_F(RetentionModelTest, RowMinRetentionSuitsUtrrTimescales) {
+  // §5 relies on profiling rows with usable retention times; typical
+  // per-row minima should be fractions of a second to seconds at 85 degC.
+  double lo = 1e18;
+  double hi = 0.0;
+  for (std::uint32_t r = 0; r < 64; ++r) {
+    const double t = model_.row_min_retention_s(bank(), 4096 + r, 85.0);
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  EXPECT_GT(lo, 0.03);
+  EXPECT_LT(lo, 2.0);
+  EXPECT_LT(hi, 60.0);
+}
+
+TEST_F(RetentionModelTest, ApplyIsDeterministic) {
+  std::vector<std::uint8_t> a(geometry_.row_bytes(), 0x00);
+  std::vector<std::uint8_t> b(geometry_.row_bytes(), 0x00);
+  model_.apply(bank(), 77, a, 3.0, 85.0);
+  model_.apply(bank(), 77, b, 3.0, 85.0);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace rh::fault

@@ -1,0 +1,74 @@
+#include "core/retention_profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bender/host.hpp"
+#include "fault/context.hpp"
+
+namespace rh::core {
+namespace {
+
+class RetentionProfilerTest : public ::testing::Test {
+protected:
+  RetentionProfilerTest()
+      : host_(hbm::DeviceConfig{}), map_(RowMap::from_device(host_.device())),
+        profiler_(host_, map_) {
+    host_.device().set_temperature(85.0);
+  }
+
+  bender::BenderHost host_;
+  RowMap map_;
+  RetentionProfiler profiler_;
+};
+
+TEST_F(RetentionProfilerTest, NoFlipsWithinTheRefreshWindow) {
+  const Site site{0, 0, 0};
+  EXPECT_EQ(profiler_.flips_after(site, 4000, 27.0), 0u);
+}
+
+TEST_F(RetentionProfilerTest, FlipsAppearAfterLongWaits) {
+  const Site site{0, 0, 0};
+  EXPECT_GT(profiler_.flips_after(site, 4000, 60'000.0), 0u);
+}
+
+TEST_F(RetentionProfilerTest, FlipsAfterIsMonotone) {
+  const Site site{0, 0, 0};
+  std::uint64_t prev = 0;
+  for (const double wait : {100.0, 1'000.0, 10'000.0, 60'000.0}) {
+    const std::uint64_t f = profiler_.flips_after(site, 4000, wait);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST_F(RetentionProfilerTest, ProfileBracketsTheModelsRowMinimum) {
+  const Site site{0, 0, 0};
+  const std::uint32_t physical = 4096;
+  const auto profile = profiler_.profile(site, physical);
+  ASSERT_TRUE(profile.has_value());
+  EXPECT_GT(profile->flips, 0u);
+  // Ground truth from the fault model (all-zero pattern decays anti cells,
+  // so the boundary is the weakest *anti* cell; the model's row minimum over
+  // all cells is a lower bound).
+  const auto ctx =
+      fault::BankContext::from(host_.device().geometry(), hbm::BankAddress{0, 0, 0});
+  const double t_min_s =
+      host_.device().retention_model().row_min_retention_s(ctx, physical, 85.0);
+  EXPECT_GE(profile->retention_ms * 1.1, t_min_s * 1e3);
+  EXPECT_LT(profile->retention_ms, t_min_s * 1e3 * 64.0);
+}
+
+TEST_F(RetentionProfilerTest, ProfiledTimeSeparatesCleanFromDecayed) {
+  const Site site{0, 0, 0};
+  const auto profile = profiler_.profile(site, 5000);
+  ASSERT_TRUE(profile.has_value());
+  EXPECT_EQ(profiler_.flips_after(site, 5000, profile->retention_ms * 0.45), 0u);
+  EXPECT_GT(profiler_.flips_after(site, 5000, profile->retention_ms * 1.05), 0u);
+}
+
+TEST_F(RetentionProfilerTest, RejectsNonPositiveWaits) {
+  EXPECT_THROW((void)profiler_.profile(Site{0, 0, 0}, 100, 0.0), common::PreconditionError);
+}
+
+}  // namespace
+}  // namespace rh::core

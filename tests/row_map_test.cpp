@@ -1,0 +1,162 @@
+#include "core/row_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bender/host.hpp"
+#include "common/error.hpp"
+
+namespace rh::core {
+namespace {
+
+hbm::DeviceConfig config_with(hbm::ScrambleKind kind) {
+  hbm::DeviceConfig cfg;
+  cfg.scramble = kind;
+  return cfg;
+}
+
+TEST(RowMap, IdentityByDefault) {
+  const RowMap map(64);
+  for (std::uint32_t r = 0; r < 64; ++r) {
+    EXPECT_EQ(map.logical_to_physical(r), r);
+    EXPECT_EQ(map.physical_to_logical(r), r);
+  }
+}
+
+TEST(RowMap, SetMaintainsBothDirections) {
+  RowMap map(8);
+  map.set(1, 2);
+  map.set(2, 1);
+  EXPECT_EQ(map.logical_to_physical(1), 2u);
+  EXPECT_EQ(map.physical_to_logical(2), 1u);
+  EXPECT_EQ(map.logical_to_physical(2), 1u);
+}
+
+TEST(RowMap, FromDeviceMatchesTheScrambler) {
+  const hbm::Device device(config_with(hbm::ScrambleKind::kPairSwap));
+  const RowMap map = RowMap::from_device(device);
+  for (std::uint32_t r = 0; r < device.geometry().rows_per_bank; r += 101) {
+    EXPECT_EQ(map.logical_to_physical(r), device.scrambler().logical_to_physical(r));
+  }
+}
+
+TEST(ProbeAdjacency, FindsThePhysicalNeighbours) {
+  bender::BenderHost host(config_with(hbm::ScrambleKind::kPairSwap));
+  host.device().set_temperature(85.0);
+  const Site site{0, 0, 0};
+  // Logical 101 is physical 102; its physical neighbours 101 and 103 are
+  // logical 102 and 103.
+  const auto probe = probe_adjacency(host, site, 101);
+  auto victims = probe.victims_logical;
+  std::sort(victims.begin(), victims.end());
+  EXPECT_EQ(victims, (std::vector<std::uint32_t>{102, 103}));
+}
+
+TEST(ProbeAdjacency, IdentityMappingYieldsLogicalNeighbours) {
+  bender::BenderHost host(config_with(hbm::ScrambleKind::kIdentity));
+  const Site site{0, 0, 0};
+  const auto probe = probe_adjacency(host, site, 200);
+  auto victims = probe.victims_logical;
+  std::sort(victims.begin(), victims.end());
+  EXPECT_EQ(victims, (std::vector<std::uint32_t>{199, 201}));
+}
+
+class ReverseEngineering : public ::testing::TestWithParam<hbm::ScrambleKind> {};
+
+TEST_P(ReverseEngineering, RecoversTheDecoderFamily) {
+  bender::BenderHost host(config_with(GetParam()));
+  const Site site{0, 0, 0};
+  const RowMap recovered = reverse_engineer_window(host, site, 96, 64);
+  for (std::uint32_t logical = 0; logical < host.device().geometry().rows_per_bank;
+       logical += 127) {
+    EXPECT_EQ(recovered.logical_to_physical(logical),
+              host.device().scrambler().logical_to_physical(logical))
+        << "logical row " << logical;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ReverseEngineering,
+                         ::testing::Values(hbm::ScrambleKind::kIdentity,
+                                           hbm::ScrambleKind::kPairSwap,
+                                           hbm::ScrambleKind::kXorFold),
+                         [](const auto& info) {
+                           std::string name(to_string(info.param));
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+class ExactReverseEngineering : public ::testing::TestWithParam<hbm::ScrambleKind> {};
+
+TEST_P(ExactReverseEngineering, RecoversTheWindowWithoutFamilyKnowledge) {
+  bender::BenderHost host(config_with(GetParam()));
+  const Site site{0, 0, 0};
+  const std::uint32_t first = 96;
+  const std::uint32_t count = 24;
+  const RowMap recovered = reverse_engineer_exact(host, site, first, count);
+  for (std::uint32_t logical = first; logical < first + count; ++logical) {
+    EXPECT_EQ(recovered.logical_to_physical(logical),
+              host.device().scrambler().logical_to_physical(logical))
+        << "logical row " << logical;
+  }
+  // Rows outside the window stay identity-mapped in the returned RowMap.
+  EXPECT_EQ(recovered.logical_to_physical(first + count + 10), first + count + 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ExactReverseEngineering,
+                         ::testing::Values(hbm::ScrambleKind::kIdentity,
+                                           hbm::ScrambleKind::kPairSwap,
+                                           hbm::ScrambleKind::kXorFold),
+                         [](const auto& info) {
+                           std::string name(to_string(info.param));
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(ExactReverseEngineeringEdge, WorksInWorstChannelToo) {
+  bender::BenderHost host(config_with(hbm::ScrambleKind::kPairSwap));
+  const Site site{7, 1, 5};
+  const RowMap recovered = reverse_engineer_exact(host, site, 200, 16);
+  for (std::uint32_t logical = 200; logical < 216; ++logical) {
+    EXPECT_EQ(recovered.logical_to_physical(logical),
+              host.device().scrambler().logical_to_physical(logical));
+  }
+}
+
+TEST(ExactReverseEngineeringEdge, RejectsWindowsSpanningASubarrayBoundary) {
+  bender::BenderHost host(config_with(hbm::ScrambleKind::kPairSwap));
+  const Site site{0, 0, 0};
+  // Physical row 832 starts the second subarray: edges cannot cross it, so
+  // the graph fragments into two paths (4 endpoints) and the walk fails.
+  EXPECT_THROW((void)reverse_engineer_exact(host, site, 824, 16), common::Error);
+}
+
+TEST(SubarrayBoundaries, SingleSidedProbeFindsTheStarts) {
+  bender::BenderHost host(config_with(hbm::ScrambleKind::kPairSwap));
+  const Site site{0, 0, 0};
+  const RowMap map = RowMap::from_device(host.device());
+  // Probe around the first boundary of the paper layout (physical row 832).
+  const auto starts = find_subarray_boundaries(host, site, map, 800, 64);
+  EXPECT_EQ(starts, std::vector<std::uint32_t>{832});
+}
+
+TEST(SubarrayBoundaries, NoFalsePositivesInsideASubarray) {
+  bender::BenderHost host(config_with(hbm::ScrambleKind::kPairSwap));
+  const Site site{0, 0, 0};
+  const RowMap map = RowMap::from_device(host.device());
+  const auto starts = find_subarray_boundaries(host, site, map, 300, 100);
+  EXPECT_TRUE(starts.empty());
+}
+
+TEST(RowMap, RejectsOutOfRange) {
+  const RowMap map(16);
+  EXPECT_THROW((void)map.logical_to_physical(16), common::PreconditionError);
+  EXPECT_THROW((void)map.physical_to_logical(16), common::PreconditionError);
+}
+
+}  // namespace
+}  // namespace rh::core

@@ -1,0 +1,193 @@
+#include "fault/rowhammer_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/process_variation.hpp"
+#include "hbm/geometry.hpp"
+#include "hbm/subarray.hpp"
+
+namespace rh::fault {
+namespace {
+
+class RowHammerModelTest : public ::testing::Test {
+protected:
+  RowHammerModelTest()
+      : layout_(hbm::SubarrayLayout::paper_layout(geometry_.rows_per_bank)),
+        variation_(cfg_, geometry_),
+        model_(cfg_, geometry_, layout_, variation_) {}
+
+  BankContext bank(std::uint32_t ch = 0) const {
+    return BankContext::from(geometry_, hbm::BankAddress{ch, 0, 0});
+  }
+
+  std::vector<std::uint8_t> row(std::uint8_t value) const {
+    return std::vector<std::uint8_t>(geometry_.row_bytes(), value);
+  }
+
+  std::size_t flips(std::uint32_t ch, std::uint32_t physical_row, std::uint8_t victim,
+                    std::uint8_t aggressor, double disturbance) const {
+    auto data = row(victim);
+    const auto above = row(aggressor);
+    const auto below = row(aggressor);
+    // A fresh copy per call: apply() mutates.
+    return const_cast<RowHammerModel&>(model_).apply(bank(ch), physical_row, data, above, below,
+                                                     disturbance, 85.0);
+  }
+
+  FaultConfig cfg_{};
+  hbm::Geometry geometry_ = hbm::paper_geometry();
+  hbm::SubarrayLayout layout_;
+  ProcessVariation variation_;
+  RowHammerModel model_;
+};
+
+TEST_F(RowHammerModelTest, ZeroDisturbanceNeverFlips) {
+  EXPECT_EQ(flips(0, 100, 0x00, 0xFF, 0.0), 0u);
+}
+
+TEST_F(RowHammerModelTest, BelowGlobalMinNeverFlips) {
+  const double d = model_.global_min_disturbance() * 0.99;
+  for (std::uint32_t r = 0; r < 3000; r += 123) {
+    EXPECT_EQ(flips(7, r, 0x00, 0xFF, d), 0u) << "row " << r;
+  }
+}
+
+TEST_F(RowHammerModelTest, LargeDisturbanceFlipsEveryRow) {
+  // The paper: "RH bitflips occur in every tested DRAM row".
+  for (std::uint32_t r = 100; r < 800; r += 37) {
+    EXPECT_GT(flips(0, r, 0x00, 0xFF, 2'000'000.0), 0u) << "row " << r;
+  }
+}
+
+TEST_F(RowHammerModelTest, FlipCountIsMonotoneInDisturbance) {
+  const std::uint32_t r = 416;  // mid-subarray
+  std::size_t prev = 0;
+  for (const double d : {2e5, 4e5, 8e5, 1.6e6, 3.2e6}) {
+    const std::size_t f = flips(0, r, 0x00, 0xFF, d);
+    EXPECT_GE(f, prev) << "d=" << d;
+    prev = f;
+  }
+}
+
+TEST_F(RowHammerModelTest, OppositeAggressorDataCouplesMoreStrongly) {
+  // Classic RH data-pattern dependence: aggressors storing the victim's
+  // complement flip more bits than aggressors storing the same value.
+  const std::uint32_t r = 416;
+  EXPECT_GT(flips(0, r, 0x00, 0xFF, 6e5), flips(0, r, 0x00, 0x00, 6e5));
+}
+
+TEST_F(RowHammerModelTest, AllZeroVictimBeatsAllOneVictim) {
+  // anti_cell_fraction > 0.5 and anti_cell_relative > 1: all-zero victims
+  // (Rowstripe0) are the most vulnerable — Fig. 4's RS0 < RS1 HC_first.
+  std::size_t zero_total = 0;
+  std::size_t one_total = 0;
+  for (std::uint32_t r = 100; r < 700; r += 29) {
+    zero_total += flips(0, r, 0x00, 0xFF, 5e5);
+    one_total += flips(0, r, 0xFF, 0x00, 5e5);
+  }
+  EXPECT_GT(zero_total, one_total);
+}
+
+TEST_F(RowHammerModelTest, CheckeredCouplesMoreWeaklyThanRowstripe) {
+  std::size_t rowstripe = 0;
+  std::size_t checkered = 0;
+  for (std::uint32_t r = 100; r < 700; r += 29) {
+    rowstripe += flips(0, r, 0x00, 0xFF, 5e5);
+    checkered += flips(0, r, 0x55, 0xAA, 5e5);
+  }
+  EXPECT_GT(rowstripe, checkered);
+}
+
+TEST_F(RowHammerModelTest, MidSubarrayIsMoreVulnerableThanEdges) {
+  // Fig. 5: BER is higher mid-subarray, lower toward the sense amps.
+  const double edge = model_.row_vulnerability(bank(0), 1, 85.0);
+  const double mid = model_.row_vulnerability(bank(0), 416, 85.0);
+  EXPECT_GT(mid, edge);
+}
+
+TEST_F(RowHammerModelTest, LastSubarrayIsStronglyAttenuated) {
+  const auto b = bank(0);
+  const double last = model_.row_vulnerability(b, geometry_.rows_per_bank - 416, 85.0);
+  const double normal = model_.row_vulnerability(b, 416, 85.0);
+  EXPECT_LT(last, normal * 0.35);
+}
+
+TEST_F(RowHammerModelTest, WorstChannelIsMoreVulnerable) {
+  const double ch0 = model_.row_vulnerability(bank(0), 416, 85.0);
+  const double ch7 = model_.row_vulnerability(bank(7), 416, 85.0);
+  EXPECT_GT(ch7, ch0);
+}
+
+TEST_F(RowHammerModelTest, TemperatureMildlyIncreasesVulnerability) {
+  EXPECT_GT(model_.temperature_factor(95.0), model_.temperature_factor(85.0));
+  EXPECT_LT(model_.temperature_factor(45.0), model_.temperature_factor(85.0));
+  EXPECT_NEAR(model_.temperature_factor(85.0), 1.0, 1e-12);
+}
+
+TEST_F(RowHammerModelTest, ApplyIsDeterministic) {
+  auto d1 = row(0x00);
+  auto d2 = row(0x00);
+  const auto above = row(0xFF);
+  const auto below = row(0xFF);
+  model_.apply(bank(0), 416, d1, above, below, 6e5, 85.0);
+  model_.apply(bank(0), 416, d2, above, below, 6e5, 85.0);
+  EXPECT_EQ(d1, d2);
+}
+
+TEST_F(RowHammerModelTest, FlippedCellsStayFlippedOnReapplication) {
+  // Once materialized, a flipped (now discharged) cell must not flip back
+  // when the model is applied again with more disturbance.
+  auto data = row(0x00);
+  const auto above = row(0xFF);
+  const auto below = row(0xFF);
+  const auto b = bank(7);
+  const std::size_t first = model_.apply(b, 416, data, above, below, 6e5, 85.0);
+  ASSERT_GT(first, 0u);
+  auto snapshot = data;
+  model_.apply(b, 416, data, above, below, 6e5, 85.0);
+  // Everything that was flipped (0 -> 1 for the all-zero victim) must still
+  // be flipped: no bit set in the snapshot may be cleared by reapplication.
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(snapshot[i] & ~data[i], 0) << "byte " << i;
+  }
+  // And the flip count barely grows (the same bits are already flipped).
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    diff += static_cast<std::size_t>(std::popcount(static_cast<unsigned>(snapshot[i] ^ data[i])));
+  }
+  EXPECT_LT(diff, first / 4 + 8);
+}
+
+TEST_F(RowHammerModelTest, MissingNeighbourMeansNoOppositeBoost) {
+  const std::uint32_t r = 416;
+  auto with_both = row(0x00);
+  auto with_none = row(0x00);
+  const auto agg = row(0xFF);
+  const std::size_t both = model_.apply(bank(0), r, with_both, agg, agg, 5e5, 85.0);
+  const std::size_t none = model_.apply(bank(0), r, with_none, {}, {}, 5e5, 85.0);
+  EXPECT_GT(both, none);
+}
+
+class DisturbanceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DisturbanceSweep, FlipFractionIsSane) {
+  const FaultConfig cfg{};
+  const auto geometry = hbm::paper_geometry();
+  const auto layout = hbm::SubarrayLayout::paper_layout(geometry.rows_per_bank);
+  const ProcessVariation variation(cfg, geometry);
+  const RowHammerModel model(cfg, geometry, layout, variation);
+  const auto b = BankContext::from(geometry, hbm::BankAddress{7, 0, 0});
+  std::vector<std::uint8_t> data(geometry.row_bytes(), 0x00);
+  const std::vector<std::uint8_t> agg(geometry.row_bytes(), 0xFF);
+  const std::size_t flips = model.apply(b, 416, data, agg, agg, GetParam(), 85.0);
+  // Even at very large disturbance, discharged cells can't flip in the
+  // charge-loss direction — the fraction must stay well below 100%.
+  EXPECT_LT(flips, geometry.row_bits());
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, DisturbanceSweep, ::testing::Values(1e5, 1e6, 1e7, 1e8));
+
+}  // namespace
+}  // namespace rh::fault

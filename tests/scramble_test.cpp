@@ -1,0 +1,85 @@
+#include "hbm/scramble.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/assert.hpp"
+
+namespace rh::hbm {
+namespace {
+
+class ScramblerProperties : public ::testing::TestWithParam<ScrambleKind> {};
+
+TEST_P(ScramblerProperties, IsAnInvolution) {
+  const RowScrambler s(GetParam(), 16384);
+  for (std::uint32_t row = 0; row < 16384; row += 13) {
+    EXPECT_EQ(s.physical_to_logical(s.logical_to_physical(row)), row);
+  }
+}
+
+TEST_P(ScramblerProperties, IsABijectionWithinRange) {
+  const RowScrambler s(GetParam(), 1024);
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t row = 0; row < 1024; ++row) {
+    const std::uint32_t p = s.logical_to_physical(row);
+    EXPECT_LT(p, 1024u);
+    seen.insert(p);
+  }
+  EXPECT_EQ(seen.size(), 1024u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ScramblerProperties,
+                         ::testing::Values(ScrambleKind::kIdentity, ScrambleKind::kPairSwap,
+                                           ScrambleKind::kXorFold),
+                         [](const auto& info) {
+                           std::string name(to_string(info.param));
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Scrambler, IdentityIsIdentity) {
+  const RowScrambler s(ScrambleKind::kIdentity, 64);
+  for (std::uint32_t row = 0; row < 64; ++row) EXPECT_EQ(s.logical_to_physical(row), row);
+}
+
+TEST(Scrambler, PairSwapSwapsMiddleOfEachGroupOfFour) {
+  const RowScrambler s(ScrambleKind::kPairSwap, 64);
+  EXPECT_EQ(s.logical_to_physical(0), 0u);
+  EXPECT_EQ(s.logical_to_physical(1), 2u);
+  EXPECT_EQ(s.logical_to_physical(2), 1u);
+  EXPECT_EQ(s.logical_to_physical(3), 3u);
+  EXPECT_EQ(s.logical_to_physical(5), 6u);
+}
+
+TEST(Scrambler, PairSwapBreaksLogicalAdjacency) {
+  // The reason experiments must reverse engineer the map: logical r and r+1
+  // are not always physical neighbours.
+  const RowScrambler s(ScrambleKind::kPairSwap, 64);
+  const std::uint32_t p0 = s.logical_to_physical(0);
+  const std::uint32_t p1 = s.logical_to_physical(1);
+  EXPECT_NE(p0 + 1, p1);
+}
+
+TEST(Scrambler, XorFoldTwistsBit0ByBit1) {
+  const RowScrambler s(ScrambleKind::kXorFold, 64);
+  EXPECT_EQ(s.logical_to_physical(0), 0u);
+  EXPECT_EQ(s.logical_to_physical(1), 1u);
+  EXPECT_EQ(s.logical_to_physical(2), 3u);
+  EXPECT_EQ(s.logical_to_physical(3), 2u);
+}
+
+TEST(Scrambler, RejectsTinyOrUnalignedBanks) {
+  EXPECT_THROW(RowScrambler(ScrambleKind::kPairSwap, 2), common::PreconditionError);
+  EXPECT_THROW(RowScrambler(ScrambleKind::kPairSwap, 1026), common::PreconditionError);
+}
+
+TEST(Scrambler, RejectsOutOfRangeRows) {
+  const RowScrambler s(ScrambleKind::kIdentity, 64);
+  EXPECT_THROW((void)s.logical_to_physical(64), common::PreconditionError);
+}
+
+}  // namespace
+}  // namespace rh::hbm

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "bender/host.hpp"
+#include "common/error.hpp"
+#include "core/data_patterns.hpp"
+#include "core/row_map.hpp"
+#include "core/utrr.hpp"
+
+namespace rh {
+namespace {
+
+class SelfRefreshTest : public ::testing::Test {
+protected:
+  SelfRefreshTest() : host_(hbm::DeviceConfig{}) { host_.device().set_temperature(85.0); }
+
+  std::uint64_t readback_flips(const bender::ExecutionResult& result, std::uint8_t expected) {
+    std::uint64_t flips = 0;
+    for (const auto byte : result.readback) {
+      flips += static_cast<std::uint64_t>(
+          std::popcount(static_cast<unsigned>(byte ^ expected)));
+    }
+    return flips;
+  }
+
+  bender::ProgramBuilder builder() {
+    return bender::ProgramBuilder(host_.device().geometry(), host_.device().timings());
+  }
+
+  bender::BenderHost host_;
+};
+
+TEST_F(SelfRefreshTest, CommandsAreRejectedInsideSelfRefresh) {
+  host_.device().self_refresh_enter(0, 0, 1000);
+  EXPECT_THROW(host_.device().activate(hbm::BankAddress{0, 0, 0}, 5, 2000),
+               common::ProtocolError);
+  EXPECT_THROW(host_.device().refresh(0, 0, 2000), common::ProtocolError);
+  host_.device().self_refresh_exit(0, 0, 3000);
+  host_.device().activate(hbm::BankAddress{0, 0, 0}, 5, 4000);
+}
+
+TEST_F(SelfRefreshTest, DoubleEntryAndStrayExitAreProtocolErrors) {
+  auto& device = host_.device();
+  EXPECT_THROW(device.self_refresh_exit(0, 0, 100), common::ProtocolError);
+  device.self_refresh_enter(0, 0, 1000);
+  EXPECT_THROW(device.self_refresh_enter(0, 0, 2000), common::ProtocolError);
+  device.self_refresh_exit(0, 0, 3000);
+}
+
+TEST_F(SelfRefreshTest, EntryRequiresClosedBanks) {
+  auto& device = host_.device();
+  device.activate(hbm::BankAddress{0, 0, 0}, 5, 1000);
+  EXPECT_THROW(device.self_refresh_enter(0, 0, 2000), common::ProtocolError);
+}
+
+TEST_F(SelfRefreshTest, LongSelfRefreshPreventsRetentionFlips) {
+  // Write a row, then park the channel in self-refresh for a minute of
+  // simulated time: the internal refresh must keep the data alive, where
+  // the same idle wait without self-refresh decays it (host_test proves
+  // the latter).
+  const auto& geometry = host_.device().geometry();
+  auto init = builder();
+  init.mrs(hbm::ModeRegisters::kEccRegister, 0x0);
+  init.program().set_wide_register(0, core::make_row_image(geometry, 0x00));
+  init.init_row(0, 500, 0);
+  (void)host_.run(init.take(), 0, 0);
+
+  host_.device().self_refresh_enter(0, 0, host_.now());
+  host_.idle_ms(60'000.0);
+  host_.device().self_refresh_exit(0, 0, host_.now());
+
+  auto read = builder();
+  read.read_row(0, 500);
+  const auto result = host_.run(read.take(), 0, 0);
+  EXPECT_EQ(readback_flips(result, 0x00), 0u);
+}
+
+TEST_F(SelfRefreshTest, ShortSelfRefreshOnlySweepsPartOfTheBank) {
+  // A stay much shorter than the 32 ms window refreshes only the rows the
+  // pointer reached; a row outside the swept prefix still decays relative
+  // to its last explicit refresh.
+  const auto& geometry = host_.device().geometry();
+  auto init = builder();
+  init.mrs(hbm::ModeRegisters::kEccRegister, 0x0);
+  init.program().set_wide_register(0, core::make_row_image(geometry, 0x00));
+  init.init_row(0, 8000, 0);  // far from the refresh pointer at row 0
+  (void)host_.run(init.take(), 0, 0);
+
+  // Many short self-refresh visits, 2 ms each, spread over a minute: the
+  // pointer advances ~512 rows per visit and never reaches row 8000 before
+  // the row's retention time elapses.
+  for (int i = 0; i < 30; ++i) {
+    host_.device().self_refresh_enter(0, 0, host_.now());
+    host_.idle_ms(2.0);
+    host_.device().self_refresh_exit(0, 0, host_.now());
+    host_.idle_ms(2'000.0);
+  }
+
+  auto read = builder();
+  read.read_row(0, 8000);
+  const auto result = host_.run(read.take(), 0, 0);
+  EXPECT_GT(readback_flips(result, 0x00), 0u);
+}
+
+TEST_F(SelfRefreshTest, SelfRefreshExitResetsTheTrrPhase) {
+  // The proprietary TRR restarts its REF counter at SR exit: observing the
+  // U-TRR experiment after an SR cycle still infers period 17, with the
+  // first firing a full period after the exit.
+  host_.device().self_refresh_enter(0, 0, host_.now());
+  host_.idle_ms(100.0);
+  host_.device().self_refresh_exit(0, 0, host_.now());
+
+  const core::RowMap map = core::RowMap::from_device(host_.device());
+  core::UtrrConfig config;
+  config.iterations = 40;
+  core::UtrrExperiment experiment(host_, map, config);
+  core::UtrrResult result;
+  for (std::uint32_t row = 4096;; ++row) {
+    try {
+      result = experiment.run(core::Site{0, 0, 0}, row);
+      break;
+    } catch (const common::Error&) {
+      ASSERT_LT(row, 4160u);
+    }
+  }
+  ASSERT_TRUE(result.trr_detected());
+  EXPECT_EQ(result.refreshed_iterations.front(), 17u);
+}
+
+TEST_F(SelfRefreshTest, SreSrxInstructionsWorkInPrograms) {
+  auto b = builder();
+  b.sr_enter();
+  b.sleep(100'000);
+  b.sr_exit();
+  (void)host_.run(b.take(), 3, 1);
+  EXPECT_FALSE(host_.device().pseudo_channel(3, 1).in_self_refresh());
+}
+
+TEST_F(SelfRefreshTest, PendingDisturbanceMaterializesAtFullRefresh) {
+  // Hammer, then a full self-refresh: the victim's flips must be locked in
+  // (the internal sweep sensed and restored the corrupted charge), not
+  // silently discarded with the disturbance counter.
+  auto& device = host_.device();
+  const core::RowMap map = core::RowMap::from_device(device);
+  const auto& geometry = device.geometry();
+
+  auto b = builder();
+  b.mrs(hbm::ModeRegisters::kEccRegister, 0x0);
+  b.program().set_wide_register(0, core::make_row_image(geometry, 0x00));
+  b.program().set_wide_register(1, core::make_row_image(geometry, 0xFF));
+  b.init_row(0, map.physical_to_logical(1200), 0);
+  b.init_row(0, map.physical_to_logical(1199), 1);
+  b.init_row(0, map.physical_to_logical(1201), 1);
+  b.ldi(0, map.physical_to_logical(1199));
+  b.ldi(1, map.physical_to_logical(1201));
+  b.hammer(0, 0, 1, 262'144);
+  b.sr_enter();
+  b.sleep(static_cast<std::int64_t>(hbm::ms_to_cycles(40.0)));  // > one window
+  b.sr_exit();
+  b.read_row(0, map.physical_to_logical(1200));
+  const auto result = host_.run(b.take(), 7, 0);
+  EXPECT_GT(readback_flips(result, 0x00), 0u);
+}
+
+}  // namespace
+}  // namespace rh

@@ -1,0 +1,92 @@
+#include "hbm/subarray.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace rh::hbm {
+namespace {
+
+TEST(SubarrayLayout, PaperLayoutCoversTheBank) {
+  const auto layout = SubarrayLayout::paper_layout(16384);
+  EXPECT_EQ(layout.total_rows(), 16384u);
+  EXPECT_EQ(layout.subarray_count(), 20u);
+}
+
+TEST(SubarrayLayout, PaperLayoutUses832And768RowSubarrays) {
+  // Footnote 3: subarrays contain either 832 (SA X) or 768 (SA Y) rows.
+  const auto layout = SubarrayLayout::paper_layout(16384);
+  for (std::uint32_t sa = 0; sa < layout.subarray_count(); ++sa) {
+    const std::uint32_t size = layout.size_of(sa);
+    EXPECT_TRUE(size == 832 || size == 768) << "subarray " << sa << " has " << size;
+  }
+}
+
+TEST(SubarrayLayout, LastSubarrayIs832Rows) {
+  // Fig. 5 / §4: "the last 832 rows in SA Z".
+  const auto layout = SubarrayLayout::paper_layout(16384);
+  EXPECT_EQ(layout.size_of(layout.subarray_count() - 1), 832u);
+  EXPECT_TRUE(layout.in_last_subarray(16384 - 1));
+  EXPECT_TRUE(layout.in_last_subarray(16384 - 832));
+  EXPECT_FALSE(layout.in_last_subarray(16384 - 833));
+}
+
+TEST(SubarrayLayout, MiddleRegionContains768RowSubarrays) {
+  // The paper's middle test region (rows 6656..9728) spans the 768-row SAs.
+  const auto layout = SubarrayLayout::paper_layout(16384);
+  EXPECT_EQ(layout.size_of(layout.subarray_of(8000)), 768u);
+}
+
+TEST(SubarrayLayout, SubarrayOfMatchesStartTables) {
+  const auto layout = SubarrayLayout::paper_layout(16384);
+  for (std::uint32_t sa = 0; sa < layout.subarray_count(); ++sa) {
+    const std::uint32_t start = layout.start_of(sa);
+    EXPECT_EQ(layout.subarray_of(start), sa);
+    EXPECT_EQ(layout.subarray_of(start + layout.size_of(sa) - 1), sa);
+  }
+}
+
+TEST(SubarrayLayout, CrossesBoundaryExactlyAtStarts) {
+  const auto layout = SubarrayLayout::paper_layout(16384);
+  for (std::uint32_t sa = 1; sa < layout.subarray_count(); ++sa) {
+    const std::uint32_t start = layout.start_of(sa);
+    EXPECT_TRUE(layout.crosses_boundary(start - 1, start));
+    EXPECT_FALSE(layout.crosses_boundary(start, start + 1));
+  }
+}
+
+TEST(SubarrayLayout, RelativePositionSpansUnitInterval) {
+  const auto layout = SubarrayLayout::paper_layout(16384);
+  EXPECT_LT(layout.relative_position(0), 0.01);
+  EXPECT_GT(layout.relative_position(831), 0.99);
+  EXPECT_NEAR(layout.relative_position(416), 0.5, 0.01);
+}
+
+TEST(SubarrayLayout, ExplicitSizesValidated) {
+  EXPECT_THROW(SubarrayLayout(std::vector<std::uint32_t>{}), common::PreconditionError);
+  EXPECT_THROW(SubarrayLayout(std::vector<std::uint32_t>{10, 0, 10}), common::PreconditionError);
+}
+
+TEST(SubarrayLayout, SubarrayOfRejectsOutOfRange) {
+  const auto layout = SubarrayLayout::paper_layout(16384);
+  EXPECT_THROW((void)layout.subarray_of(16384), common::PreconditionError);
+}
+
+class NonCanonicalBankSizes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(NonCanonicalBankSizes, FallbackTilingCoversEveryRow) {
+  const std::uint32_t rows = GetParam();
+  const auto layout = SubarrayLayout::paper_layout(rows);
+  EXPECT_EQ(layout.total_rows(), rows);
+  // Every row belongs to exactly one subarray and positions are in [0,1).
+  for (std::uint32_t r = 0; r < rows; r += 97) {
+    const double x = layout.relative_position(r);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NonCanonicalBankSizes, ::testing::Values(2048u, 4096u, 8192u));
+
+}  // namespace
+}  // namespace rh::hbm

@@ -1,0 +1,69 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace rh::common {
+namespace {
+
+TEST(Table, RejectsEmptyHeaderAndMismatchedRows) {
+  EXPECT_THROW(Table({}), PreconditionError);
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Table, PrintsHeaderRuleAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"beta", "22.75"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.75"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, RightAlignsNumericCells) {
+  Table t({"k", "v"});
+  t.add_row({"x", "1"});
+  t.add_row({"y", "100"});
+  std::ostringstream os;
+  t.print(os);
+  // The short numeric value must be padded on the left to line up with 100.
+  EXPECT_NE(os.str().find("  1\n"), std::string::npos);
+}
+
+TEST(Table, CsvUsesCommas) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(FmtDouble, RespectsDigits) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(3.0, 0), "3");
+}
+
+TEST(FmtPercent, ScalesFractions) {
+  EXPECT_EQ(fmt_percent(0.0313, 2), "3.13%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+  EXPECT_EQ(fmt_percent(0.0, 2), "0.00%");
+}
+
+TEST(Table, CountsRows) {
+  Table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace rh::common

@@ -1,0 +1,80 @@
+#include "bender/thermal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rh::bender {
+namespace {
+
+int steps_to_settle(ThermalRig& rig, int max_steps = 40'000) {
+  for (int i = 0; i < max_steps; ++i) {
+    rig.step();
+    if (rig.settled()) return i;
+  }
+  return -1;
+}
+
+TEST(ThermalRig, StartsAtAmbient) {
+  const ThermalRig rig{ThermalConfig{}};
+  EXPECT_DOUBLE_EQ(rig.temperature(), ThermalConfig{}.ambient_c);
+}
+
+TEST(ThermalRig, HeatsToThePaperSetpoint) {
+  ThermalRig rig{ThermalConfig{}};
+  rig.set_target(85.0);
+  ASSERT_GE(steps_to_settle(rig), 0);
+  EXPECT_NEAR(rig.temperature(), 85.0, 0.5);
+}
+
+TEST(ThermalRig, CoolsBackDownUsingTheFan) {
+  ThermalRig rig{ThermalConfig{}};
+  rig.set_target(85.0);
+  ASSERT_GE(steps_to_settle(rig), 0);
+  rig.set_target(45.0);
+  bool fan_used = false;
+  for (int i = 0; i < 40'000 && !rig.settled(); ++i) {
+    rig.step();
+    fan_used |= rig.fan_duty() > 0.0;
+  }
+  EXPECT_TRUE(rig.settled());
+  EXPECT_TRUE(fan_used);
+  EXPECT_NEAR(rig.temperature(), 45.0, 0.5);
+}
+
+TEST(ThermalRig, HoldsSetpointUnderSteadyState) {
+  ThermalRig rig{ThermalConfig{}};
+  rig.set_target(85.0);
+  ASSERT_GE(steps_to_settle(rig), 0);
+  // One simulated minute at the setpoint: stays within the band.
+  for (int i = 0; i < 1200; ++i) {
+    rig.step();
+    EXPECT_NEAR(rig.temperature(), 85.0, 1.5);
+  }
+}
+
+TEST(ThermalRig, DutiesStayInActuatorRange) {
+  ThermalRig rig{ThermalConfig{}};
+  rig.set_target(95.0);
+  for (int i = 0; i < 10'000; ++i) {
+    rig.step();
+    EXPECT_GE(rig.heater_duty(), 0.0);
+    EXPECT_LE(rig.heater_duty(), 1.0);
+    EXPECT_GE(rig.fan_duty(), 0.0);
+    EXPECT_LE(rig.fan_duty(), 1.0);
+    // Never heats and fans at once.
+    EXPECT_EQ(rig.heater_duty() > 0.0 && rig.fan_duty() > 0.0, false);
+  }
+}
+
+class Setpoints : public ::testing::TestWithParam<double> {};
+
+TEST_P(Setpoints, ConvergesAcrossTheOperatingRange) {
+  ThermalRig rig{ThermalConfig{}};
+  rig.set_target(GetParam());
+  ASSERT_GE(steps_to_settle(rig), 0) << "target " << GetParam();
+  EXPECT_NEAR(rig.temperature(), GetParam(), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Range, Setpoints, ::testing::Values(30.0, 45.0, 65.0, 85.0, 95.0));
+
+}  // namespace
+}  // namespace rh::bender

@@ -1,0 +1,67 @@
+#include "core/thermometer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bender/host.hpp"
+#include "common/error.hpp"
+
+namespace rh::core {
+namespace {
+
+class ThermometerTest : public ::testing::Test {
+protected:
+  ThermometerTest()
+      : host_(hbm::DeviceConfig{}),
+        map_(RowMap::from_device(host_.device())),
+        thermometer_(host_, map_, Site{0, 0, 0}) {}
+
+  bender::BenderHost host_;
+  RowMap map_;
+  DramThermometer thermometer_;
+};
+
+TEST_F(ThermometerTest, FlipCountGrowsWithTemperature) {
+  host_.set_chip_temperature(45.0);
+  const auto cold = thermometer_.measure_flips();
+  host_.set_chip_temperature(85.0);
+  const auto hot = thermometer_.measure_flips();
+  EXPECT_GT(hot, cold);
+}
+
+TEST_F(ThermometerTest, EstimateRequiresCalibration) {
+  EXPECT_THROW((void)thermometer_.estimate(), common::ConfigError);
+}
+
+TEST_F(ThermometerTest, CalibrationCurveIsMonotone) {
+  thermometer_.calibrate({45.0, 65.0, 85.0});
+  const auto& points = thermometer_.calibration();
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_LT(points[0].flips, points[1].flips);
+  EXPECT_LT(points[1].flips, points[2].flips);
+}
+
+TEST_F(ThermometerTest, EstimatesInteriorTemperatures) {
+  thermometer_.calibrate({45.0, 55.0, 65.0, 75.0, 85.0});
+  for (const double truth : {50.0, 60.0, 70.0, 80.0}) {
+    host_.set_chip_temperature(truth);
+    EXPECT_NEAR(thermometer_.estimate(), truth, 4.0) << "true " << truth;
+  }
+}
+
+TEST_F(ThermometerTest, ClampsOutsideTheCalibratedRange) {
+  thermometer_.calibrate({55.0, 65.0, 75.0});
+  host_.set_chip_temperature(40.0);
+  EXPECT_DOUBLE_EQ(thermometer_.estimate(), 55.0);
+  host_.set_chip_temperature(95.0);
+  EXPECT_DOUBLE_EQ(thermometer_.estimate(), 75.0);
+}
+
+TEST_F(ThermometerTest, RejectsDegenerateConfigs) {
+  ThermometerConfig cfg;
+  cfg.rows = 0;
+  EXPECT_THROW(DramThermometer(host_, map_, Site{0, 0, 0}, cfg), common::PreconditionError);
+  EXPECT_THROW(thermometer_.calibrate({85.0}), common::PreconditionError);
+}
+
+}  // namespace
+}  // namespace rh::core

@@ -1,0 +1,133 @@
+#include "hbm/timing_checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rh::hbm {
+namespace {
+
+class BankTimingTest : public ::testing::Test {
+protected:
+  TimingParams t_ = paper_timings();
+  BankTiming bank_{t_};
+};
+
+TEST_F(BankTimingTest, LegalActPreActSequencePasses) {
+  // With the paper timings tRAS + tRP (29) exceeds tRC (28), so the minimum
+  // legal ACT-to-ACT period through a PRE is tRAS + tRP.
+  bank_.on_activate(100, 5);
+  bank_.on_precharge(100 + t_.tRAS);
+  bank_.on_activate(100 + t_.tRAS + t_.tRP, 6);
+  EXPECT_TRUE(bank_.open());
+  EXPECT_EQ(bank_.open_row(), 6u);
+}
+
+TEST_F(BankTimingTest, ActToOpenBankIsProtocolError) {
+  bank_.on_activate(100, 5);
+  EXPECT_THROW(bank_.on_activate(100 + t_.tRC, 6), common::ProtocolError);
+}
+
+TEST_F(BankTimingTest, PreWithoutOpenRowIsProtocolError) {
+  EXPECT_THROW(bank_.on_precharge(100), common::ProtocolError);
+}
+
+TEST_F(BankTimingTest, EarlyPrechargeViolatesTRas) {
+  bank_.on_activate(100, 5);
+  EXPECT_THROW(bank_.on_precharge(100 + t_.tRAS - 1), common::TimingError);
+}
+
+TEST_F(BankTimingTest, EarlyReactivationViolatesTRc) {
+  bank_.on_activate(100, 5);
+  bank_.on_precharge(100 + t_.tRAS);
+  EXPECT_THROW(bank_.on_activate(100 + t_.tRC - 1, 6), common::TimingError);
+}
+
+TEST_F(BankTimingTest, EarlyReactivationViolatesTRp) {
+  bank_.on_activate(100, 5);
+  bank_.on_precharge(100 + t_.tRC);  // late precharge: tRC satisfied, tRP not
+  EXPECT_THROW(bank_.on_activate(100 + t_.tRC + t_.tRP - 1, 6), common::TimingError);
+}
+
+TEST_F(BankTimingTest, ColumnCommandsNeedOpenRowAndTRcd) {
+  EXPECT_THROW(bank_.on_read(100), common::ProtocolError);
+  EXPECT_THROW(bank_.on_write(100), common::ProtocolError);
+  bank_.on_activate(100, 5);
+  EXPECT_THROW(bank_.on_read(100 + t_.tRCD - 1), common::TimingError);
+  bank_.on_read(100 + t_.tRCD);
+}
+
+TEST_F(BankTimingTest, WriteRecoveryGatesPrecharge) {
+  bank_.on_activate(100, 5);
+  bank_.on_write(100 + t_.tRCD);
+  EXPECT_THROW(bank_.on_precharge(100 + t_.tRCD + t_.tWR - 1), common::TimingError);
+  bank_.on_precharge(100 + t_.tRCD + t_.tWR);
+}
+
+TEST_F(BankTimingTest, ReadToPrechargeGatesOnTRtp) {
+  bank_.on_activate(100, 5);
+  const Cycle rd = 100 + t_.tRAS;  // late read so tRAS is already satisfied
+  bank_.on_read(rd);
+  EXPECT_THROW(bank_.on_precharge(rd + t_.tRTP - 1), common::TimingError);
+  bank_.on_precharge(rd + t_.tRTP);
+}
+
+TEST_F(BankTimingTest, BatchEndRequiresClosedBankAndGatesNextAct) {
+  bank_.on_activate(100, 5);
+  EXPECT_THROW(bank_.note_batch_end(5000), common::ProtocolError);
+  bank_.on_precharge(100 + t_.tRAS);
+  bank_.note_batch_end(5000);
+  EXPECT_THROW(bank_.on_activate(5000 - 1, 6), common::TimingError);
+  bank_.on_activate(5000, 6);
+}
+
+class ChannelTimingTest : public ::testing::Test {
+protected:
+  TimingParams t_ = paper_timings();
+  ChannelTiming channel_{t_};
+};
+
+TEST_F(ChannelTimingTest, BackToBackActsAcrossBanksNeedTRrd) {
+  channel_.on_activate(100);
+  EXPECT_THROW(channel_.on_activate(100 + t_.tRRD - 1), common::TimingError);
+  channel_.on_activate(100 + t_.tRRD);
+}
+
+TEST_F(ChannelTimingTest, ColumnBusNeedsTCcd) {
+  channel_.on_column(100);
+  EXPECT_THROW(channel_.on_column(100 + t_.tCCD - 1), common::TimingError);
+  channel_.on_column(100 + t_.tCCD);
+}
+
+TEST_F(ChannelTimingTest, RefreshBlocksForTRfc) {
+  channel_.on_refresh(100);
+  EXPECT_THROW(channel_.on_activate(100 + t_.tRFC - 1), common::TimingError);
+  EXPECT_THROW(channel_.on_column(100 + t_.tRFC - 1), common::TimingError);
+  channel_.on_activate(100 + t_.tRFC);
+}
+
+TEST_F(ChannelTimingTest, RefreshBackToBackGatedByTRfc) {
+  channel_.on_refresh(100);
+  EXPECT_THROW(channel_.on_refresh(100 + t_.tRFC - 1), common::TimingError);
+  channel_.on_refresh(100 + t_.tRFC);
+}
+
+TEST(Timings, DoubleSidedHammerBudgetMatchesPaperBound) {
+  // §3.1: 256 K hammers (512 K activations) must finish within 27 ms.
+  const TimingParams t = paper_timings();
+  const double ms = cycles_to_ms(512'000ULL * std::max(t.tRC, t.tRAS + t.tRP));
+  EXPECT_LT(ms, 27.0);
+  EXPECT_GT(ms, 20.0);  // and it is genuinely close to the bound
+}
+
+TEST(Timings, RefreshWindowIs32Ms) {
+  const TimingParams t = paper_timings();
+  EXPECT_NEAR(cycles_to_ms(t.refresh_window), 32.0, 0.1);
+  // tREFI * refs_per_window spans one refresh window.
+  EXPECT_NEAR(cycles_to_ms(t.tREFI * t.refs_per_window), 32.0, 0.5);
+}
+
+}  // namespace
+}  // namespace rh::hbm

@@ -1,0 +1,70 @@
+#include "bender/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bender/host.hpp"
+#include "core/data_patterns.hpp"
+
+namespace rh::bender {
+namespace {
+
+TEST(PcieLink, TransferTimeHasLatencyFloor) {
+  const PcieLink link;
+  EXPECT_GE(link.transfer_ms(0), link.config().latency_us * 1e-3);
+  EXPECT_GT(link.transfer_ms(1 << 20), link.transfer_ms(0));
+}
+
+TEST(PcieLink, ThroughputMatchesConfig) {
+  PcieConfig cfg;
+  cfg.bandwidth_gib_s = 1.0;
+  cfg.latency_us = 0.0;
+  const PcieLink link(cfg);
+  EXPECT_NEAR(link.transfer_ms(1024 * 1024 * 1024), 1000.0, 1.0);
+}
+
+TEST(PcieLink, CountersAccumulate) {
+  PcieLink link;
+  link.record_upload(100);
+  link.record_upload(200);
+  link.record_download(50);
+  EXPECT_EQ(link.uploads(), 2u);
+  EXPECT_EQ(link.downloads(), 1u);
+  EXPECT_EQ(link.upload_bytes(), 300u);
+  EXPECT_EQ(link.download_bytes(), 50u);
+  EXPECT_GT(link.busy_ms(), 0.0);
+}
+
+TEST(PcieLink, HostRecordsProgramTraffic) {
+  BenderHost host{hbm::DeviceConfig{}};
+  ProgramBuilder b(host.device().geometry(), host.device().timings());
+  b.program().set_wide_register(0, core::make_row_image(host.device().geometry(), 0x42));
+  b.init_row(0, 7, 0);
+  b.read_row(0, 7);
+  (void)host.run(b.take(), 0, 0);
+  EXPECT_EQ(host.link().uploads(), 1u);
+  EXPECT_EQ(host.link().downloads(), 1u);
+  // The uploaded program carries the 1 KiB wide register; the download is
+  // one full row of readback.
+  EXPECT_GE(host.link().upload_bytes(), host.device().geometry().row_bytes());
+  EXPECT_EQ(host.link().download_bytes(), host.device().geometry().row_bytes());
+}
+
+TEST(PcieLink, WallClockIncludesLinkAndDramTime) {
+  BenderHost host{hbm::DeviceConfig{}};
+  ProgramBuilder b(host.device().geometry(), host.device().timings());
+  b.sleep(static_cast<std::int64_t>(hbm::ms_to_cycles(5.0)));
+  (void)host.run(b.take(), 0, 0);
+  EXPECT_GT(host.wall_ms(), 5.0);
+  EXPECT_GT(host.wall_ms(), hbm::cycles_to_ms(host.now()));
+}
+
+TEST(PcieLink, ProgramsWithoutReadbackSkipTheDownload) {
+  BenderHost host{hbm::DeviceConfig{}};
+  ProgramBuilder b(host.device().geometry(), host.device().timings());
+  b.nop();
+  (void)host.run(b.take(), 0, 0);
+  EXPECT_EQ(host.link().downloads(), 0u);
+}
+
+}  // namespace
+}  // namespace rh::bender

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "trr/documented_trr.hpp"
+#include "trr/proprietary_trr.hpp"
+
+namespace rh::trr {
+namespace {
+
+TEST(ProprietaryTrr, FiresExactlyEveryPeriodRefs) {
+  ProprietaryTrrConfig cfg;
+  cfg.period = 17;
+  ProprietaryTrr trr(cfg);
+  int fired = 0;
+  for (int ref = 1; ref <= 170; ++ref) {
+    trr.observe_activate(3, 1000);
+    const auto action = trr.on_refresh();
+    if (action) {
+      ++fired;
+      EXPECT_EQ(ref % 17, 0) << "fired off-period at REF " << ref;
+      EXPECT_EQ(action->bank, 3u);
+      EXPECT_EQ(action->logical_row, 1000u);
+    }
+  }
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(ProprietaryTrr, DoesNotFireWithoutASample) {
+  ProprietaryTrr trr(ProprietaryTrrConfig{});
+  for (int ref = 0; ref < 40; ++ref) {
+    EXPECT_FALSE(trr.on_refresh().has_value());
+  }
+}
+
+TEST(ProprietaryTrr, SamplerKeepsTheLastActivation) {
+  ProprietaryTrrConfig cfg;
+  cfg.period = 2;
+  ProprietaryTrr trr(cfg);
+  trr.observe_activate(0, 10);
+  trr.observe_activate(1, 20);
+  (void)trr.on_refresh();  // REF 1: no fire
+  const auto action = trr.on_refresh();  // REF 2: fires
+  ASSERT_TRUE(action.has_value());
+  EXPECT_EQ(action->bank, 1u);
+  EXPECT_EQ(action->logical_row, 20u);
+}
+
+TEST(ProprietaryTrr, SampleIsConsumedOnFiring) {
+  ProprietaryTrrConfig cfg;
+  cfg.period = 1;
+  ProprietaryTrr trr(cfg);
+  trr.observe_activate(0, 10);
+  EXPECT_TRUE(trr.on_refresh().has_value());
+  EXPECT_FALSE(trr.on_refresh().has_value());  // nothing new sampled
+}
+
+TEST(ProprietaryTrr, DisabledEngineNeverActs) {
+  ProprietaryTrrConfig cfg;
+  cfg.enabled = false;
+  ProprietaryTrr trr(cfg);
+  for (int i = 0; i < 50; ++i) {
+    trr.observe_activate(0, 5);
+    EXPECT_FALSE(trr.on_refresh().has_value());
+  }
+}
+
+TEST(ProprietaryTrr, ResetClearsCounterAndSample) {
+  ProprietaryTrrConfig cfg;
+  cfg.period = 3;
+  ProprietaryTrr trr(cfg);
+  trr.observe_activate(0, 1);
+  (void)trr.on_refresh();
+  (void)trr.on_refresh();
+  trr.reset();
+  trr.observe_activate(0, 2);
+  EXPECT_FALSE(trr.on_refresh().has_value());  // counter restarted at 1
+  EXPECT_FALSE(trr.on_refresh().has_value());
+  EXPECT_TRUE(trr.on_refresh().has_value());  // fires at 3 after reset
+}
+
+TEST(ProprietaryTrr, SubsamplingStillFiresEventually) {
+  ProprietaryTrrConfig cfg;
+  cfg.period = 4;
+  cfg.sample_probability = 0.25;
+  ProprietaryTrr trr(cfg);
+  int fired = 0;
+  for (int i = 0; i < 400; ++i) {
+    trr.observe_activate(0, 7);
+    if (trr.on_refresh()) ++fired;
+  }
+  EXPECT_GT(fired, 30);   // most periods should have a sample by firing time
+  EXPECT_LE(fired, 100);  // can never exceed one per period
+}
+
+TEST(ProprietaryTrr, RejectsZeroPeriod) {
+  ProprietaryTrrConfig cfg;
+  cfg.period = 0;
+  EXPECT_ANY_THROW(ProprietaryTrr{cfg});
+}
+
+TEST(DocumentedTrr, InactiveByDefault) {
+  DocumentedTrrMode mode;
+  EXPECT_FALSE(mode.active());
+  mode.observe_activate(0, 1);
+  EXPECT_FALSE(mode.on_refresh().has_value());
+}
+
+TEST(DocumentedTrr, CapturesAggressorsInDesignatedBankOnly) {
+  DocumentedTrrMode mode;
+  mode.enter(2);
+  mode.observe_activate(2, 100);
+  mode.observe_activate(3, 200);  // wrong bank: ignored
+  const auto action = mode.on_refresh();
+  ASSERT_TRUE(action.has_value());
+  EXPECT_EQ(action->bank, 2u);
+  ASSERT_EQ(action->logical_rows.size(), 1u);
+  EXPECT_EQ(action->logical_rows[0], 100u);
+}
+
+TEST(DocumentedTrr, DeduplicatesAndCapsAggressors) {
+  DocumentedTrrMode mode;
+  mode.enter(0);
+  for (int i = 0; i < 10; ++i) mode.observe_activate(0, 5);
+  mode.observe_activate(0, 6);
+  mode.observe_activate(0, 7);
+  mode.observe_activate(0, 8);
+  mode.observe_activate(0, 9);  // fifth distinct row: beyond the cap
+  const auto action = mode.on_refresh();
+  ASSERT_TRUE(action.has_value());
+  EXPECT_EQ(action->logical_rows.size(), 4u);
+}
+
+TEST(DocumentedTrr, ExitStopsRefreshes) {
+  DocumentedTrrMode mode;
+  mode.enter(0);
+  mode.observe_activate(0, 5);
+  mode.exit();
+  EXPECT_FALSE(mode.on_refresh().has_value());
+}
+
+}  // namespace
+}  // namespace rh::trr

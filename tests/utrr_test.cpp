@@ -1,0 +1,83 @@
+#include "core/utrr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bender/host.hpp"
+
+namespace rh::core {
+namespace {
+
+hbm::DeviceConfig device_with_trr(bool enabled, std::uint32_t period = 17) {
+  hbm::DeviceConfig cfg;
+  cfg.trr.enabled = enabled;
+  cfg.trr.period = period;
+  return cfg;
+}
+
+UtrrResult run_experiment(const hbm::DeviceConfig& cfg, std::uint32_t iterations = 60) {
+  bender::BenderHost host(cfg);
+  host.device().set_temperature(85.0);
+  const RowMap map = RowMap::from_device(host.device());
+  UtrrConfig ucfg;
+  ucfg.iterations = iterations;
+  UtrrExperiment experiment(host, map, ucfg);
+  // A probe row away from the REF-pointer sweep; scan for one that profiles.
+  const Site site{0, 0, 0};
+  for (std::uint32_t row = 4096;; ++row) {
+    try {
+      return experiment.run(site, row);
+    } catch (const common::Error&) {
+      if (row > 4160) throw;
+    }
+  }
+}
+
+TEST(Utrr, UncoversThePaperPeriod17Mechanism) {
+  const UtrrResult result = run_experiment(device_with_trr(true, 17), 100);
+  EXPECT_TRUE(result.trr_detected());
+  ASSERT_TRUE(result.inferred_period.has_value());
+  EXPECT_EQ(*result.inferred_period, 17u);
+  // "the profiled row (R) is refreshed once every 17 iterations":
+  EXPECT_EQ(result.refreshed_iterations.size(), 100u / 17u);
+}
+
+TEST(Utrr, FiringsAreEvenlySpaced) {
+  const UtrrResult result = run_experiment(device_with_trr(true, 17), 100);
+  ASSERT_GE(result.refreshed_iterations.size(), 2u);
+  for (std::size_t i = 1; i < result.refreshed_iterations.size(); ++i) {
+    EXPECT_EQ(result.refreshed_iterations[i] - result.refreshed_iterations[i - 1], 17u);
+  }
+}
+
+TEST(Utrr, SilentWhenTheChipHasNoProprietaryTrr) {
+  const UtrrResult result = run_experiment(device_with_trr(false), 40);
+  EXPECT_FALSE(result.trr_detected());
+  EXPECT_FALSE(result.inferred_period.has_value());
+}
+
+TEST(Utrr, RecoversOtherPeriodsToo) {
+  // The methodology must discover whatever the vendor shipped, not just 17.
+  const UtrrResult result = run_experiment(device_with_trr(true, 9), 60);
+  ASSERT_TRUE(result.inferred_period.has_value());
+  EXPECT_EQ(*result.inferred_period, 9u);
+}
+
+TEST(Utrr, ReportsTheProfiledRetentionTime) {
+  const UtrrResult result = run_experiment(device_with_trr(true, 17), 20);
+  EXPECT_GT(result.retention_ms, 10.0);
+  EXPECT_NEAR(result.wait_ms, result.retention_ms * 1.5, 1e-9);
+}
+
+TEST(Utrr, RejectsDegenerateConfig) {
+  bender::BenderHost host(device_with_trr(true));
+  const RowMap map = RowMap::from_device(host.device());
+  UtrrConfig cfg;
+  cfg.iterations = 0;
+  EXPECT_THROW(UtrrExperiment(host, map, cfg), common::PreconditionError);
+  UtrrConfig cfg2;
+  cfg2.safety = 1.0;
+  EXPECT_THROW(UtrrExperiment(host, map, cfg2), common::PreconditionError);
+}
+
+}  // namespace
+}  // namespace rh::core

@@ -1,0 +1,82 @@
+// Methodology-generalization test: the characterization pipeline is told
+// NOTHING about "vendor B" — a part with a different row decoder (xor-fold),
+// a different floorplan (uniform 512-row subarrays), a different TRR period
+// (9), and the worst die at the bottom of the stack — and must discover all
+// of it from the outside, exactly the way it discovered the paper chip's
+// parameters. If any of these pass only because of paper-chip constants
+// baked into the core library, this suite fails.
+#include <gtest/gtest.h>
+
+#include "bender/host.hpp"
+#include "core/characterizer.hpp"
+#include "core/row_map.hpp"
+#include "core/utrr.hpp"
+
+namespace rh {
+namespace {
+
+class VendorBTest : public ::testing::Test {
+protected:
+  VendorBTest() : host_(hbm::vendor_b_profile()) { host_.device().set_temperature(85.0); }
+  bender::BenderHost host_;
+};
+
+TEST_F(VendorBTest, ProfileIsWiredThrough) {
+  EXPECT_EQ(host_.device().scrambler().kind(), hbm::ScrambleKind::kXorFold);
+  EXPECT_EQ(host_.device().subarray_layout().size_of(0), 512u);
+  EXPECT_EQ(host_.device().subarray_layout().subarray_count(), 16384u / 512u);
+}
+
+TEST_F(VendorBTest, ReverseEngineeringRecoversTheXorFoldDecoder) {
+  const core::Site site{0, 0, 0};
+  const core::RowMap recovered = core::reverse_engineer_exact(host_, site, 64, 24);
+  for (std::uint32_t logical = 64; logical < 88; ++logical) {
+    EXPECT_EQ(recovered.logical_to_physical(logical),
+              host_.device().scrambler().logical_to_physical(logical));
+  }
+}
+
+TEST_F(VendorBTest, BoundaryProbeFindsTheUniform512RowFloorplan) {
+  const core::Site site{0, 0, 0};
+  const core::RowMap map = core::RowMap::from_device(host_.device());
+  const auto starts = core::find_subarray_boundaries(host_, site, map, 400, 1200);
+  ASSERT_GE(starts.size(), 2u);
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    EXPECT_EQ(starts[i] % 512, 0u) << "start " << starts[i];
+    if (i > 0) EXPECT_EQ(starts[i] - starts[i - 1], 512u);
+  }
+}
+
+TEST_F(VendorBTest, UtrrDiscoversThePeriod9Mitigation) {
+  const core::RowMap map = core::RowMap::from_device(host_.device());
+  core::UtrrConfig config;
+  config.iterations = 45;
+  core::UtrrExperiment experiment(host_, map, config);
+  core::UtrrResult result;
+  for (std::uint32_t row = 4096;; ++row) {
+    try {
+      result = experiment.run(core::Site{0, 0, 0}, row);
+      break;
+    } catch (const common::Error&) {
+      ASSERT_LT(row, 4160u);
+    }
+  }
+  ASSERT_TRUE(result.inferred_period.has_value());
+  EXPECT_EQ(*result.inferred_period, 9u);
+}
+
+TEST_F(VendorBTest, WorstDieSitsAtTheBottomOfThisStack) {
+  const core::RowMap map = core::RowMap::from_device(host_.device());
+  core::Characterizer chr(host_, map);
+  double ch0 = 0.0;
+  double ch7 = 0.0;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const std::uint32_t row = 300 + i * 31;
+    ch0 += chr.measure_ber(core::Site{0, 0, 0}, row, core::DataPattern::kRowstripe0).ber();
+    ch7 += chr.measure_ber(core::Site{7, 0, 0}, row, core::DataPattern::kRowstripe0).ber();
+  }
+  EXPECT_GT(ch0, ch7);  // reversed vs the paper chip
+}
+
+}  // namespace
+}  // namespace rh
