@@ -24,6 +24,8 @@ int main(int argc, char** argv) {
   benchutil::banner("Ablation A8 (chip population)",
                     "headline metrics across simulated chips (seeds)");
 
+  benchutil::TelemetrySession telem(args);
+
   common::Table table({"chip (seed)", "ch0 mean BER", "ch7 mean BER", "ch7/ch0",
                        "min HC_first (sampled)"});
   std::vector<double> ratios;
@@ -32,6 +34,7 @@ int main(int argc, char** argv) {
   for (std::uint32_t chip = 0; chip < chips; ++chip) {
     const std::uint64_t seed = benchutil::kDefaultSeed + chip * 0x9e37ULL;
     bender::BenderHost host(benchutil::paper_device_config(seed));
+    telem.attach(host);
     host.device().set_temperature(85.0);
     const core::RowMap map = core::RowMap::from_device(host.device());
     core::CharacterizerConfig ccfg;
@@ -74,5 +77,6 @@ int main(int argc, char** argv) {
             << common::fmt_double(stats.min, 2) << "x, " << common::fmt_double(stats.max, 2)
             << "x]\nworst-die ordering (ch7 > ch0) held on "
             << (ordering_holds ? "every chip" : "NOT every chip — investigate!") << '\n';
+  telem.finish();
   return 0;
 }

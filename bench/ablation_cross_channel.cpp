@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
                     "hammering one channel, checking rows in the others");
 
   bender::BenderHost host(benchutil::paper_device_config(seed));
+  benchutil::TelemetrySession telem(args, host);
   host.set_chip_temperature(85.0);
   const core::RowMap map = core::RowMap::from_device(host.device());
   const auto& geometry = host.device().geometry();
@@ -96,5 +97,6 @@ int main(int argc, char** argv) {
   benchutil::maybe_write_csv(args, table);
   std::cout << "\nresult: no cross-channel disturbance (null result); the same-channel\n"
                "positive control flips as expected.\n";
+  telem.finish();
   return 0;
 }

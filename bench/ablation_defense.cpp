@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
                     "per-channel HC_first profiling -> mitigation cost");
 
   bender::BenderHost host(benchutil::paper_device_config(seed));
+  benchutil::TelemetrySession telem(args, host);
   host.set_chip_temperature(85.0);
   const core::RowMap map = core::RowMap::from_device(host.device());
   const auto rows = static_cast<std::uint32_t>(args.get_int("rows", 24));
@@ -76,5 +77,6 @@ int main(int argc, char** argv) {
             << common::fmt_double(total_uniform, 2) << " vs variation-aware "
             << common::fmt_double(total_aware, 2) << " ("
             << common::fmt_percent(1.0 - total_aware / total_uniform, 1) << " saved)\n";
+  telem.finish();
   return 0;
 }

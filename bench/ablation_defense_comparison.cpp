@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
                     "PARA / Graphene vs a 256K double-sided attack");
 
   bender::BenderHost host(benchutil::paper_device_config(seed));
+  benchutil::TelemetrySession telem(args, host);
   host.set_chip_temperature(85.0);
   const core::RowMap map = core::RowMap::from_device(host.device());
   defense::DefenseHarness harness(host, map);
@@ -82,5 +83,6 @@ int main(int argc, char** argv) {
   std::cout << "\nexpected shape: every defended run shows zero flips; the aware variants\n"
                "buy the same protection with visibly less preventive traffic on the\n"
                "stronger channel — the paper's variation-aware defense implication.\n";
+  telem.finish();
   return 0;
 }

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
                     "0->1 vs 1->0 bitflip anatomy per data pattern");
 
   bender::BenderHost host(benchutil::paper_device_config(seed));
+  benchutil::TelemetrySession telem(args, host);
   host.set_chip_temperature(85.0);
   const core::RowMap map = core::RowMap::from_device(host.device());
   core::BitflipAnalyzer analyzer(host, map);
@@ -46,5 +47,6 @@ int main(int argc, char** argv) {
             << "\n(RowHammer flips are per-cell deterministic — the property memory\n"
                "templating attacks rely on; checkered rows flip in both directions\n"
                "because both cell orientations hold charge somewhere in the row.)\n";
+  telem.finish();
   return 0;
 }

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   benchutil::banner("Ablation A12 (onset curve)", "BER vs hammer count, ch0 vs ch7");
 
   bender::BenderHost host(benchutil::paper_device_config(seed));
+  benchutil::TelemetrySession telem(args, host);
   host.set_chip_temperature(85.0);
   const core::RowMap map = core::RowMap::from_device(host.device());
   core::Characterizer chr(host, map);
@@ -59,5 +60,6 @@ int main(int argc, char** argv) {
                       "ch7 mean BER % vs hammer count (8K -> 256K)");
   std::cout << "\nexpected shape: zero below the per-row HC_first tail (~13-20K), then\n"
                "super-linear growth — the regime the paper samples at 256K hammers.\n";
+  telem.finish();
   return 0;
 }

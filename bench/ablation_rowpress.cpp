@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   benchutil::banner("Ablation A1 (RowPress)", "BER / HC_first vs aggressor row on-time");
 
   bender::BenderHost host(benchutil::paper_device_config(seed));
+  benchutil::TelemetrySession telem(args, host);
   host.set_chip_temperature(85.0);
   const auto& timings = host.device().timings();
 
@@ -75,5 +76,6 @@ int main(int argc, char** argv) {
   benchutil::maybe_write_csv(args, table);
   std::cout << "\nexpected shape (RowPress): HC_first falls as on-time grows; per-hammer\n"
                "damage rises even though the timing budget allows fewer hammers.\n";
+  telem.finish();
   return 0;
 }

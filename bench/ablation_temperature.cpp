@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   benchutil::banner("Ablation A2 (temperature)", "BER vs chip temperature via the thermal rig");
 
   bender::BenderHost host(benchutil::paper_device_config(seed));
+  benchutil::TelemetrySession telem(args, host);
   const core::Site site{0, 0, 0};
   const auto rows = static_cast<std::uint32_t>(args.get_int("rows", 12));
   benchutil::warn_unqueried(args);
@@ -42,5 +43,6 @@ int main(int argc, char** argv) {
   benchutil::maybe_write_csv(args, table);
   std::cout << "\nexpected shape: mild monotone increase of BER with temperature\n"
                "(the paper runs all headline experiments at 85 degC).\n";
+  telem.finish();
   return 0;
 }

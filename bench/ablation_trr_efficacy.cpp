@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
                     "256K-hammer attack with vs without interleaved REF");
 
   bender::BenderHost host(benchutil::paper_device_config(seed));
+  benchutil::TelemetrySession telem(args, host);
   host.set_chip_temperature(85.0);
   const core::RowMap map = core::RowMap::from_device(host.device());
   const core::Site site{7, 0, 0};  // most vulnerable channel
@@ -85,5 +86,6 @@ int main(int argc, char** argv) {
   benchutil::maybe_write_csv(args, table);
   std::cout << "\nexpected shape: interleaved REF engages the period-17 TRR sampler, which\n"
                "keeps resetting the victim's disturbance; denser REF -> fewer/no flips.\n";
+  telem.finish();
   return 0;
 }

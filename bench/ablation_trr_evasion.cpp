@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
                     "decoy activations poison the period-17 sampler");
 
   bender::BenderHost host(benchutil::paper_device_config(seed));
+  benchutil::TelemetrySession telem(args, host);
   host.set_chip_temperature(85.0);
   const core::RowMap map = core::RowMap::from_device(host.device());
   core::AttackRunner attacker(host, map);
@@ -63,5 +64,6 @@ int main(int argc, char** argv) {
             << blocked << " flips total) but the sampler-poisoning variant recovers "
             << evaded << " flips —\n"
                "knowing the mechanism (paper §5) is knowing how to defeat it.\n";
+  telem.finish();
   return 0;
 }

@@ -4,15 +4,22 @@
 // prints (a) the series the figure plots as an aligned table, (b) a compact
 // ASCII rendering of the figure's shape, and (c) optional CSV via --csv.
 // Flags shared by all benches:
-//   --seed=N      device seed (default: the calibrated seed)
-//   --stride=N    row-sampling stride (1 = the paper's full methodology)
-//   --hammers=N   hammer count for BER tests (default 262144 = 256 K)
-//   --csv=PATH    also write machine-readable CSV
+//   --seed=N            device seed (default: the calibrated seed)
+//   --stride=N          row-sampling stride (1 = the paper's full methodology)
+//   --hammers=N         hammer count for BER tests (default 262144 = 256 K)
+//   --csv=PATH          also write machine-readable CSV
+//   --metrics-json=PATH write a telemetry metrics snapshot (counters, per-bank
+//                       ACT heatmap, trace stats) as JSON
+//   --trace=PATH        write the command trace as Chrome trace-event JSON
+//                       (load in chrome://tracing or Perfetto)
+//   --heatmap           print the per-bank ACT heatmap after the run
 #pragma once
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "bender/host.hpp"
 #include "common/cli.hpp"
@@ -20,6 +27,7 @@
 #include "common/table.hpp"
 #include "fault/config.hpp"
 #include "hbm/device.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace rh::benchutil {
 
@@ -56,5 +64,85 @@ inline void maybe_write_csv(const common::CliArgs& args, const common::Table& ta
 
 /// The calibrated device seed (the fault model's default).
 inline const std::uint64_t kDefaultSeed = fault::FaultConfig{}.seed;
+
+/// Per-bench telemetry lifecycle: reads --metrics-json / --trace / --heatmap,
+/// attaches a Telemetry sink to the host's device when any is requested, and
+/// writes the requested outputs in finish(). When none of the flags is given
+/// no sink is constructed and the device keeps its zero-overhead null path.
+///
+/// Usage:
+///   TelemetrySession telem(args, host);   // right after constructing host
+///   ... run the bench ...
+///   telem.finish();                       // before process exit
+class TelemetrySession {
+public:
+  /// Parses the flags only; call attach() for each host (population sweeps
+  /// construct several devices; each feeds the same aggregating sink).
+  explicit TelemetrySession(const common::CliArgs& args) {
+    metrics_path_ = args.get("metrics-json", "");
+    trace_path_ = args.get("trace", "");
+    heatmap_ = args.has("heatmap");
+    // Fail on unwritable paths now, not after a multi-minute run.
+    probe_writable(metrics_path_, "metrics");
+    probe_writable(trace_path_, "trace");
+    if (enabled()) {
+      telemetry::TelemetryConfig config;
+      config.trace_enabled = !trace_path_.empty();
+      telemetry_ = std::make_unique<telemetry::Telemetry>(config);
+    }
+  }
+
+  TelemetrySession(const common::CliArgs& args, bender::BenderHost& host)
+      : TelemetrySession(args) {
+    attach(host);
+  }
+
+  TelemetrySession(const TelemetrySession&) = delete;
+  TelemetrySession& operator=(const TelemetrySession&) = delete;
+
+  /// Attaches the sink to a host's device. The session must outlive every
+  /// command issued on the host (declare it after the host in main()).
+  void attach(bender::BenderHost& host) {
+    if (telemetry_) host.set_telemetry(telemetry_.get());
+  }
+
+  [[nodiscard]] bool enabled() const {
+    return !metrics_path_.empty() || !trace_path_.empty() || heatmap_;
+  }
+  [[nodiscard]] telemetry::Telemetry* sink() { return telemetry_.get(); }
+
+  /// Writes the requested artifacts and prints one status line per file.
+  void finish() {
+    if (!telemetry_) return;
+    if (!metrics_path_.empty()) {
+      std::ofstream out(metrics_path_);
+      if (!out) throw common::ConfigError("cannot open metrics output file: " + metrics_path_);
+      telemetry_->write_metrics_json(out);
+      std::cout << "(metrics written to " << metrics_path_ << ")\n";
+    }
+    if (!trace_path_.empty()) {
+      std::ofstream out(trace_path_);
+      if (!out) throw common::ConfigError("cannot open trace output file: " + trace_path_);
+      telemetry_->write_chrome_trace(out);
+      std::cout << "(trace written to " << trace_path_ << ")\n";
+    }
+    if (heatmap_) telemetry_->render_act_heatmap(std::cout);
+  }
+
+private:
+  static void probe_writable(const std::string& path, const char* what) {
+    if (path.empty()) return;
+    std::ofstream out(path);
+    if (!out) {
+      throw common::ConfigError(std::string("cannot open ") + what +
+                                " output file: " + path);
+    }
+  }
+
+  std::string metrics_path_;
+  std::string trace_path_;
+  bool heatmap_ = false;
+  std::unique_ptr<telemetry::Telemetry> telemetry_;
+};
 
 }  // namespace rh::benchutil

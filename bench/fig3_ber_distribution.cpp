@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   benchutil::banner("Figure 3", "BER across rows, channels, and data patterns");
 
   bender::BenderHost host(benchutil::paper_device_config(seed));
+  benchutil::TelemetrySession telem(args, host);
   host.set_chip_temperature(85.0);
 
   core::SurveyConfig config;
@@ -73,5 +74,6 @@ int main(int argc, char** argv) {
                      wcdp_mean[7] / wcdp_mean[0], 2)
               << "x\n";
   }
+  telem.finish();
   return 0;
 }

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   benchutil::banner("Figure 4", "HC_first across rows, channels, and data patterns");
 
   bender::BenderHost host(benchutil::paper_device_config(seed));
+  benchutil::TelemetrySession telem(args, host);
   host.set_chip_temperature(85.0);
 
   core::SurveyConfig config;
@@ -74,5 +75,6 @@ int main(int argc, char** argv) {
   std::cout << "paper: ch0 mean HC_first RS0 57925 / RS1 79179  |  measured: "
             << common::fmt_double(ch0_mean[0], 0) << " / " << common::fmt_double(ch0_mean[1], 0)
             << '\n';
+  telem.finish();
   return 0;
 }

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   benchutil::banner("Figure 5", "BER for different rows across a bank (per-row WCDP)");
 
   bender::BenderHost host(benchutil::paper_device_config(seed));
+  benchutil::TelemetrySession telem(args, host);
   host.set_chip_temperature(85.0);
 
   core::SurveyConfig config;
@@ -99,5 +100,6 @@ int main(int argc, char** argv) {
     for (std::size_t i = 1; i < starts.size(); ++i) std::cout << ' ' << starts[i] - starts[i - 1];
     std::cout << "  (paper: 832 and 768)\n";
   }
+  telem.finish();
   return 0;
 }

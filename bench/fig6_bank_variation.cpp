@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   benchutil::banner("Figure 6", "BER variation across banks (mean vs CV, 256 banks)");
 
   bender::BenderHost host(benchutil::paper_device_config(seed));
+  benchutil::TelemetrySession telem(args, host);
   host.set_chip_temperature(85.0);
 
   core::SurveyConfig config;
@@ -99,5 +100,6 @@ int main(int argc, char** argv) {
             << " pp vs max within-channel bank spread: "
             << common::fmt_double(max_within * 100.0, 3)
             << " pp (paper: channel-level variation dominates)\n";
+  telem.finish();
   return 0;
 }

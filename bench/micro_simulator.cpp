@@ -55,6 +55,48 @@ void BM_ActivatePrechargeLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_ActivatePrechargeLoop);
 
+// Telemetry overhead pin: the same ACT/PRE hot loop with (a) no sink
+// attached — the shipping default, one null-pointer branch per command —
+// and (b) a live sink recording counters + heatmap + trace. Compare
+// against BM_ActivatePrechargeLoop; the unattached variant must stay
+// within 5% of it (see DESIGN.md "Observability" for the budget).
+void BM_ActivatePrechargeLoopTelemetryDetached(benchmark::State& state) {
+  hbm::Device device(test_config());
+  device.set_telemetry(nullptr);
+  const hbm::BankAddress bank{0, 0, 0};
+  const auto& t = device.timings();
+  hbm::Cycle now = 1000;
+  std::uint32_t row = 100;
+  for (auto _ : state) {
+    device.activate(bank, row, now);
+    device.precharge(bank, now + t.tRAS);
+    now += t.tRAS + t.tRP;
+    row ^= 2;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ActivatePrechargeLoopTelemetryDetached);
+
+void BM_ActivatePrechargeLoopTelemetryAttached(benchmark::State& state) {
+  hbm::Device device(test_config());
+  telemetry::Telemetry telem;
+  device.set_telemetry(&telem);
+  const hbm::BankAddress bank{0, 0, 0};
+  const auto& t = device.timings();
+  hbm::Cycle now = 1000;
+  std::uint32_t row = 100;
+  for (auto _ : state) {
+    device.activate(bank, row, now);
+    device.precharge(bank, now + t.tRAS);
+    now += t.tRAS + t.tRP;
+    row ^= 2;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["acts_recorded"] =
+      static_cast<double>(telem.total_acts());
+}
+BENCHMARK(BM_ActivatePrechargeLoopTelemetryAttached);
+
 void BM_HammerBatch256K(benchmark::State& state) {
   hbm::Device device(test_config());
   const hbm::BankAddress bank{0, 0, 0};

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   benchutil::banner("Section 5", "U-TRR: uncovering the undisclosed in-DRAM TRR");
 
   bender::BenderHost host(benchutil::paper_device_config(seed));
+  benchutil::TelemetrySession telem(args, host);
   host.set_chip_temperature(85.0);
 
   const core::Site site{static_cast<std::uint32_t>(args.get_int("channel", 0)), 0,
@@ -67,5 +68,6 @@ int main(int argc, char** argv) {
                  std::to_string(result.refreshed_iterations.size())});
   table.print(std::cout);
   benchutil::maybe_write_csv(args, table);
+  telem.finish();
   return 0;
 }

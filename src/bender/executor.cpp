@@ -1,6 +1,7 @@
 #include "bender/executor.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 
 #include "common/assert.hpp"
@@ -19,11 +20,13 @@ ExecutionResult Executor::run(const Program& program, std::uint32_t channel,
   ExecutionResult result;
   result.start_cycle = start;
 
+  const auto host_start = std::chrono::steady_clock::now();
   std::array<std::int64_t, kScalarRegisters> regs{};
   std::vector<std::uint8_t> burst(geometry.bytes_per_column);
   hbm::Cycle t = start;
   std::size_t pc = 0;
   std::uint64_t executed = 0;
+  RunMetrics metrics;
 
   const auto bank_addr = [&](std::uint8_t bank) {
     return hbm::BankAddress{channel, pseudo_channel, bank};
@@ -47,11 +50,14 @@ ExecutionResult Executor::run(const Program& program, std::uint32_t channel,
     return std::max(timings.tRC, on + timings.tRP);
   };
 
+  const Instruction* current = nullptr;
+  try {
   while (pc < code.size()) {
     if (++executed > instruction_budget) {
       throw common::ProgramError("instruction budget exceeded (runaway loop?)");
     }
     const Instruction& ins = code[pc];
+    current = &ins;
     hbm::Cycle cost = 1;
     std::size_t next = pc + 1;
 
@@ -72,31 +78,38 @@ ExecutionResult Executor::run(const Program& program, std::uint32_t channel,
         break;
       case Opcode::kAct:
         device_->activate(bank_addr(ins.bank), reg_row(ins.rs1), t);
+        ++metrics.acts;
         break;
       case Opcode::kPre:
         device_->precharge(bank_addr(ins.bank), t);
+        ++metrics.precharges;
         break;
       case Opcode::kPreA:
         device_->precharge_all(channel, pseudo_channel, t);
+        ++metrics.precharges;
         break;
       case Opcode::kWr: {
         const std::uint32_t col = reg_col(ins.rs1);
         const auto wide = program.wide_register(ins.wide);
         const std::size_t off = static_cast<std::size_t>(col) * geometry.bytes_per_column;
         device_->write(bank_addr(ins.bank), col, wide.subspan(off, geometry.bytes_per_column), t);
+        ++metrics.writes;
         break;
       }
       case Opcode::kRd: {
         const std::uint32_t col = reg_col(ins.rs1);
         device_->read(bank_addr(ins.bank), col, t, burst);
         result.readback.insert(result.readback.end(), burst.begin(), burst.end());
+        ++metrics.reads;
         break;
       }
       case Opcode::kRef:
         device_->refresh(channel, pseudo_channel, t);
+        ++metrics.refreshes;
         break;
       case Opcode::kMrs:
         device_->mode_register_set(channel, ins.rd, static_cast<std::uint32_t>(ins.imm), t);
+        ++metrics.mode_register_writes;
         break;
       case Opcode::kSleep:
         cost = 1 + static_cast<hbm::Cycle>(ins.imm);
@@ -109,6 +122,8 @@ ExecutionResult Executor::run(const Program& program, std::uint32_t channel,
               std::max<hbm::Cycle>(static_cast<hbm::Cycle>(ins.imm2), timings.tRAS);
           device_->hammer_pair(bank_addr(ins.bank), reg_row(ins.rs1), reg_row(ins.rs2),
                                static_cast<std::uint64_t>(ins.imm), on, t + cost);
+          metrics.acts += 2 * static_cast<std::uint64_t>(ins.imm);
+          metrics.precharges += 2 * static_cast<std::uint64_t>(ins.imm);
         }
         break;
       }
@@ -120,6 +135,8 @@ ExecutionResult Executor::run(const Program& program, std::uint32_t channel,
               std::max<hbm::Cycle>(static_cast<hbm::Cycle>(ins.imm2), timings.tRAS);
           device_->hammer_single(bank_addr(ins.bank), reg_row(ins.rs1),
                                  static_cast<std::uint64_t>(ins.imm), on, t + cost);
+          metrics.acts += static_cast<std::uint64_t>(ins.imm);
+          metrics.precharges += static_cast<std::uint64_t>(ins.imm);
         }
         break;
       }
@@ -129,15 +146,37 @@ ExecutionResult Executor::run(const Program& program, std::uint32_t channel,
       case Opcode::kSrExit:
         device_->self_refresh_exit(channel, pseudo_channel, t);
         break;
-      case Opcode::kEnd:
+      case Opcode::kEnd: {
         result.end_cycle = t + 1;
         result.instructions_executed = executed;
+        metrics.sim_wall_ms = hbm::cycles_to_ms(result.end_cycle - result.start_cycle);
+        metrics.host_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - host_start).count();
+        if (metrics.sim_wall_ms > 0.0) {
+          metrics.act_rate_hz =
+              static_cast<double>(metrics.acts) / (metrics.sim_wall_ms * 1e-3);
+        }
+        if (metrics.host_seconds > 0.0) {
+          metrics.instructions_per_second =
+              static_cast<double>(executed) / metrics.host_seconds;
+        }
+        result.metrics = metrics;
         return result;
+      }
     }
     t += cost;
     pc = next;
   }
   throw common::ProgramError("program ran off the end without END");
+  } catch (common::Error& e) {
+    std::string ctx = "after " + std::to_string(executed) + " instructions, cycle " +
+                      std::to_string(t);
+    if (current != nullptr) {
+      ctx += ", pc " + std::to_string(pc) + ": " + disassemble(*current);
+    }
+    e.attach_context(ctx);
+    throw;
+  }
 }
 
 }  // namespace rh::bender

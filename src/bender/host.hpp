@@ -36,6 +36,10 @@ public:
   /// Throws ConfigError if the rig cannot settle within `timeout_s`.
   void set_chip_temperature(double celsius, double timeout_s = 600.0);
 
+  /// Attaches a telemetry sink to the underlying device (nullptr detaches).
+  /// The sink must outlive the host or be detached before destruction.
+  void set_telemetry(telemetry::Telemetry* sink) { device_->set_telemetry(sink); }
+
   [[nodiscard]] hbm::Cycle now() const { return now_; }
   [[nodiscard]] hbm::Device& device() { return *device_; }
   [[nodiscard]] const hbm::Device& device() const { return *device_; }

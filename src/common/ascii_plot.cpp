@@ -116,4 +116,36 @@ void render_scatter(std::ostream& os, const std::vector<ScatterPoint>& pts, int 
      << fmt_double(ry.lo, 4) << ", " << fmt_double(ry.hi, 4) << "]\n";
 }
 
+void render_heatmap(std::ostream& os, const std::vector<std::vector<double>>& rows,
+                    const std::vector<std::string>& labels, const std::string& title) {
+  if (rows.empty()) return;
+  if (!title.empty()) os << "  " << title << '\n';
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  static constexpr int kLevels = static_cast<int>(sizeof(kRamp) - 2);  // 0..9
+  double max = 0.0;
+  for (const auto& row : rows) {
+    for (const double v : row) max = std::max(max, v);
+  }
+  std::size_t label_w = 0;
+  for (const auto& label : labels) label_w = std::max(label_w, label.size());
+
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::string& label = i < labels.size() ? labels[i] : std::string{};
+    os << "  " << label << std::string(label_w - label.size(), ' ') << " |";
+    for (const double v : rows[i]) {
+      int level = 0;
+      if (max > 0.0 && v > 0.0) {
+        // Nonzero cells always render at least level 1 so sparse activity
+        // stays visible next to a dominant hot bank.
+        level = std::clamp(static_cast<int>(std::ceil(v / max * kLevels)), 1, kLevels);
+      }
+      os << kRamp[static_cast<std::size_t>(level)];
+    }
+    os << "|\n";
+  }
+  os << "  " << std::string(label_w, ' ') << " scale: ' '=0";
+  if (max > 0.0) os << ", '" << kRamp[kLevels] << "'=" << fmt_double(max, 4);
+  os << '\n';
+}
+
 }  // namespace rh::common

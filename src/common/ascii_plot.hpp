@@ -43,4 +43,11 @@ struct ScatterPoint {
 void render_scatter(std::ostream& os, const std::vector<ScatterPoint>& pts, int width = 72,
                     int height = 20, const std::string& title = {});
 
+/// Renders a labelled intensity grid (telemetry per-bank activity heatmaps):
+/// one output row per entry of `rows`, one character column per cell, glyph
+/// density proportional to the cell's share of the global maximum. Rows may
+/// have differing lengths; `labels` must parallel `rows`.
+void render_heatmap(std::ostream& os, const std::vector<std::vector<double>>& rows,
+                    const std::vector<std::string>& labels, const std::string& title = {});
+
 }  // namespace rh::common

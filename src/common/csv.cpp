@@ -4,9 +4,11 @@
 
 namespace rh::common {
 
-CsvWriter::CsvWriter(const std::string& path) : out_(path) {
-  if (!out_) throw ConfigError("cannot open CSV output file: " + path);
+CsvWriter::CsvWriter(const std::string& path) : file_(path), out_(&file_) {
+  if (!file_) throw ConfigError("cannot open CSV output file: " + path);
 }
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(&out) {}
 
 namespace {
 
@@ -25,10 +27,10 @@ std::string escape(const std::string& cell) {
 
 void CsvWriter::write_row(const std::vector<std::string>& cells) {
   for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (i > 0) out_ << ',';
-    out_ << escape(cells[i]);
+    if (i > 0) *out_ << ',';
+    *out_ << escape(cells[i]);
   }
-  out_ << '\n';
+  *out_ << '\n';
   ++rows_;
 }
 

@@ -2,16 +2,20 @@
 #pragma once
 
 #include <fstream>
+#include <ostream>
 #include <string>
 #include <vector>
 
 namespace rh::common {
 
-/// Streams rows of string cells to a CSV file. Throws ConfigError if the
-/// file cannot be opened. Cells containing commas or quotes are quoted.
+/// Streams rows of string cells to a CSV destination. Throws ConfigError if
+/// the file cannot be opened. Cells containing commas or quotes are quoted.
 class CsvWriter {
 public:
   explicit CsvWriter(const std::string& path);
+  /// Streams to an externally owned ostream (in-memory export, tests). The
+  /// stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out);
 
   void write_row(const std::vector<std::string>& cells);
 
@@ -19,7 +23,8 @@ public:
   [[nodiscard]] std::size_t rows_written() const { return rows_; }
 
 private:
-  std::ofstream out_;
+  std::ofstream file_;
+  std::ostream* out_;
   std::size_t rows_ = 0;
 };
 

@@ -15,9 +15,32 @@
 namespace rh::common {
 
 /// Root class for all recoverable hbm2-rowhammer-lab failures.
+///
+/// Layers that catch-and-rethrow (e.g. the Bender executor) can attach
+/// diagnostic context — executed-instruction count, last command, cycle —
+/// without losing the error's dynamic type: catch by reference, call
+/// attach_context(), rethrow with `throw;`.
 class Error : public std::runtime_error {
 public:
   using std::runtime_error::runtime_error;
+
+  /// Appends a bracketed context note to what(). May be called repeatedly;
+  /// notes accumulate in attachment order.
+  void attach_context(const std::string& note) {
+    context_ += context_.empty() ? note : ("; " + note);
+    full_message_ = std::string(std::runtime_error::what()) + " [" + context_ + "]";
+  }
+
+  /// Accumulated context notes ("" when none attached).
+  [[nodiscard]] const std::string& context() const { return context_; }
+
+  [[nodiscard]] const char* what() const noexcept override {
+    return full_message_.empty() ? std::runtime_error::what() : full_message_.c_str();
+  }
+
+private:
+  std::string context_;
+  std::string full_message_;
 };
 
 /// Invalid device geometry, timing set, or experiment parameters.

@@ -1,6 +1,8 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <iostream>
 
 namespace rh::common {
@@ -8,7 +10,32 @@ namespace rh::common {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
-const char* level_tag(LogLevel level) {
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::shared_ptr<LogSink>& sink_slot() {
+  static std::shared_ptr<LogSink> sink = std::make_shared<StderrSink>();
+  return sink;
+}
+
+std::shared_ptr<LogSink> current_sink() {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  return sink_slot();
+}
+
+std::chrono::steady_clock::time_point process_start() {
+  static const auto start = std::chrono::steady_clock::now();
+  return start;
+}
+
+// Touch the start time during static init so the epoch is as close to
+// process start as the translation unit allows.
+const auto g_start_anchor = process_start();
+}  // namespace
+
+const char* log_level_tag(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
     case LogLevel::kInfo: return "INFO ";
@@ -18,15 +45,58 @@ const char* level_tag(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
+
+double log_monotonic_ms() {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   process_start())
+      .count();
+}
+
+void StderrSink::write(LogLevel level, double mono_ms, const std::string& message) {
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), "+%.3fms", mono_ms);
+  std::cerr << "[" << log_level_tag(level) << " " << stamp << "] " << message << '\n';
+}
+
+void CapturingSink::write(LogLevel level, double mono_ms, const std::string& message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(Record{level, mono_ms, message});
+}
+
+std::vector<CapturingSink::Record> CapturingSink::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::string CapturingSink::joined() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& r : records_) {
+    out += r.message;
+    out += '\n';
+  }
+  return out;
+}
+
+void CapturingSink::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+}
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+std::shared_ptr<LogSink> set_log_sink(std::shared_ptr<LogSink> sink) {
+  if (!sink) sink = std::make_shared<StderrSink>();
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  std::swap(sink_slot(), sink);
+  return sink;
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (level < log_level()) return;
-  std::cerr << "[" << level_tag(level) << "] " << message << '\n';
+  current_sink()->write(level, log_monotonic_ms(), message);
 }
 
 }  // namespace rh::common

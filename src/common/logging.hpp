@@ -1,17 +1,76 @@
-// Leveled logging to stderr. Quiet by default so bench output stays clean;
-// examples raise the level for narrative progress lines.
+// Leveled logging with pluggable sinks. Quiet by default so bench output
+// stays clean; examples raise the level for narrative progress lines.
+//
+// Messages that pass the global threshold are routed to one installed
+// LogSink. The default sink writes to stderr with a level tag and a
+// monotonic timestamp (milliseconds since process start); tests install a
+// CapturingSink to assert on emitted lines without touching stderr.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace rh::common {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+/// Destination for log lines that pass the global threshold. Implementations
+/// must tolerate concurrent write() calls (the dispatcher does not serialize).
+class LogSink {
+public:
+  virtual ~LogSink() = default;
+
+  /// One log record. `mono_ms` is a monotonic timestamp in milliseconds
+  /// since process start (steady clock, immune to wall-clock jumps).
+  virtual void write(LogLevel level, double mono_ms, const std::string& message) = 0;
+};
+
+/// Default sink: one line per record to stderr, formatted as
+/// `[LEVEL +12.345ms] message`.
+class StderrSink : public LogSink {
+public:
+  void write(LogLevel level, double mono_ms, const std::string& message) override;
+};
+
+/// Test sink: retains every record in memory instead of printing.
+class CapturingSink : public LogSink {
+public:
+  struct Record {
+    LogLevel level;
+    double mono_ms;
+    std::string message;
+  };
+
+  void write(LogLevel level, double mono_ms, const std::string& message) override;
+
+  /// Snapshot of records captured so far (copied; safe across writers).
+  [[nodiscard]] std::vector<Record> records() const;
+  /// Concatenated messages for substring assertions.
+  [[nodiscard]] std::string joined() const;
+  void clear();
+
+private:
+  mutable std::mutex mutex_;
+  std::vector<Record> records_;
+};
+
 /// Sets the global minimum level that is emitted. Thread-safe (atomic).
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
+
+/// Installs `sink` as the destination for all subsequent log lines and
+/// returns the previously installed sink. Passing nullptr restores the
+/// default stderr sink.
+std::shared_ptr<LogSink> set_log_sink(std::shared_ptr<LogSink> sink);
+
+/// Short uppercase tag for a level ("DEBUG", "INFO ", ...).
+[[nodiscard]] const char* log_level_tag(LogLevel level);
+
+/// Milliseconds elapsed on the steady clock since process start.
+[[nodiscard]] double log_monotonic_ms();
 
 /// Emits one line at `level` if it passes the global threshold.
 void log_line(LogLevel level, const std::string& message);

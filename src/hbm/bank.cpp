@@ -6,6 +6,7 @@
 #include "common/assert.hpp"
 #include "fault/cell_traits.hpp"
 #include "hbm/ecc.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace rh::hbm {
 
@@ -200,17 +201,27 @@ void Bank::settle_impl(std::uint32_t physical_row, Cycle now, Cycle decayed_unti
   if ((need_retention && tracked) || need_rh) {
     RowState& rs = ensure_materialized(physical_row);
     ++stats_.settles;
+    std::size_t retention_flipped = 0;
+    std::size_t rh_flipped = 0;
     if (need_retention) {
-      stats_.retention_flips +=
+      retention_flipped =
           retention_model_->apply(context_, physical_row, rs.raw, elapsed_s, temperature_c);
+      stats_.retention_flips += retention_flipped;
     }
     if (need_rh) {
       const auto above =
           neighbour_data(physical_row, static_cast<std::int64_t>(physical_row) - 1, scratch_above_);
       const auto below =
           neighbour_data(physical_row, static_cast<std::int64_t>(physical_row) + 1, scratch_below_);
-      stats_.rowhammer_flips += rh_model_->apply(context_, physical_row, rs.raw, above, below,
-                                                 disturbance, temperature_c);
+      rh_flipped = rh_model_->apply(context_, physical_row, rs.raw, above, below, disturbance,
+                                    temperature_c);
+      stats_.rowhammer_flips += rh_flipped;
+    }
+    if (rh_flipped + retention_flipped > 0) {
+      RH_TELEM(telemetry_,
+               on_bit_flips(now, context_.channel, context_.pseudo_channel, context_.bank,
+                            physical_row, static_cast<std::uint32_t>(rh_flipped),
+                            static_cast<std::uint32_t>(retention_flipped), disturbance));
     }
   }
   if (dit != disturbance_.end()) disturbance_.erase(dit);

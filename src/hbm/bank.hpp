@@ -31,6 +31,10 @@
 #include "hbm/timing.hpp"
 #include "hbm/timing_checker.hpp"
 
+namespace rh::telemetry {
+class Telemetry;
+}
+
 namespace rh::hbm {
 
 class Bank {
@@ -93,6 +97,10 @@ public:
   /// Pending-work check used by tests to confirm hot-path skip behaviour.
   [[nodiscard]] std::size_t tracked_rows() const { return rows_.size(); }
 
+  /// Telemetry sink for bit-flip materialization events (attached through
+  /// Device::set_telemetry; nullptr detaches).
+  void set_telemetry(telemetry::Telemetry* sink) { telemetry_ = sink; }
+
 private:
   struct RowState {
     std::vector<std::uint8_t> raw;
@@ -125,6 +133,7 @@ private:
   const RowScrambler* scrambler_;
   const fault::RowHammerModel* rh_model_;
   const fault::RetentionModel* retention_model_;
+  telemetry::Telemetry* telemetry_ = nullptr;
 
   BankTiming timing_;
   std::uint32_t open_physical_ = 0;

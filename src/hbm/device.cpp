@@ -1,8 +1,11 @@
 #include "hbm/device.hpp"
 
 #include "common/assert.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace rh::hbm {
+
+using telemetry::TraceCommand;
 
 DeviceConfig vendor_b_profile() {
   DeviceConfig config;
@@ -38,6 +41,13 @@ Device::Device(DeviceConfig config)
   }
 }
 
+void Device::set_telemetry(telemetry::Telemetry* sink) {
+  telemetry_ = sink;
+  for (auto& channel : channels_) {
+    for (auto& pc : channel.pseudo_channels) pc.set_telemetry(sink);
+  }
+}
+
 Device::Channel& Device::channel_at(std::uint32_t channel) {
   RH_EXPECTS(channel < channels_.size());
   return channels_[channel];
@@ -68,15 +78,20 @@ const Bank& Device::bank(const BankAddress& addr) const {
 void Device::activate(const BankAddress& addr, std::uint32_t row, Cycle now) {
   RH_EXPECTS(addr.valid(config_.geometry));
   pseudo_channel(addr.channel, addr.pseudo_channel).activate(addr.bank, row, now, temperature_c_);
+  RH_TELEM(telemetry_,
+           on_command(TraceCommand::kAct, now, addr.channel, addr.pseudo_channel, addr.bank, row));
 }
 
 void Device::precharge(const BankAddress& addr, Cycle now) {
   RH_EXPECTS(addr.valid(config_.geometry));
   pseudo_channel(addr.channel, addr.pseudo_channel).precharge(addr.bank, now, temperature_c_);
+  RH_TELEM(telemetry_,
+           on_command(TraceCommand::kPre, now, addr.channel, addr.pseudo_channel, addr.bank, 0));
 }
 
 void Device::precharge_all(std::uint32_t channel, std::uint32_t pc, Cycle now) {
   pseudo_channel(channel, pc).precharge_all(now, temperature_c_);
+  RH_TELEM(telemetry_, on_command(TraceCommand::kPreA, now, channel, pc, 0, 0));
 }
 
 void Device::read(const BankAddress& addr, std::uint32_t column, Cycle now,
@@ -84,31 +99,39 @@ void Device::read(const BankAddress& addr, std::uint32_t column, Cycle now,
   RH_EXPECTS(addr.valid(config_.geometry));
   const bool ecc = channels_[addr.channel].mode_registers.ecc_enabled();
   pseudo_channel(addr.channel, addr.pseudo_channel).read(addr.bank, column, now, ecc, out);
+  RH_TELEM(telemetry_, on_command(TraceCommand::kRd, now, addr.channel, addr.pseudo_channel,
+                                  addr.bank, 0, column));
 }
 
 void Device::write(const BankAddress& addr, std::uint32_t column,
                    std::span<const std::uint8_t> data, Cycle now) {
   RH_EXPECTS(addr.valid(config_.geometry));
   pseudo_channel(addr.channel, addr.pseudo_channel).write(addr.bank, column, data, now);
+  RH_TELEM(telemetry_, on_command(TraceCommand::kWr, now, addr.channel, addr.pseudo_channel,
+                                  addr.bank, 0, column));
 }
 
 void Device::refresh(std::uint32_t channel, std::uint32_t pc, Cycle now) {
   pseudo_channel(channel, pc).refresh(now, temperature_c_);
+  RH_TELEM(telemetry_, on_command(TraceCommand::kRef, now, channel, pc, 0, 0));
 }
 
 void Device::self_refresh_enter(std::uint32_t channel, std::uint32_t pc, Cycle now) {
   pseudo_channel(channel, pc).enter_self_refresh(now);
+  RH_TELEM(telemetry_, on_command(TraceCommand::kSrEnter, now, channel, pc, 0, 0));
 }
 
 void Device::self_refresh_exit(std::uint32_t channel, std::uint32_t pc, Cycle now) {
   pseudo_channel(channel, pc).exit_self_refresh(now, temperature_c_);
+  RH_TELEM(telemetry_, on_command(TraceCommand::kSrExit, now, channel, pc, 0, 0));
 }
 
 void Device::mode_register_set(std::uint32_t channel, std::uint32_t reg, std::uint32_t value,
                                Cycle now) {
-  (void)now;  // MRS has no modelled timing constraint beyond bus occupancy
   auto& ch = channel_at(channel);
   ch.mode_registers.set(reg, value);
+  // MRS has no modelled timing constraint beyond bus occupancy.
+  RH_TELEM(telemetry_, on_command(TraceCommand::kMrs, now, channel, 0, 0, reg, value));
   if (reg == ModeRegisters::kTrrRegister) {
     // Engage/disengage the documented TRR mode on the selected pseudo
     // channel (both TRR engines coexist; see trr/documented_trr.hpp).
@@ -130,6 +153,8 @@ void Device::hammer_pair(const BankAddress& addr, std::uint32_t row_a, std::uint
   RH_EXPECTS(addr.valid(config_.geometry));
   pseudo_channel(addr.channel, addr.pseudo_channel)
       .hammer_pair(addr.bank, row_a, row_b, count, on_time, end, temperature_c_);
+  RH_TELEM(telemetry_,
+           on_hammer(end, addr.channel, addr.pseudo_channel, addr.bank, row_a, 2 * count));
 }
 
 void Device::hammer_single(const BankAddress& addr, std::uint32_t row, std::uint64_t count,
@@ -137,6 +162,7 @@ void Device::hammer_single(const BankAddress& addr, std::uint32_t row, std::uint
   RH_EXPECTS(addr.valid(config_.geometry));
   pseudo_channel(addr.channel, addr.pseudo_channel)
       .hammer_single(addr.bank, row, count, on_time, end, temperature_c_);
+  RH_TELEM(telemetry_, on_hammer(end, addr.channel, addr.pseudo_channel, addr.bank, row, count));
 }
 
 }  // namespace rh::hbm

@@ -29,6 +29,10 @@
 #include "hbm/timing.hpp"
 #include "trr/proprietary_trr.hpp"
 
+namespace rh::telemetry {
+class Telemetry;
+}
+
 namespace rh::hbm {
 
 struct DeviceConfig {
@@ -83,6 +87,15 @@ public:
   void set_temperature(double celsius) { temperature_c_ = celsius; }
   [[nodiscard]] double temperature() const { return temperature_c_; }
 
+  // --- Observability ------------------------------------------------------
+  /// Attaches (or detaches, with nullptr) a telemetry sink observing the
+  /// full stack: interface commands here, TRR triggers and refresh-pointer
+  /// progress in the pseudo channels, bit-flip materializations in the
+  /// banks. The sink must outlive the device or be detached first; when no
+  /// sink is attached the instrumentation costs one branch per hook.
+  void set_telemetry(telemetry::Telemetry* sink);
+  [[nodiscard]] telemetry::Telemetry* telemetry() const { return telemetry_; }
+
   // --- Introspection ------------------------------------------------------
   [[nodiscard]] const Geometry& geometry() const { return config_.geometry; }
   [[nodiscard]] const TimingParams& timings() const { return config_.timings; }
@@ -112,6 +125,7 @@ private:
   std::unique_ptr<fault::RetentionModel> retention_model_;
   std::vector<Channel> channels_;
   double temperature_c_ = 85.0;
+  telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace rh::hbm

@@ -5,6 +5,7 @@
 #include "common/assert.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace rh::hbm {
 
@@ -27,6 +28,8 @@ PseudoChannel::PseudoChannel(const Geometry& geometry, const TimingParams& timin
                              const trr::ProprietaryTrrConfig& trr_config)
     : geometry_(&geometry),
       scrambler_(&scrambler),
+      channel_(channel),
+      pseudo_channel_(pseudo_channel),
       timings_(timings),
       channel_timing_(timings_),
       proprietary_trr_(per_pc_trr(trr_config, channel, pseudo_channel)) {
@@ -38,6 +41,11 @@ PseudoChannel::PseudoChannel(const Geometry& geometry, const TimingParams& timin
   }
   RH_EXPECTS(timings.refs_per_window > 0);
   rows_per_ref_ = std::max(1u, geometry.rows_per_bank / timings.refs_per_window);
+}
+
+void PseudoChannel::set_telemetry(telemetry::Telemetry* sink) {
+  telemetry_ = sink;
+  for (auto& b : banks_) b.set_telemetry(sink);
 }
 
 Bank& PseudoChannel::bank(std::uint32_t index) {
@@ -103,17 +111,22 @@ void PseudoChannel::refresh(Cycle now, double temperature_c) {
     }
   }
   refresh_pointer_ = (refresh_pointer_ + rows_per_ref_) % geometry_->rows_per_bank;
+  RH_TELEM(telemetry_, on_refresh_pointer(channel_, pseudo_channel_, refresh_pointer_));
 
   // The undisclosed mitigation spends one-in-N REFs on a victim refresh
   // (paper §5: once every 17 REF commands).
   if (const auto action = proprietary_trr_.on_refresh()) {
     refresh_neighbourhood(action->bank, action->logical_row,
                           proprietary_trr_.config().neighborhood, now, temperature_c);
+    RH_TELEM(telemetry_, on_trr_trigger(now, channel_, pseudo_channel_, action->bank,
+                                        action->logical_row, /*documented=*/false));
   }
   // The documented JEDEC TRR mode, when engaged by the controller.
   if (const auto action = documented_trr_.on_refresh()) {
     for (const std::uint32_t row : action->logical_rows) {
       refresh_neighbourhood(action->bank, row, 2, now, temperature_c);
+      RH_TELEM(telemetry_, on_trr_trigger(now, channel_, pseudo_channel_, action->bank, row,
+                                          /*documented=*/true));
     }
   }
 }

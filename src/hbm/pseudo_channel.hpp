@@ -19,6 +19,10 @@
 #include "trr/documented_trr.hpp"
 #include "trr/proprietary_trr.hpp"
 
+namespace rh::telemetry {
+class Telemetry;
+}
+
 namespace rh::hbm {
 
 class PseudoChannel {
@@ -66,6 +70,10 @@ public:
     return static_cast<std::uint32_t>(banks_.size());
   }
 
+  /// Attaches the telemetry sink (TRR trigger events, refresh-pointer
+  /// progress here; bit-flip events in the banks). Called by the device.
+  void set_telemetry(telemetry::Telemetry* sink);
+
   /// Documented JEDEC TRR mode control (driven by device MRS writes).
   trr::DocumentedTrrMode& documented_trr() { return documented_trr_; }
   /// Proprietary mitigation introspection (tests only; the host-visible
@@ -82,6 +90,9 @@ private:
 
   const Geometry* geometry_;
   const RowScrambler* scrambler_;
+  std::uint32_t channel_ = 0;
+  std::uint32_t pseudo_channel_ = 0;
+  telemetry::Telemetry* telemetry_ = nullptr;
   TimingParams timings_;
   ChannelTiming channel_timing_;
   std::vector<Bank> banks_;

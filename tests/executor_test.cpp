@@ -113,6 +113,66 @@ TEST_F(ExecutorTest, TimingViolationsInProgramsSurface) {
   EXPECT_THROW(executor_.run(b.take(), 0, 0, 0), common::TimingError);
 }
 
+TEST_F(ExecutorTest, PropagatedErrorsCarryExecutionContext) {
+  auto b = builder();
+  b.ldi(0, 5);
+  b.act(0, 0);
+  b.pre(0);  // violates tRAS on the third instruction (pc 2)
+  try {
+    (void)executor_.run(b.take(), 0, 0, 0);
+    FAIL() << "expected TimingError";
+  } catch (const common::TimingError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("after 3 instructions"), std::string::npos) << what;
+    EXPECT_NE(what.find("pc 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("PRE"), std::string::npos) << what;  // disassembly
+    EXPECT_FALSE(e.context().empty());
+  }
+}
+
+TEST_F(ExecutorTest, BudgetErrorsCarryContextToo) {
+  auto b = builder();
+  const Label spin = b.here();
+  b.jmp(spin);
+  b.end();
+  try {
+    (void)executor_.run(b.take(), 0, 0, 0, 10'000);
+    FAIL() << "expected ProgramError";
+  } catch (const common::ProgramError& e) {
+    EXPECT_NE(std::string(e.what()).find("instructions"), std::string::npos);
+  }
+}
+
+TEST_F(ExecutorTest, RunMetricsReportCommandMixAndThroughput) {
+  auto b = builder();
+  b.program().set_wide_register(0, core::make_row_image(device_.geometry(), 0x11));
+  b.init_row(0, 7, 0);
+  b.read_row(0, 7);
+  b.ref();
+  b.sleep(static_cast<std::int64_t>(device_.timings().tRFC));
+  const auto result = executor_.run(b.take(), 0, 0, 0);
+  const auto columns = device_.geometry().columns_per_row;
+  EXPECT_EQ(result.metrics.acts, 2u);
+  EXPECT_EQ(result.metrics.precharges, 2u);
+  EXPECT_EQ(result.metrics.writes, columns);
+  EXPECT_EQ(result.metrics.reads, columns);
+  EXPECT_EQ(result.metrics.refreshes, 1u);
+  EXPECT_DOUBLE_EQ(result.metrics.sim_wall_ms, result.elapsed_ms());
+  EXPECT_GT(result.metrics.host_seconds, 0.0);
+  EXPECT_GT(result.metrics.act_rate_hz, 0.0);
+  EXPECT_GT(result.metrics.instructions_per_second, 0.0);
+}
+
+TEST_F(ExecutorTest, HammerMacroCountsUnrolledActsInMetrics) {
+  auto b = builder();
+  b.ldi(0, 100);
+  b.ldi(1, 102);
+  b.hammer(0, 0, 1, 1000);
+  const auto result = executor_.run(b.take(), 0, 0, 0);
+  EXPECT_EQ(result.metrics.acts, 2000u);        // 1000 double-sided pairs
+  EXPECT_EQ(result.metrics.precharges, 2000u);  // each ACT pairs with a PRE
+}
+
 TEST_F(ExecutorTest, MrsReachesTheDevice) {
   auto b = builder();
   b.mrs(hbm::ModeRegisters::kEccRegister, 0x0);

@@ -2,12 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 namespace rh::common {
 namespace {
 
 class LoggingTest : public ::testing::Test {
 protected:
-  void TearDown() override { set_log_level(LogLevel::kWarn); }
+  void TearDown() override {
+    set_log_level(LogLevel::kWarn);
+    set_log_sink(nullptr);  // restore the default stderr sink
+  }
 };
 
 TEST_F(LoggingTest, LevelRoundTrips) {
@@ -40,6 +45,67 @@ TEST_F(LoggingTest, OffSilencesEverything) {
   ::testing::internal::CaptureStderr();
   log_error("still quiet");
   EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST_F(LoggingTest, CapturingSinkRecordsLevelTimestampAndMessage) {
+  set_log_level(LogLevel::kInfo);
+  auto sink = std::make_shared<CapturingSink>();
+  set_log_sink(sink);
+  log_info("captured ", 7);
+  log_warn("also captured");
+  const auto records = sink->records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].level, LogLevel::kInfo);
+  EXPECT_EQ(records[0].message, "captured 7");
+  EXPECT_EQ(records[1].level, LogLevel::kWarn);
+  EXPECT_GE(records[0].mono_ms, 0.0);
+  EXPECT_GE(records[1].mono_ms, records[0].mono_ms);  // monotonic
+  EXPECT_NE(sink->joined().find("also captured"), std::string::npos);
+}
+
+TEST_F(LoggingTest, CapturingSinkDivertsOutputFromStderr) {
+  set_log_level(LogLevel::kInfo);
+  auto sink = std::make_shared<CapturingSink>();
+  set_log_sink(sink);
+  ::testing::internal::CaptureStderr();
+  log_info("not on stderr");
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+  EXPECT_EQ(sink->records().size(), 1u);
+}
+
+TEST_F(LoggingTest, SetSinkReturnsPreviousAndRestoresDefault) {
+  auto first = std::make_shared<CapturingSink>();
+  auto second = std::make_shared<CapturingSink>();
+  set_log_sink(first);
+  const auto previous = set_log_sink(second);
+  EXPECT_EQ(previous.get(), first.get());
+  // nullptr restores the stderr default; subsequent logs leave `second`.
+  set_log_sink(nullptr);
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  log_info("back on stderr");
+  EXPECT_NE(::testing::internal::GetCapturedStderr().find("back on stderr"),
+            std::string::npos);
+  EXPECT_TRUE(second->records().empty());
+}
+
+TEST_F(LoggingTest, CapturingSinkClear) {
+  auto sink = std::make_shared<CapturingSink>();
+  set_log_sink(sink);
+  set_log_level(LogLevel::kInfo);
+  log_info("x");
+  sink->clear();
+  EXPECT_TRUE(sink->records().empty());
+}
+
+TEST_F(LoggingTest, StderrSinkFormatsLevelAndTimestamp) {
+  set_log_level(LogLevel::kWarn);
+  ::testing::internal::CaptureStderr();
+  log_warn("formatted");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("WARN"), std::string::npos);
+  EXPECT_NE(err.find("ms]"), std::string::npos);  // monotonic stamp suffix
+  EXPECT_NE(err.find("formatted"), std::string::npos);
 }
 
 }  // namespace
