@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chip_population.dir/ablation_chip_population.cpp.o"
+  "CMakeFiles/ablation_chip_population.dir/ablation_chip_population.cpp.o.d"
+  "ablation_chip_population"
+  "ablation_chip_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chip_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_defense_comparison.dir/ablation_defense_comparison.cpp.o"
+  "CMakeFiles/ablation_defense_comparison.dir/ablation_defense_comparison.cpp.o.d"
+  "ablation_defense_comparison"
+  "ablation_defense_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_defense_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

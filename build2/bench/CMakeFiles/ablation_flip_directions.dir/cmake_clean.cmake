@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flip_directions.dir/ablation_flip_directions.cpp.o"
+  "CMakeFiles/ablation_flip_directions.dir/ablation_flip_directions.cpp.o.d"
+  "ablation_flip_directions"
+  "ablation_flip_directions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flip_directions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hammer_count.dir/ablation_hammer_count.cpp.o"
+  "CMakeFiles/ablation_hammer_count.dir/ablation_hammer_count.cpp.o.d"
+  "ablation_hammer_count"
+  "ablation_hammer_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hammer_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rowpress.dir/ablation_rowpress.cpp.o"
+  "CMakeFiles/ablation_rowpress.dir/ablation_rowpress.cpp.o.d"
+  "ablation_rowpress"
+  "ablation_rowpress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rowpress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_temperature.dir/ablation_temperature.cpp.o"
+  "CMakeFiles/ablation_temperature.dir/ablation_temperature.cpp.o.d"
+  "ablation_temperature"
+  "ablation_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

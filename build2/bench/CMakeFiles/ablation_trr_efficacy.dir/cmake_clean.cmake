@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trr_efficacy.dir/ablation_trr_efficacy.cpp.o"
+  "CMakeFiles/ablation_trr_efficacy.dir/ablation_trr_efficacy.cpp.o.d"
+  "ablation_trr_efficacy"
+  "ablation_trr_efficacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trr_efficacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

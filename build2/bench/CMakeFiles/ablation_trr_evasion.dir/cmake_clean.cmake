@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trr_evasion.dir/ablation_trr_evasion.cpp.o"
+  "CMakeFiles/ablation_trr_evasion.dir/ablation_trr_evasion.cpp.o.d"
+  "ablation_trr_evasion"
+  "ablation_trr_evasion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trr_evasion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

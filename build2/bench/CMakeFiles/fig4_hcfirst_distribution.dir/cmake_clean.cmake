@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_hcfirst_distribution.dir/fig4_hcfirst_distribution.cpp.o"
+  "CMakeFiles/fig4_hcfirst_distribution.dir/fig4_hcfirst_distribution.cpp.o.d"
+  "fig4_hcfirst_distribution"
+  "fig4_hcfirst_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_hcfirst_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

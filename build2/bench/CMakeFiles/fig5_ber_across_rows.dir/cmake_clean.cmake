@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_ber_across_rows.dir/fig5_ber_across_rows.cpp.o"
+  "CMakeFiles/fig5_ber_across_rows.dir/fig5_ber_across_rows.cpp.o.d"
+  "fig5_ber_across_rows"
+  "fig5_ber_across_rows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ber_across_rows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

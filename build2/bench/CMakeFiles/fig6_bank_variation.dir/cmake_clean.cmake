@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_bank_variation.dir/fig6_bank_variation.cpp.o"
+  "CMakeFiles/fig6_bank_variation.dir/fig6_bank_variation.cpp.o.d"
+  "fig6_bank_variation"
+  "fig6_bank_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_bank_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_thermometer.dir/dram_thermometer.cpp.o"
+  "CMakeFiles/dram_thermometer.dir/dram_thermometer.cpp.o.d"
+  "dram_thermometer"
+  "dram_thermometer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_thermometer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_characterization.dir/spatial_characterization.cpp.o"
+  "CMakeFiles/spatial_characterization.dir/spatial_characterization.cpp.o.d"
+  "spatial_characterization"
+  "spatial_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/templating_attack.dir/templating_attack.cpp.o"
+  "CMakeFiles/templating_attack.dir/templating_attack.cpp.o.d"
+  "templating_attack"
+  "templating_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/templating_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

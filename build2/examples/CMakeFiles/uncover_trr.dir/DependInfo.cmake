@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/uncover_trr.cpp" "examples/CMakeFiles/uncover_trr.dir/uncover_trr.cpp.o" "gcc" "examples/CMakeFiles/uncover_trr.dir/uncover_trr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/core/CMakeFiles/rh_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/bender/CMakeFiles/rh_bender.dir/DependInfo.cmake"
+  "/root/repo/build2/src/hbm/CMakeFiles/rh_hbm.dir/DependInfo.cmake"
+  "/root/repo/build2/src/common/CMakeFiles/rh_common.dir/DependInfo.cmake"
+  "/root/repo/build2/src/fault/CMakeFiles/rh_fault.dir/DependInfo.cmake"
+  "/root/repo/build2/src/trr/CMakeFiles/rh_trr.dir/DependInfo.cmake"
+  "/root/repo/build2/src/telemetry/CMakeFiles/rh_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

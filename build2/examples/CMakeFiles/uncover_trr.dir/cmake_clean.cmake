@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncover_trr.dir/uncover_trr.cpp.o"
+  "CMakeFiles/uncover_trr.dir/uncover_trr.cpp.o.d"
+  "uncover_trr"
+  "uncover_trr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncover_trr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

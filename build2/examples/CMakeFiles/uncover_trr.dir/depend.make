@@ -1,0 +1,2 @@
+# Empty dependencies file for uncover_trr.
+# This may be replaced when dependencies are built.

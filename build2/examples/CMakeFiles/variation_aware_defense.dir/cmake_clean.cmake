@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variation_aware_defense.dir/variation_aware_defense.cpp.o"
+  "CMakeFiles/variation_aware_defense.dir/variation_aware_defense.cpp.o.d"
+  "variation_aware_defense"
+  "variation_aware_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variation_aware_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bender/executor.cpp" "src/bender/CMakeFiles/rh_bender.dir/executor.cpp.o" "gcc" "src/bender/CMakeFiles/rh_bender.dir/executor.cpp.o.d"
+  "/root/repo/src/bender/host.cpp" "src/bender/CMakeFiles/rh_bender.dir/host.cpp.o" "gcc" "src/bender/CMakeFiles/rh_bender.dir/host.cpp.o.d"
+  "/root/repo/src/bender/program.cpp" "src/bender/CMakeFiles/rh_bender.dir/program.cpp.o" "gcc" "src/bender/CMakeFiles/rh_bender.dir/program.cpp.o.d"
+  "/root/repo/src/bender/thermal.cpp" "src/bender/CMakeFiles/rh_bender.dir/thermal.cpp.o" "gcc" "src/bender/CMakeFiles/rh_bender.dir/thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/hbm/CMakeFiles/rh_hbm.dir/DependInfo.cmake"
+  "/root/repo/build2/src/common/CMakeFiles/rh_common.dir/DependInfo.cmake"
+  "/root/repo/build2/src/fault/CMakeFiles/rh_fault.dir/DependInfo.cmake"
+  "/root/repo/build2/src/trr/CMakeFiles/rh_trr.dir/DependInfo.cmake"
+  "/root/repo/build2/src/telemetry/CMakeFiles/rh_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rh_bender.dir/executor.cpp.o"
+  "CMakeFiles/rh_bender.dir/executor.cpp.o.d"
+  "CMakeFiles/rh_bender.dir/host.cpp.o"
+  "CMakeFiles/rh_bender.dir/host.cpp.o.d"
+  "CMakeFiles/rh_bender.dir/program.cpp.o"
+  "CMakeFiles/rh_bender.dir/program.cpp.o.d"
+  "CMakeFiles/rh_bender.dir/thermal.cpp.o"
+  "CMakeFiles/rh_bender.dir/thermal.cpp.o.d"
+  "librh_bender.a"
+  "librh_bender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rh_bender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

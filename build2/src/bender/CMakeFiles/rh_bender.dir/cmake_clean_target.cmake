@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librh_bender.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rh_common.dir/ascii_plot.cpp.o"
+  "CMakeFiles/rh_common.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/rh_common.dir/cli.cpp.o"
+  "CMakeFiles/rh_common.dir/cli.cpp.o.d"
+  "CMakeFiles/rh_common.dir/csv.cpp.o"
+  "CMakeFiles/rh_common.dir/csv.cpp.o.d"
+  "CMakeFiles/rh_common.dir/logging.cpp.o"
+  "CMakeFiles/rh_common.dir/logging.cpp.o.d"
+  "CMakeFiles/rh_common.dir/rng.cpp.o"
+  "CMakeFiles/rh_common.dir/rng.cpp.o.d"
+  "CMakeFiles/rh_common.dir/stats.cpp.o"
+  "CMakeFiles/rh_common.dir/stats.cpp.o.d"
+  "CMakeFiles/rh_common.dir/table.cpp.o"
+  "CMakeFiles/rh_common.dir/table.cpp.o.d"
+  "librh_common.a"
+  "librh_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rh_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attack.cpp" "src/core/CMakeFiles/rh_core.dir/attack.cpp.o" "gcc" "src/core/CMakeFiles/rh_core.dir/attack.cpp.o.d"
+  "/root/repo/src/core/bitflip_analysis.cpp" "src/core/CMakeFiles/rh_core.dir/bitflip_analysis.cpp.o" "gcc" "src/core/CMakeFiles/rh_core.dir/bitflip_analysis.cpp.o.d"
+  "/root/repo/src/core/characterizer.cpp" "src/core/CMakeFiles/rh_core.dir/characterizer.cpp.o" "gcc" "src/core/CMakeFiles/rh_core.dir/characterizer.cpp.o.d"
+  "/root/repo/src/core/data_patterns.cpp" "src/core/CMakeFiles/rh_core.dir/data_patterns.cpp.o" "gcc" "src/core/CMakeFiles/rh_core.dir/data_patterns.cpp.o.d"
+  "/root/repo/src/core/retention_profiler.cpp" "src/core/CMakeFiles/rh_core.dir/retention_profiler.cpp.o" "gcc" "src/core/CMakeFiles/rh_core.dir/retention_profiler.cpp.o.d"
+  "/root/repo/src/core/row_map.cpp" "src/core/CMakeFiles/rh_core.dir/row_map.cpp.o" "gcc" "src/core/CMakeFiles/rh_core.dir/row_map.cpp.o.d"
+  "/root/repo/src/core/spatial.cpp" "src/core/CMakeFiles/rh_core.dir/spatial.cpp.o" "gcc" "src/core/CMakeFiles/rh_core.dir/spatial.cpp.o.d"
+  "/root/repo/src/core/thermometer.cpp" "src/core/CMakeFiles/rh_core.dir/thermometer.cpp.o" "gcc" "src/core/CMakeFiles/rh_core.dir/thermometer.cpp.o.d"
+  "/root/repo/src/core/utrr.cpp" "src/core/CMakeFiles/rh_core.dir/utrr.cpp.o" "gcc" "src/core/CMakeFiles/rh_core.dir/utrr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/bender/CMakeFiles/rh_bender.dir/DependInfo.cmake"
+  "/root/repo/build2/src/hbm/CMakeFiles/rh_hbm.dir/DependInfo.cmake"
+  "/root/repo/build2/src/common/CMakeFiles/rh_common.dir/DependInfo.cmake"
+  "/root/repo/build2/src/fault/CMakeFiles/rh_fault.dir/DependInfo.cmake"
+  "/root/repo/build2/src/trr/CMakeFiles/rh_trr.dir/DependInfo.cmake"
+  "/root/repo/build2/src/telemetry/CMakeFiles/rh_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rh_core.dir/attack.cpp.o"
+  "CMakeFiles/rh_core.dir/attack.cpp.o.d"
+  "CMakeFiles/rh_core.dir/bitflip_analysis.cpp.o"
+  "CMakeFiles/rh_core.dir/bitflip_analysis.cpp.o.d"
+  "CMakeFiles/rh_core.dir/characterizer.cpp.o"
+  "CMakeFiles/rh_core.dir/characterizer.cpp.o.d"
+  "CMakeFiles/rh_core.dir/data_patterns.cpp.o"
+  "CMakeFiles/rh_core.dir/data_patterns.cpp.o.d"
+  "CMakeFiles/rh_core.dir/retention_profiler.cpp.o"
+  "CMakeFiles/rh_core.dir/retention_profiler.cpp.o.d"
+  "CMakeFiles/rh_core.dir/row_map.cpp.o"
+  "CMakeFiles/rh_core.dir/row_map.cpp.o.d"
+  "CMakeFiles/rh_core.dir/spatial.cpp.o"
+  "CMakeFiles/rh_core.dir/spatial.cpp.o.d"
+  "CMakeFiles/rh_core.dir/thermometer.cpp.o"
+  "CMakeFiles/rh_core.dir/thermometer.cpp.o.d"
+  "CMakeFiles/rh_core.dir/utrr.cpp.o"
+  "CMakeFiles/rh_core.dir/utrr.cpp.o.d"
+  "librh_core.a"
+  "librh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

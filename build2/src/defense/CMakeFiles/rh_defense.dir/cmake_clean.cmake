@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rh_defense.dir/graphene.cpp.o"
+  "CMakeFiles/rh_defense.dir/graphene.cpp.o.d"
+  "CMakeFiles/rh_defense.dir/harness.cpp.o"
+  "CMakeFiles/rh_defense.dir/harness.cpp.o.d"
+  "CMakeFiles/rh_defense.dir/para.cpp.o"
+  "CMakeFiles/rh_defense.dir/para.cpp.o.d"
+  "CMakeFiles/rh_defense.dir/policy.cpp.o"
+  "CMakeFiles/rh_defense.dir/policy.cpp.o.d"
+  "librh_defense.a"
+  "librh_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rh_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

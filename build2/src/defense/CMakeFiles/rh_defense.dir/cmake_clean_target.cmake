@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librh_defense.a"
+)

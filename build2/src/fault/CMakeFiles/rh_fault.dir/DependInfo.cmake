@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/process_variation.cpp" "src/fault/CMakeFiles/rh_fault.dir/process_variation.cpp.o" "gcc" "src/fault/CMakeFiles/rh_fault.dir/process_variation.cpp.o.d"
+  "/root/repo/src/fault/retention_model.cpp" "src/fault/CMakeFiles/rh_fault.dir/retention_model.cpp.o" "gcc" "src/fault/CMakeFiles/rh_fault.dir/retention_model.cpp.o.d"
+  "/root/repo/src/fault/rowhammer_model.cpp" "src/fault/CMakeFiles/rh_fault.dir/rowhammer_model.cpp.o" "gcc" "src/fault/CMakeFiles/rh_fault.dir/rowhammer_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/rh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

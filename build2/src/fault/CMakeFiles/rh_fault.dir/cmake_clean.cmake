@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rh_fault.dir/process_variation.cpp.o"
+  "CMakeFiles/rh_fault.dir/process_variation.cpp.o.d"
+  "CMakeFiles/rh_fault.dir/retention_model.cpp.o"
+  "CMakeFiles/rh_fault.dir/retention_model.cpp.o.d"
+  "CMakeFiles/rh_fault.dir/rowhammer_model.cpp.o"
+  "CMakeFiles/rh_fault.dir/rowhammer_model.cpp.o.d"
+  "librh_fault.a"
+  "librh_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rh_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

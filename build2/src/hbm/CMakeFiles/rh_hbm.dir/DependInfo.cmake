@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hbm/bank.cpp" "src/hbm/CMakeFiles/rh_hbm.dir/bank.cpp.o" "gcc" "src/hbm/CMakeFiles/rh_hbm.dir/bank.cpp.o.d"
+  "/root/repo/src/hbm/device.cpp" "src/hbm/CMakeFiles/rh_hbm.dir/device.cpp.o" "gcc" "src/hbm/CMakeFiles/rh_hbm.dir/device.cpp.o.d"
+  "/root/repo/src/hbm/ecc.cpp" "src/hbm/CMakeFiles/rh_hbm.dir/ecc.cpp.o" "gcc" "src/hbm/CMakeFiles/rh_hbm.dir/ecc.cpp.o.d"
+  "/root/repo/src/hbm/pseudo_channel.cpp" "src/hbm/CMakeFiles/rh_hbm.dir/pseudo_channel.cpp.o" "gcc" "src/hbm/CMakeFiles/rh_hbm.dir/pseudo_channel.cpp.o.d"
+  "/root/repo/src/hbm/timing_checker.cpp" "src/hbm/CMakeFiles/rh_hbm.dir/timing_checker.cpp.o" "gcc" "src/hbm/CMakeFiles/rh_hbm.dir/timing_checker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/fault/CMakeFiles/rh_fault.dir/DependInfo.cmake"
+  "/root/repo/build2/src/trr/CMakeFiles/rh_trr.dir/DependInfo.cmake"
+  "/root/repo/build2/src/telemetry/CMakeFiles/rh_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build2/src/common/CMakeFiles/rh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

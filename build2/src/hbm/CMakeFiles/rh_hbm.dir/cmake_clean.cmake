@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rh_hbm.dir/bank.cpp.o"
+  "CMakeFiles/rh_hbm.dir/bank.cpp.o.d"
+  "CMakeFiles/rh_hbm.dir/device.cpp.o"
+  "CMakeFiles/rh_hbm.dir/device.cpp.o.d"
+  "CMakeFiles/rh_hbm.dir/ecc.cpp.o"
+  "CMakeFiles/rh_hbm.dir/ecc.cpp.o.d"
+  "CMakeFiles/rh_hbm.dir/pseudo_channel.cpp.o"
+  "CMakeFiles/rh_hbm.dir/pseudo_channel.cpp.o.d"
+  "CMakeFiles/rh_hbm.dir/timing_checker.cpp.o"
+  "CMakeFiles/rh_hbm.dir/timing_checker.cpp.o.d"
+  "librh_hbm.a"
+  "librh_hbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rh_hbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

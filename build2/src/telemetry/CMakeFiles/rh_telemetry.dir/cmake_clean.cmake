@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rh_telemetry.dir/metrics.cpp.o"
+  "CMakeFiles/rh_telemetry.dir/metrics.cpp.o.d"
+  "CMakeFiles/rh_telemetry.dir/telemetry.cpp.o"
+  "CMakeFiles/rh_telemetry.dir/telemetry.cpp.o.d"
+  "CMakeFiles/rh_telemetry.dir/trace.cpp.o"
+  "CMakeFiles/rh_telemetry.dir/trace.cpp.o.d"
+  "librh_telemetry.a"
+  "librh_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rh_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trr/documented_trr.cpp" "src/trr/CMakeFiles/rh_trr.dir/documented_trr.cpp.o" "gcc" "src/trr/CMakeFiles/rh_trr.dir/documented_trr.cpp.o.d"
+  "/root/repo/src/trr/proprietary_trr.cpp" "src/trr/CMakeFiles/rh_trr.dir/proprietary_trr.cpp.o" "gcc" "src/trr/CMakeFiles/rh_trr.dir/proprietary_trr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/rh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

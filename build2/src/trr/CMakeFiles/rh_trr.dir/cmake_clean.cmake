@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rh_trr.dir/documented_trr.cpp.o"
+  "CMakeFiles/rh_trr.dir/documented_trr.cpp.o.d"
+  "CMakeFiles/rh_trr.dir/proprietary_trr.cpp.o"
+  "CMakeFiles/rh_trr.dir/proprietary_trr.cpp.o.d"
+  "librh_trr.a"
+  "librh_trr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rh_trr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

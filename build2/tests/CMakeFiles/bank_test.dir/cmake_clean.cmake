@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_test.dir/bank_test.cpp.o"
+  "CMakeFiles/bank_test.dir/bank_test.cpp.o.d"
+  "bank_test"
+  "bank_test.pdb"
+  "bank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitflip_analysis_test.dir/bitflip_analysis_test.cpp.o"
+  "CMakeFiles/bitflip_analysis_test.dir/bitflip_analysis_test.cpp.o.d"
+  "bitflip_analysis_test"
+  "bitflip_analysis_test.pdb"
+  "bitflip_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitflip_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

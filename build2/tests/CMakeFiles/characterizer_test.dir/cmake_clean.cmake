@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterizer_test.dir/characterizer_test.cpp.o"
+  "CMakeFiles/characterizer_test.dir/characterizer_test.cpp.o.d"
+  "characterizer_test"
+  "characterizer_test.pdb"
+  "characterizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

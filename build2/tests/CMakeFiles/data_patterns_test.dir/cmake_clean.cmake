@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_patterns_test.dir/data_patterns_test.cpp.o"
+  "CMakeFiles/data_patterns_test.dir/data_patterns_test.cpp.o.d"
+  "data_patterns_test"
+  "data_patterns_test.pdb"
+  "data_patterns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_patterns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mode_registers_test.dir/mode_registers_test.cpp.o"
+  "CMakeFiles/mode_registers_test.dir/mode_registers_test.cpp.o.d"
+  "mode_registers_test"
+  "mode_registers_test.pdb"
+  "mode_registers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mode_registers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_numbers_test.dir/paper_numbers_test.cpp.o"
+  "CMakeFiles/paper_numbers_test.dir/paper_numbers_test.cpp.o.d"
+  "paper_numbers_test"
+  "paper_numbers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_numbers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

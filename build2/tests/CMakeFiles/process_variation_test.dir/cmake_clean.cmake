@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_variation_test.dir/process_variation_test.cpp.o"
+  "CMakeFiles/process_variation_test.dir/process_variation_test.cpp.o.d"
+  "process_variation_test"
+  "process_variation_test.pdb"
+  "process_variation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_variation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

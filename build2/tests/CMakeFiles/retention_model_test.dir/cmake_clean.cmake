@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retention_model_test.dir/retention_model_test.cpp.o"
+  "CMakeFiles/retention_model_test.dir/retention_model_test.cpp.o.d"
+  "retention_model_test"
+  "retention_model_test.pdb"
+  "retention_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retention_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

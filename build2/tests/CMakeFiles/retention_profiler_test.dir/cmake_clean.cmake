@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retention_profiler_test.dir/retention_profiler_test.cpp.o"
+  "CMakeFiles/retention_profiler_test.dir/retention_profiler_test.cpp.o.d"
+  "retention_profiler_test"
+  "retention_profiler_test.pdb"
+  "retention_profiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retention_profiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/row_map_test.dir/row_map_test.cpp.o"
+  "CMakeFiles/row_map_test.dir/row_map_test.cpp.o.d"
+  "row_map_test"
+  "row_map_test.pdb"
+  "row_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/row_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

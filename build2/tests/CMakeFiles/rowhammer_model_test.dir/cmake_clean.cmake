@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rowhammer_model_test.dir/rowhammer_model_test.cpp.o"
+  "CMakeFiles/rowhammer_model_test.dir/rowhammer_model_test.cpp.o.d"
+  "rowhammer_model_test"
+  "rowhammer_model_test.pdb"
+  "rowhammer_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rowhammer_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

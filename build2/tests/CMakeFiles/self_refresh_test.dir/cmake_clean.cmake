@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_refresh_test.dir/self_refresh_test.cpp.o"
+  "CMakeFiles/self_refresh_test.dir/self_refresh_test.cpp.o.d"
+  "self_refresh_test"
+  "self_refresh_test.pdb"
+  "self_refresh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_refresh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

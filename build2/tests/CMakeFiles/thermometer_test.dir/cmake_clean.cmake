@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermometer_test.dir/thermometer_test.cpp.o"
+  "CMakeFiles/thermometer_test.dir/thermometer_test.cpp.o.d"
+  "thermometer_test"
+  "thermometer_test.pdb"
+  "thermometer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermometer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_checker_test.dir/timing_checker_test.cpp.o"
+  "CMakeFiles/timing_checker_test.dir/timing_checker_test.cpp.o.d"
+  "timing_checker_test"
+  "timing_checker_test.pdb"
+  "timing_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trr_test.dir/trr_test.cpp.o"
+  "CMakeFiles/trr_test.dir/trr_test.cpp.o.d"
+  "trr_test"
+  "trr_test.pdb"
+  "trr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

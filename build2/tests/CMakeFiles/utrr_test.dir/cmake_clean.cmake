@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utrr_test.dir/utrr_test.cpp.o"
+  "CMakeFiles/utrr_test.dir/utrr_test.cpp.o.d"
+  "utrr_test"
+  "utrr_test.pdb"
+  "utrr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utrr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
