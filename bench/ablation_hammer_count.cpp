@@ -8,8 +8,7 @@
 
 #include "bench_util.hpp"
 #include "common/ascii_plot.hpp"
-#include "core/characterizer.hpp"
-#include "core/row_map.hpp"
+#include "core/shard.hpp"
 
 using namespace rh;
 
@@ -21,33 +20,51 @@ int main(int argc, char** argv) {
 
   benchutil::banner("Ablation A12 (onset curve)", "BER vs hammer count, ch0 vs ch7");
 
-  bender::BenderHost host(benchutil::paper_device_config(seed));
-  benchutil::TelemetrySession telem(args, host);
-  host.set_chip_temperature(85.0);
-  const core::RowMap map = core::RowMap::from_device(host.device());
-  core::Characterizer chr(host, map);
+  benchutil::TelemetrySession telem(args);
 
   const std::vector<std::uint64_t> counts{8'192,  16'384,  32'768,  65'536,
                                           98'304, 131'072, 196'608, 262'144};
+  const std::uint32_t channels[2] = {0, 7};
+
+  // One shard per (hammer count, channel): `rows` rows starting at physical
+  // row 410, every 23rd row, one Rowstripe0 measure_ber each. Each point of
+  // the onset curve is an independent, journal-able unit of work.
+  campaign::SweepSpec spec;
+  spec.device = benchutil::paper_device_config(seed);
+  for (const std::uint64_t hammers : counts) {
+    for (const std::uint32_t channel : channels) {
+      core::ShardSpec shard;
+      shard.index = spec.shards.size();
+      shard.site = core::Site{channel, 0, 0};
+      shard.row_begin = 410;
+      shard.row_end = 410 + rows * 23;
+      shard.row_stride = 23;
+      shard.mode = core::ShardMode::kSinglePattern;
+      shard.pattern = 0;  // Rowstripe0
+      shard.hammers = hammers;
+      spec.shards.push_back(shard);
+    }
+  }
+
+  campaign::Campaign campaign(benchutil::campaign_config(args), telem.sink());
+  const auto result = campaign.run(spec);
+  benchutil::warn_unqueried(args);
+
   common::Table table({"hammers", "ch0 mean BER", "ch7 mean BER", "ch0 rows flipped",
                        "ch7 rows flipped"});
   std::vector<double> curve7;
-  for (const std::uint64_t hammers : counts) {
+  for (std::size_t ci = 0; ci < counts.size(); ++ci) {
     double ber[2] = {0.0, 0.0};
     int flipped[2] = {0, 0};
-    const std::uint32_t channels[2] = {0, 7};
     for (int c = 0; c < 2; ++c) {
-      const core::Site site{channels[c], 0, 0};
-      for (std::uint32_t i = 0; i < rows; ++i) {
-        const auto r =
-            chr.measure_ber(site, 410 + i * 23, core::DataPattern::kRowstripe0, hammers);
-        ber[c] += r.ber();
-        flipped[c] += r.bit_errors > 0;
+      for (const auto& rec : result.per_shard[ci * 2 + static_cast<std::size_t>(c)]) {
+        ber[c] += rec.ber[0].ber();
+        flipped[c] += rec.ber[0].bit_errors > 0;
       }
       ber[c] /= rows;
     }
     curve7.push_back(ber[1] * 100.0);
-    table.add_row({std::to_string(hammers), common::fmt_percent(ber[0], 3),
+    table.add_row({std::to_string(counts[ci]), common::fmt_percent(ber[0], 3),
                    common::fmt_percent(ber[1], 3),
                    std::to_string(flipped[0]) + "/" + std::to_string(rows),
                    std::to_string(flipped[1]) + "/" + std::to_string(rows)});

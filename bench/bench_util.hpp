@@ -13,6 +13,12 @@
 //   --trace=PATH        write the command trace as Chrome trace-event JSON
 //                       (load in chrome://tracing or Perfetto)
 //   --heatmap           print the per-bank ACT heatmap after the run
+// Campaign-backed benches (fig3/fig4/fig5, ablation_hammer_count) also take:
+//   --jobs=N            worker threads, each with a private device clone;
+//                       merged output is byte-identical for any N
+//   --checkpoint=PATH   JSONL results journal written per completed shard
+//   --resume            skip shards already in the --checkpoint journal
+//                       (refuses a journal whose config hash mismatches)
 #pragma once
 
 #include <fstream>
@@ -22,6 +28,7 @@
 #include <vector>
 
 #include "bender/host.hpp"
+#include "campaign/campaign.hpp"
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
@@ -69,6 +76,11 @@ inline const std::uint64_t kDefaultSeed = fault::FaultConfig{}.seed;
 /// attaches a Telemetry sink to the host's device when any is requested, and
 /// writes the requested outputs in finish(). When none of the flags is given
 /// no sink is constructed and the device keeps its zero-overhead null path.
+///
+/// Campaign-backed benches pass sink() to the Campaign, which gives every
+/// worker host a private sink and absorbs them all back into this session's
+/// aggregate after the run — so the exported metrics/heatmap cover the whole
+/// worker fleet, not just the main thread's host.
 ///
 /// Usage:
 ///   TelemetrySession telem(args, host);   // right after constructing host
@@ -132,7 +144,9 @@ public:
 private:
   static void probe_writable(const std::string& path, const char* what) {
     if (path.empty()) return;
-    std::ofstream out(path);
+    // Probe in append mode: a truncating open would destroy an existing
+    // file here, before the run has produced anything to replace it with.
+    std::ofstream out(path, std::ios::app);
     if (!out) {
       throw common::ConfigError(std::string("cannot open ") + what +
                                 " output file: " + path);
@@ -144,5 +158,30 @@ private:
   bool heatmap_ = false;
   std::unique_ptr<telemetry::Telemetry> telemetry_;
 };
+
+/// Parses the shared campaign flags: --jobs=N, --checkpoint=PATH, --resume.
+inline campaign::CampaignConfig campaign_config(const common::CliArgs& args) {
+  campaign::CampaignConfig config;
+  config.jobs = static_cast<unsigned>(args.get_int("jobs", 1));
+  config.checkpoint_path = args.get("checkpoint", "");
+  config.resume = args.has("resume");
+  if (config.resume && config.checkpoint_path.empty()) {
+    throw common::ConfigError("--resume requires --checkpoint=PATH");
+  }
+  return config;
+}
+
+/// Runs a SpatialSurvey row sweep as a sharded campaign: identical records
+/// in identical order to SpatialSurvey::survey_rows() on one host, but
+/// spread over --jobs worker devices with checkpoint/resume. Worker
+/// telemetry is aggregated into `telem`'s sink.
+inline std::vector<core::RowRecord> run_survey_campaign(const common::CliArgs& args,
+                                                        std::uint64_t seed,
+                                                        const core::SurveyConfig& survey,
+                                                        TelemetrySession& telem) {
+  const campaign::SweepSpec spec = campaign::survey_sweep(paper_device_config(seed), survey);
+  campaign::Campaign campaign(campaign_config(args), telem.sink());
+  return campaign.run(spec).flat();
+}
 
 }  // namespace rh::benchutil

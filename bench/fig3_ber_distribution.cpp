@@ -24,19 +24,15 @@ int main(int argc, char** argv) {
 
   benchutil::banner("Figure 3", "BER across rows, channels, and data patterns");
 
-  bender::BenderHost host(benchutil::paper_device_config(seed));
-  benchutil::TelemetrySession telem(args, host);
-  host.set_chip_temperature(85.0);
+  benchutil::TelemetrySession telem(args);
 
   core::SurveyConfig config;
   config.row_stride = static_cast<std::uint32_t>(args.get_int("stride", 256));
   config.characterizer.ber_hammers =
       static_cast<std::uint64_t>(args.get_int("hammers", 262144));
   config.characterizer.max_hammers = config.characterizer.ber_hammers;
+  const auto records = benchutil::run_survey_campaign(args, seed, config, telem);
   benchutil::warn_unqueried(args);
-
-  core::SpatialSurvey survey(host, config);
-  const auto records = survey.survey_rows();
   const auto stats = core::aggregate_ber(records);
 
   common::Table table({"channel", "pattern", "min", "q1", "median", "q3", "max", "mean", "rows"});
@@ -54,7 +50,7 @@ int main(int argc, char** argv) {
   std::vector<common::BoxRow> rows;
   std::map<std::uint32_t, double> wcdp_mean;
   for (const auto& s : stats) {
-    if (s.pattern == 4) {
+    if (s.pattern == core::kWcdpPatternIndex) {
       common::BoxStats pct = s.stats;
       pct.min *= 100.0;
       pct.q1 *= 100.0;

@@ -24,9 +24,7 @@ int main(int argc, char** argv) {
 
   benchutil::banner("Figure 4", "HC_first across rows, channels, and data patterns");
 
-  bender::BenderHost host(benchutil::paper_device_config(seed));
-  benchutil::TelemetrySession telem(args, host);
-  host.set_chip_temperature(85.0);
+  benchutil::TelemetrySession telem(args);
 
   core::SurveyConfig config;
   config.row_stride = static_cast<std::uint32_t>(args.get_int("stride", 256));
@@ -35,10 +33,8 @@ int main(int argc, char** argv) {
   config.characterizer.ber_hammers = config.characterizer.max_hammers;
   config.characterizer.wcdp_tolerance =
       static_cast<std::uint64_t>(args.get_int("tolerance", 512));
+  const auto records = benchutil::run_survey_campaign(args, seed, config, telem);
   benchutil::warn_unqueried(args);
-
-  core::SpatialSurvey survey(host, config);
-  const auto records = survey.survey_rows();
   const auto stats = core::aggregate_hc_first(records);
 
   common::Table table({"channel", "pattern", "min", "q1", "median", "q3", "max", "mean", "rows"});
@@ -54,7 +50,7 @@ int main(int argc, char** argv) {
 
   std::vector<common::BoxRow> rows;
   for (const auto& s : stats) {
-    if (s.pattern == 4 && s.stats.count > 0) {
+    if (s.pattern == core::kWcdpPatternIndex && s.stats.count > 0) {
       rows.push_back({"ch" + std::to_string(s.channel), s.stats});
     }
   }

@@ -38,10 +38,12 @@ int main(int argc, char** argv) {
   config.characterizer.ber_hammers =
       static_cast<std::uint64_t>(args.get_int("hammers", 262144));
   config.characterizer.max_hammers = config.characterizer.ber_hammers;
-  benchutil::warn_unqueried(args);
 
-  core::SpatialSurvey survey(host, config);
-  const auto records = survey.survey_rows();
+  // The survey itself runs as a sharded campaign (--jobs/--checkpoint/
+  // --resume); `host` stays around for the layout queries and the
+  // single-sided boundary probe below, which are cheap and serial.
+  const auto records = benchutil::run_survey_campaign(args, seed, config, telem);
+  benchutil::warn_unqueried(args);
   const auto regions = core::paper_regions(host.device().geometry(), config.region_rows);
 
   common::Table table({"channel", "region", "physical row", "WCDP", "BER"});

@@ -1,0 +1,237 @@
+#include "campaign/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <iostream>
+#include <mutex>
+#include <thread>
+
+#include "campaign/journal.hpp"
+#include "campaign/progress.hpp"
+#include "campaign/record_io.hpp"
+#include "common/assert.hpp"
+#include "core/row_map.hpp"
+
+namespace rh::campaign {
+
+SweepSpec survey_sweep(hbm::DeviceConfig device, const core::SurveyConfig& survey,
+                       std::uint32_t max_rows_per_shard) {
+  SweepSpec spec;
+  spec.shards = core::plan_survey_shards(survey, device.geometry, max_rows_per_shard);
+  spec.device = std::move(device);
+  spec.characterizer = survey.characterizer;
+  return spec;
+}
+
+std::string sweep_fingerprint(const SweepSpec& spec) {
+  const auto& g = spec.device.geometry;
+  const auto& c = spec.characterizer;
+  std::string fp = "v1;seed=" + std::to_string(spec.device.fault.seed);
+  fp += ";geom=" + std::to_string(g.channels) + "," +
+        std::to_string(g.pseudo_channels_per_channel) + "," +
+        std::to_string(g.banks_per_pseudo_channel) + "," + std::to_string(g.rows_per_bank) +
+        "," + std::to_string(g.columns_per_row) + "," + std::to_string(g.bytes_per_column) +
+        "," + std::to_string(g.dies);
+  fp += ";scramble=" + std::to_string(static_cast<int>(spec.device.scramble));
+  fp += ";temp=" + format_double_exact(spec.temperature_c);
+  fp += ";settle=" + std::to_string(spec.settle_thermal ? 1 : 0);
+  fp += ";chr=" + std::to_string(c.ber_hammers) + "," + std::to_string(c.max_hammers) + "," +
+        std::to_string(c.wcdp_tolerance) + "," + std::to_string(c.surround_rows) + "," +
+        std::to_string(c.enforce_retention_bound ? 1 : 0) + "," +
+        std::to_string(c.aggressor_on_time);
+  fp += ";shards=" + std::to_string(spec.shards.size());
+  for (const auto& s : spec.shards) {
+    fp += ";" + std::to_string(s.index) + ":" + s.site.to_string() + ":" +
+          std::to_string(s.row_begin) + "-" + std::to_string(s.row_end) + ":" +
+          std::to_string(s.row_stride) + ":m" + std::to_string(static_cast<int>(s.mode)) +
+          ":p" + std::to_string(s.pattern) + ":h" + std::to_string(s.hammers);
+  }
+  return fp;
+}
+
+std::uint64_t sweep_config_hash(const SweepSpec& spec) {
+  return fnv1a(sweep_fingerprint(spec));
+}
+
+std::vector<core::RowRecord> CampaignResult::flat() const {
+  std::vector<core::RowRecord> records;
+  std::size_t total = 0;
+  for (const auto& shard : per_shard) total += shard.size();
+  records.reserve(total);
+  for (const auto& shard : per_shard) {
+    records.insert(records.end(), shard.begin(), shard.end());
+  }
+  return records;
+}
+
+namespace {
+
+/// One worker's private measurement stack: a host clone, its telemetry
+/// sink, and a characterizer bound to both. Rebuilt from scratch when a
+/// shard throws (the old host's state is suspect after an exception).
+struct WorkerRig {
+  std::unique_ptr<bender::BenderHost> host;
+  std::unique_ptr<telemetry::Telemetry> sink;
+  std::unique_ptr<core::Characterizer> characterizer;
+};
+
+}  // namespace
+
+Campaign::Campaign(CampaignConfig config, telemetry::Telemetry* aggregate)
+    : config_(std::move(config)), aggregate_(aggregate) {
+  factory_ = [](const SweepSpec& spec) {
+    auto host = std::make_unique<bender::BenderHost>(spec.device);
+    if (spec.settle_thermal) {
+      host->set_chip_temperature(spec.temperature_c);
+    } else {
+      host->device().set_temperature(spec.temperature_c);
+    }
+    return host;
+  };
+}
+
+CampaignResult Campaign::run(const SweepSpec& spec) {
+  const std::size_t n = spec.shards.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    RH_EXPECTS(spec.shards[i].index == i);  // merge order is index order
+  }
+  const JournalHeader header{spec.device.fault.seed, sweep_config_hash(spec),
+                             static_cast<std::uint64_t>(n)};
+
+  auto& total_counter = metrics_.counter("campaign.shards_total");
+  auto& done_counter = metrics_.counter("campaign.shards_done");
+  auto& skipped_counter = metrics_.counter("campaign.shards_skipped");
+  auto& failed_counter = metrics_.counter("campaign.shards_failed");
+  auto& retried_counter = metrics_.counter("campaign.shards_retried");
+  auto& record_counter = metrics_.counter("campaign.records");
+  total_counter.add(n);
+
+  CampaignResult result;
+  result.per_shard.resize(n);
+  std::vector<char> done(n, 0);
+
+  // Resume: restore journaled shards, refusing a journal from a different
+  // sweep. The journal is then reopened for appending the rest.
+  std::unique_ptr<JournalWriter> journal;
+  if (!config_.checkpoint_path.empty() && config_.resume) {
+    JournalReader reader(config_.checkpoint_path);
+    reader.require_matches(header);
+    for (const auto& [index, records] : reader.shards()) {
+      if (index >= n) continue;  // defensively ignore out-of-range entries
+      result.per_shard[index] = records;
+      done[index] = 1;
+      ++result.shards_skipped;
+      record_counter.add(records.size());
+    }
+    skipped_counter.add(result.shards_skipped);
+    journal = std::make_unique<JournalWriter>(config_.checkpoint_path, reader.intact_bytes());
+  } else if (!config_.checkpoint_path.empty()) {
+    journal = std::make_unique<JournalWriter>(config_.checkpoint_path, header);
+  }
+
+  const auto pending =
+      static_cast<std::size_t>(std::count(done.begin(), done.end(), char{0}));
+  unsigned jobs = std::max(1u, config_.jobs);
+  jobs = static_cast<unsigned>(std::min<std::size_t>(jobs, std::max<std::size_t>(pending, 1)));
+
+  std::ostream* progress_stream =
+      config_.progress ? (config_.progress_stream != nullptr ? config_.progress_stream
+                                                             : &std::cerr)
+                       : nullptr;
+  ProgressMeter progress(progress_stream, total_counter, done_counter, skipped_counter,
+                         failed_counter, jobs);
+
+  std::atomic<std::size_t> next{0};
+  std::mutex mutex;  // guards result, journal, counters, progress, aggregate_
+
+  auto retire_rig = [&](WorkerRig& rig) {
+    if (rig.sink != nullptr && aggregate_ != nullptr) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      aggregate_->absorb(*rig.sink);
+    }
+    rig = WorkerRig{};
+  };
+
+  auto build_rig = [&](WorkerRig& rig) {
+    rig.host = factory_(spec);
+    if (aggregate_ != nullptr) {
+      rig.sink = std::make_unique<telemetry::Telemetry>(aggregate_->config());
+      rig.host->set_telemetry(rig.sink.get());
+    }
+    rig.characterizer = std::make_unique<core::Characterizer>(
+        *rig.host, core::RowMap::from_device(rig.host->device()), spec.characterizer);
+  };
+
+  auto worker = [&]() {
+    WorkerRig rig;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) break;
+      if (done[i] != 0) continue;
+
+      std::vector<core::RowRecord> records;
+      std::string error;
+      bool ok = false;
+      for (unsigned attempt = 0; attempt <= config_.retries && !ok; ++attempt) {
+        if (attempt > 0) {
+          const std::lock_guard<std::mutex> lock(mutex);
+          retried_counter.add();
+          ++result.shards_retried;
+        }
+        try {
+          if (rig.host == nullptr) build_rig(rig);
+          records = core::run_shard(*rig.characterizer, spec.shards[i]);
+          ok = true;
+        } catch (const std::exception& e) {
+          error = e.what();
+          retire_rig(rig);  // the host's state is suspect after a throw
+        }
+      }
+
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (ok) {
+        if (journal != nullptr) journal->append_shard(i, records);
+        record_counter.add(records.size());
+        result.per_shard[i] = std::move(records);
+        ++result.shards_run;
+        done_counter.add();
+      } else {
+        result.failures.push_back({i, error});
+        failed_counter.add();
+      }
+      progress.update();
+    }
+    retire_rig(rig);
+  };
+
+  if (pending > 0) {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned w = 0; w < jobs; ++w) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  std::sort(result.failures.begin(), result.failures.end(),
+            [](const ShardFailure& a, const ShardFailure& b) { return a.shard < b.shard; });
+  progress.finish();
+  if (aggregate_ != nullptr) aggregate_->metrics().merge_from(metrics_);
+
+  if (config_.fail_on_shard_error && !result.failures.empty()) {
+    std::string message = std::to_string(result.failures.size()) + " of " + std::to_string(n) +
+                          " shards failed after " + std::to_string(config_.retries) +
+                          " retr" + (config_.retries == 1 ? "y" : "ies");
+    const std::size_t shown = std::min<std::size_t>(result.failures.size(), 3);
+    for (std::size_t i = 0; i < shown; ++i) {
+      message += "; shard " + std::to_string(result.failures[i].shard) + ": " +
+                 result.failures[i].what;
+    }
+    if (!config_.checkpoint_path.empty()) {
+      message += "; completed shards are journaled in " + config_.checkpoint_path +
+                 " (rerun with --resume to retry only the failed shards)";
+    }
+    throw CampaignError(message);
+  }
+  return result;
+}
+
+}  // namespace rh::campaign

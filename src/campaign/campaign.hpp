@@ -1,0 +1,143 @@
+// The experiment-campaign runner: shards a characterization sweep across a
+// pool of worker threads and merges the results deterministically.
+//
+// Why this is sound: the fault model is a pure function of (seed, bank,
+// row, bit) — there is no sequential RNG in the device — and every per-row
+// test re-initializes its own neighbourhood with refresh (and therefore
+// TRR) disabled. So *each worker constructs its own BenderHost from the
+// same DeviceConfig* and runs disjoint shards on it, and the merged result
+// (ordered by shard index) is bitwise-identical to the serial sweep
+// regardless of how shards were scheduled. `--jobs=8` and `--jobs=1`
+// produce byte-identical tables; the determinism test pins this.
+//
+// Robustness:
+//   * checkpoint/resume — completed shards stream to a JSONL journal
+//     (journal.hpp) whose fsync'd header binds it to the exact sweep
+//     config; a resumed campaign skips journaled shards and refuses a
+//     mismatched journal,
+//   * failure isolation — a throwing shard is retried on a freshly built
+//     host; if it fails again it is reported at the end without killing
+//     the rest of the campaign,
+//   * progress — a live progress/ETA line fed from campaign.* counters in
+//     the telemetry metrics registry,
+//   * observability — each worker host gets its own telemetry sink, all
+//     absorbed into the caller's aggregate sink (TelemetrySession) so
+//     --metrics-json / --heatmap cover the whole fleet.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bender/host.hpp"
+#include "common/error.hpp"
+#include "core/shard.hpp"
+#include "core/spatial.hpp"
+#include "hbm/device.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace rh::campaign {
+
+/// How a campaign executes (scheduling/robustness knobs; the science lives
+/// in SweepSpec). The bench flags --jobs / --checkpoint / --resume map
+/// one-to-one onto the first three fields.
+struct CampaignConfig {
+  /// Worker threads, each owning a private BenderHost clone.
+  unsigned jobs = 1;
+  /// JSONL results journal; empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Resume from checkpoint_path, skipping journaled shards. Requires the
+  /// journal to exist and match this sweep's config hash.
+  bool resume = false;
+  /// Re-runs granted to a failing shard (on a freshly constructed host).
+  unsigned retries = 1;
+  /// Throw CampaignError after the campaign drains if any shard still
+  /// failed. Benches keep this on (partial sweeps must not masquerade as
+  /// results); tests of failure isolation turn it off.
+  bool fail_on_shard_error = true;
+  /// Progress/ETA line destination; nullptr = std::cerr. Disable with
+  /// `progress = false`.
+  bool progress = true;
+  std::ostream* progress_stream = nullptr;
+};
+
+/// Everything that defines the physics of one sweep: the device (fault seed
+/// included), the operating temperature, the measurement parameters, and
+/// the deterministic shard plan. Hashed into the journal header.
+struct SweepSpec {
+  hbm::DeviceConfig device;
+  double temperature_c = 85.0;
+  /// Settle the thermal rig's PID loop (what the benches do) instead of
+  /// pinning the chip temperature directly (faster; used by tests).
+  bool settle_thermal = true;
+  core::CharacterizerConfig characterizer;
+  std::vector<core::ShardSpec> shards;
+};
+
+/// SweepSpec for a SpatialSurvey row sweep: same plan, same order, same
+/// measurements as SpatialSurvey(host, survey).survey_rows().
+[[nodiscard]] SweepSpec survey_sweep(hbm::DeviceConfig device, const core::SurveyConfig& survey,
+                                     std::uint32_t max_rows_per_shard = 64);
+
+/// Canonical fingerprint of a sweep (the string that is FNV-1a hashed into
+/// the journal header). Stable across runs and platforms.
+[[nodiscard]] std::string sweep_fingerprint(const SweepSpec& spec);
+[[nodiscard]] std::uint64_t sweep_config_hash(const SweepSpec& spec);
+
+struct ShardFailure {
+  std::uint64_t shard = 0;
+  std::string what;
+};
+
+struct CampaignResult {
+  /// Per-shard records, indexed by shard (empty for failed shards).
+  std::vector<std::vector<core::RowRecord>> per_shard;
+  std::vector<ShardFailure> failures;
+  std::uint64_t shards_run = 0;      ///< executed this run
+  std::uint64_t shards_skipped = 0;  ///< restored from the journal
+  std::uint64_t shards_retried = 0;  ///< extra attempts granted
+
+  /// Records of all shards concatenated in shard order — the deterministic
+  /// merge the benches consume (identical to the serial sweep's output).
+  [[nodiscard]] std::vector<core::RowRecord> flat() const;
+};
+
+/// A campaign failed to produce a complete result set.
+class CampaignError : public common::Error {
+public:
+  using common::Error::Error;
+};
+
+class Campaign {
+public:
+  /// Builds a worker's private host from the sweep spec. The default
+  /// constructs BenderHost(spec.device) and brings it to temperature.
+  using HostFactory = std::function<std::unique_ptr<bender::BenderHost>(const SweepSpec&)>;
+
+  /// `aggregate` (may be null) receives every worker's telemetry after the
+  /// run plus the campaign.* counters; pass TelemetrySession::sink().
+  explicit Campaign(CampaignConfig config, telemetry::Telemetry* aggregate = nullptr);
+
+  /// Overrides worker host construction (population studies build variant
+  /// devices; tests inject failures).
+  void set_host_factory(HostFactory factory) { factory_ = std::move(factory); }
+
+  /// Runs the sweep to completion. Throws common::ConfigError on journal
+  /// mismatch and CampaignError per config.fail_on_shard_error.
+  CampaignResult run(const SweepSpec& spec);
+
+  /// Live campaign.* counters (shards_total/done/skipped/failed/retried).
+  [[nodiscard]] const telemetry::MetricsRegistry& metrics() const { return metrics_; }
+
+private:
+  CampaignConfig config_;
+  telemetry::Telemetry* aggregate_;
+  HostFactory factory_;
+  telemetry::MetricsRegistry metrics_;
+};
+
+}  // namespace rh::campaign

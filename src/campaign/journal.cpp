@@ -1,0 +1,186 @@
+#include "campaign/journal.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "campaign/record_io.hpp"
+#include "common/error.hpp"
+
+#if __has_include(<unistd.h>)
+#include <unistd.h>
+#define RH_CAMPAIGN_HAS_FSYNC 1
+#endif
+
+namespace rh::campaign {
+
+namespace {
+
+constexpr std::string_view kJournalKind = "rh-campaign-journal";
+constexpr std::uint64_t kJournalVersion = 1;
+
+/// The header hash travels as fixed-width hex so the header line is
+/// byte-stable across platforms.
+std::string hash_hex(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::string header_line(const JournalHeader& header) {
+  return std::string("{\"kind\":\"") + std::string(kJournalKind) +
+         "\",\"version\":" + std::to_string(kJournalVersion) +
+         ",\"seed\":" + std::to_string(header.seed) + ",\"config_hash\":\"" +
+         hash_hex(header.config_hash) + "\",\"shards\":" + std::to_string(header.shard_count) +
+         "}";
+}
+
+void sync_to_disk(std::FILE* file, const std::string& path) {
+  if (std::fflush(file) != 0) {
+    throw common::ConfigError("cannot flush checkpoint journal: " + path);
+  }
+#ifdef RH_CAMPAIGN_HAS_FSYNC
+  if (::fsync(fileno(file)) != 0) {
+    throw common::ConfigError("cannot fsync checkpoint journal: " + path);
+  }
+#endif
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+JournalWriter::JournalWriter(const std::string& path, const JournalHeader& header)
+    : path_(path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw common::ConfigError("cannot create checkpoint journal: " + path);
+  }
+  write_line(header_line(header));
+}
+
+JournalWriter::JournalWriter(const std::string& path, std::uint64_t keep_bytes)
+    : path_(path) {
+  // Drop the torn residue of a kill mid-append before writing anything new;
+  // appending after it would turn an ignorable trailing tear into mid-file
+  // corruption on the next read.
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (!ec && keep_bytes < size) {
+    std::filesystem::resize_file(path, keep_bytes, ec);
+  }
+  if (ec) {
+    throw common::ConfigError("cannot truncate checkpoint journal for resume: " + path);
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    throw common::ConfigError("cannot reopen checkpoint journal: " + path);
+  }
+}
+
+JournalWriter::~JournalWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JournalWriter::write_line(const std::string& line) {
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fputc('\n', file_) == EOF) {
+    throw common::ConfigError("cannot write checkpoint journal: " + path_);
+  }
+  sync_to_disk(file_, path_);
+}
+
+void JournalWriter::append_shard(std::uint64_t shard,
+                                 const std::vector<core::RowRecord>& records) {
+  std::string line = "{\"shard\":" + std::to_string(shard) + ",\"records\":[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (i != 0) line += ',';
+    append_row_record_json(line, records[i]);
+  }
+  line += "]}";
+  write_line(line);
+}
+
+JournalReader::JournalReader(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw common::ConfigError("cannot open checkpoint journal for resume: " + path);
+  }
+
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw common::ConfigError("checkpoint journal is empty: " + path);
+  }
+  const JsonValue header = parse_json(line, path + " (header)");
+  const JsonValue* kind = header.find("kind");
+  if (kind == nullptr || kind->text != kJournalKind) {
+    throw common::ConfigError("not a campaign journal: " + path);
+  }
+  if (header.at("version").as_u64() != kJournalVersion) {
+    throw common::ConfigError("unsupported journal version in " + path);
+  }
+  header_.seed = header.at("seed").as_u64();
+  header_.config_hash = std::strtoull(header.at("config_hash").text.c_str(), nullptr, 16);
+  header_.shard_count = header.at("shards").as_u64();
+  intact_bytes_ = line.size() + 1;
+
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      intact_bytes_ += line.size() + 1;
+      continue;
+    }
+    JsonValue entry;
+    try {
+      entry = parse_json(line, path + ":" + std::to_string(line_no));
+    } catch (const common::ConfigError&) {
+      // A torn trailing line is the expected residue of a kill mid-append;
+      // anything malformed *before* the end means real corruption.
+      if (in.peek() == EOF) break;
+      throw;
+    }
+    const std::uint64_t shard = entry.at("shard").as_u64();
+    std::vector<core::RowRecord> records;
+    const JsonValue& array = entry.at("records");
+    records.reserve(array.items.size());
+    for (const JsonValue& r : array.items) records.push_back(parse_row_record(r));
+    shards_[shard] = std::move(records);
+    intact_bytes_ += line.size() + 1;
+  }
+  intact_bytes_ = std::min(intact_bytes_, file_size);
+}
+
+void JournalReader::require_matches(const JournalHeader& expected) const {
+  if (header_.seed != expected.seed) {
+    throw common::ConfigError(
+        "checkpoint journal was written for seed " + std::to_string(header_.seed) +
+        ", not " + std::to_string(expected.seed) + "; refusing to resume");
+  }
+  if (header_.shard_count != expected.shard_count) {
+    throw common::ConfigError("checkpoint journal covers " + std::to_string(header_.shard_count) +
+                              " shards, not " + std::to_string(expected.shard_count) +
+                              "; refusing to resume");
+  }
+  if (header_.config_hash != expected.config_hash) {
+    throw common::ConfigError(
+        "checkpoint journal config hash " + hash_hex(header_.config_hash) +
+        " does not match this campaign's " + hash_hex(expected.config_hash) +
+        " (different stride, patterns, geometry, or characterizer settings); "
+        "refusing to resume");
+  }
+}
+
+}  // namespace rh::campaign

@@ -1,0 +1,95 @@
+// The campaign results journal: a JSONL checkpoint file that makes a killed
+// campaign resumable.
+//
+// Layout (one JSON document per line):
+//
+//   {"kind":"rh-campaign-journal","version":1,"seed":...,
+//    "config_hash":"<16 hex digits>","shards":N}          <- header, fsync'd
+//   {"shard":7,"records":[{...RowRecord...}, ...]}        <- per shard, in
+//   {"shard":3,"records":[...]}                              completion order
+//
+// The header binds the journal to one exact sweep: the seed, the FNV-1a
+// hash of the full campaign configuration (device geometry, scramble,
+// temperature, characterizer parameters, and the entire shard plan), and
+// the shard count. Resume refuses a journal whose header does not match the
+// sweep being run, so stale checkpoints can never silently corrupt results.
+//
+// Durability: the header is fsync'd before any work starts, and every shard
+// line is flushed+fsync'd when it is appended — a kill can lose at most the
+// shard in flight. The reader ignores a torn trailing line.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/characterizer.hpp"
+
+namespace rh::campaign {
+
+/// FNV-1a 64-bit hash (used for the journal's config hash).
+[[nodiscard]] std::uint64_t fnv1a(std::string_view text);
+
+/// Identity of one sweep, stored in (and checked against) the header line.
+struct JournalHeader {
+  std::uint64_t seed = 0;
+  std::uint64_t config_hash = 0;
+  std::uint64_t shard_count = 0;
+};
+
+/// Appends completed shards to the journal. All methods throw
+/// common::ConfigError on I/O failure.
+class JournalWriter {
+public:
+  /// Creates (truncating any previous file) and writes an fsync'd header.
+  JournalWriter(const std::string& path, const JournalHeader& header);
+  /// Reopens an existing journal for appending (resume), first truncating
+  /// it to `keep_bytes` — JournalReader::intact_bytes() — so a torn
+  /// trailing line from a kill never ends up *preceding* appended lines.
+  /// The caller is responsible for having validated the header.
+  JournalWriter(const std::string& path, std::uint64_t keep_bytes);
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Writes one completed shard as a single line, flushed and fsync'd.
+  void append_shard(std::uint64_t shard, const std::vector<core::RowRecord>& records);
+
+private:
+  void write_line(const std::string& line);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+/// Loads a journal: header plus every intact shard line. A torn final line
+/// (from a kill mid-write) is ignored; any other malformed content throws.
+class JournalReader {
+public:
+  explicit JournalReader(const std::string& path);
+
+  [[nodiscard]] const JournalHeader& header() const { return header_; }
+  /// Completed shards by index. Duplicate lines: the last one wins.
+  [[nodiscard]] const std::map<std::uint64_t, std::vector<core::RowRecord>>& shards() const {
+    return shards_;
+  }
+
+  /// Throws common::ConfigError naming the mismatched field if the journal
+  /// was written for a different sweep than `expected`.
+  void require_matches(const JournalHeader& expected) const;
+
+  /// Byte length of the journal's intact prefix (the header plus every
+  /// parsed shard line). A resume truncates the file to this length before
+  /// appending, which erases any torn trailing line.
+  [[nodiscard]] std::uint64_t intact_bytes() const { return intact_bytes_; }
+
+private:
+  JournalHeader header_;
+  std::map<std::uint64_t, std::vector<core::RowRecord>> shards_;
+  std::uint64_t intact_bytes_ = 0;
+};
+
+}  // namespace rh::campaign

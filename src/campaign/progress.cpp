@@ -1,0 +1,97 @@
+#include "campaign/progress.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <ostream>
+#include <sstream>
+
+#if __has_include(<unistd.h>)
+#include <unistd.h>
+#define RH_CAMPAIGN_HAS_ISATTY 1
+#endif
+
+namespace rh::campaign {
+
+namespace {
+
+std::string fmt_seconds(double s) {
+  char buf[32];
+  if (s >= 90.0) {
+    std::snprintf(buf, sizeof buf, "%dm%02ds", static_cast<int>(s) / 60,
+                  static_cast<int>(s) % 60);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fs", s);
+  }
+  return buf;
+}
+
+}  // namespace
+
+ProgressMeter::ProgressMeter(std::ostream* os, const telemetry::Counter& total,
+                             const telemetry::Counter& done, const telemetry::Counter& skipped,
+                             const telemetry::Counter& failed, unsigned jobs)
+    : os_(os),
+      total_(&total),
+      done_(&done),
+      skipped_(&skipped),
+      failed_(&failed),
+      jobs_(jobs),
+      start_(std::chrono::steady_clock::now()) {
+#ifdef RH_CAMPAIGN_HAS_ISATTY
+  if (os_ == &std::cerr || os_ == &std::clog) tty_ = ::isatty(2) != 0;
+#endif
+}
+
+double ProgressMeter::elapsed_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+}
+
+void ProgressMeter::update() {
+  if (os_ == nullptr) return;
+  const std::uint64_t total = total_->value();
+  const std::uint64_t done = done_->value();
+  const std::uint64_t skipped = skipped_->value();
+  const std::uint64_t failed = failed_->value();
+  if (total == 0) return;
+
+  const std::uint64_t finished = done + skipped + failed;
+  const auto decile = static_cast<std::size_t>(finished * 10 / total);
+  if (!tty_ && decile == last_decile_ && finished != total) return;
+  last_decile_ = decile;
+
+  // ETA from the shards *this* run actually executed; journal-skipped
+  // shards completed in a previous run and carry no timing signal.
+  const double elapsed = elapsed_s();
+  const std::uint64_t executed = done + failed;
+  const std::uint64_t remaining = total - finished;
+  std::ostringstream line;
+  line << "[campaign] " << finished << "/" << total << " shards ("
+       << (finished * 100 / total) << "%)";
+  if (skipped > 0) line << " | " << skipped << " resumed from checkpoint";
+  if (failed > 0) line << " | " << failed << " FAILED";
+  line << " | " << jobs_ << (jobs_ == 1 ? " worker" : " workers") << " | elapsed "
+       << fmt_seconds(elapsed);
+  if (executed > 0 && remaining > 0) {
+    line << " | eta " << fmt_seconds(elapsed / static_cast<double>(executed) *
+                                     static_cast<double>(remaining));
+  }
+  if (tty_) {
+    *os_ << '\r' << line.str() << "\x1b[K" << std::flush;
+  } else {
+    *os_ << line.str() << '\n';
+  }
+}
+
+void ProgressMeter::finish() {
+  if (os_ == nullptr) return;
+  const std::uint64_t total = total_->value();
+  const std::uint64_t done = done_->value();
+  const std::uint64_t skipped = skipped_->value();
+  const std::uint64_t failed = failed_->value();
+  if (tty_) *os_ << '\r' << "\x1b[K";
+  *os_ << "[campaign] finished: " << done << " shards run, " << skipped
+       << " resumed from checkpoint, " << failed << " failed (of " << total << ") in "
+       << fmt_seconds(elapsed_s()) << '\n';
+}
+
+}  // namespace rh::campaign

@@ -1,0 +1,47 @@
+// Campaign progress/ETA reporting, fed from the telemetry metrics registry.
+//
+// The campaign engine owns a MetricsRegistry with campaign.* counters
+// (shards_total/done/skipped/failed/retried); the meter reads those live
+// counters — it keeps no shard arithmetic of its own — and renders one
+// status line. On a TTY the line redraws in place (\r); otherwise it prints
+// a fresh line each time completion crosses a 10% decile, so CI logs stay
+// readable.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <iosfwd>
+
+#include "telemetry/metrics.hpp"
+
+namespace rh::campaign {
+
+class ProgressMeter {
+public:
+  /// `os` may be nullptr to disable output entirely. The counters must
+  /// outlive the meter (they live in the campaign's registry).
+  ProgressMeter(std::ostream* os, const telemetry::Counter& total,
+                const telemetry::Counter& done, const telemetry::Counter& skipped,
+                const telemetry::Counter& failed, unsigned jobs);
+
+  /// Re-renders the status line. Call after every shard completion (the
+  /// campaign already holds its completion lock, so reads are consistent).
+  void update();
+  /// Prints the final summary line (always newline-terminated).
+  void finish();
+
+private:
+  [[nodiscard]] double elapsed_s() const;
+
+  std::ostream* os_;
+  const telemetry::Counter* total_;
+  const telemetry::Counter* done_;
+  const telemetry::Counter* skipped_;
+  const telemetry::Counter* failed_;
+  unsigned jobs_;
+  bool tty_ = false;
+  std::size_t last_decile_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace rh::campaign

@@ -1,0 +1,66 @@
+#include "core/shard.hpp"
+
+#include "common/assert.hpp"
+#include "core/spatial.hpp"
+
+namespace rh::core {
+
+std::vector<RowRecord> run_shard(Characterizer& characterizer, const ShardSpec& shard) {
+  RH_EXPECTS(shard.row_stride >= 1);
+  RH_EXPECTS(shard.mode != ShardMode::kSinglePattern || shard.pattern < kAllPatterns.size());
+  std::vector<RowRecord> records;
+  records.reserve(shard.sampled_rows());
+  for (std::uint32_t row = shard.row_begin; row < shard.row_end; row += shard.row_stride) {
+    switch (shard.mode) {
+      case ShardMode::kFullRow:
+        records.push_back(characterizer.characterize_row(shard.site, row));
+        break;
+      case ShardMode::kBerOnly:
+        records.push_back(characterize_row_ber_only(characterizer, shard.site, row));
+        break;
+      case ShardMode::kSinglePattern: {
+        RowRecord rec;
+        rec.site = shard.site;
+        rec.physical_row = row;
+        const auto pattern = kAllPatterns[shard.pattern];
+        rec.ber[shard.pattern] =
+            characterizer.measure_ber(shard.site, row, pattern, shard.hammers);
+        rec.wcdp = pattern;
+        records.push_back(rec);
+        break;
+      }
+    }
+  }
+  return records;
+}
+
+std::vector<ShardSpec> plan_survey_shards(const SurveyConfig& config,
+                                          const hbm::Geometry& geometry,
+                                          std::uint32_t max_rows_per_shard) {
+  RH_EXPECTS(!config.channels.empty());
+  RH_EXPECTS(config.row_stride >= 1);
+  RH_EXPECTS(max_rows_per_shard >= 1);
+  const auto regions = paper_regions(geometry, config.region_rows);
+  const std::uint32_t span = max_rows_per_shard * config.row_stride;
+
+  std::vector<ShardSpec> shards;
+  for (const std::uint32_t channel : config.channels) {
+    const Site site{channel, config.pseudo_channel, config.bank};
+    for (const auto& region : regions) {
+      const std::uint32_t region_end = region.first_row + region.rows;
+      for (std::uint32_t begin = region.first_row; begin < region_end; begin += span) {
+        ShardSpec shard;
+        shard.index = shards.size();
+        shard.site = site;
+        shard.row_begin = begin;
+        shard.row_end = std::min(region_end, begin + span);
+        shard.row_stride = config.row_stride;
+        shard.mode = config.wcdp_by_ber ? ShardMode::kBerOnly : ShardMode::kFullRow;
+        shards.push_back(shard);
+      }
+    }
+  }
+  return shards;
+}
+
+}  // namespace rh::core

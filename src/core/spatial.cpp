@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "core/shard.hpp"
 
 namespace rh::core {
 
@@ -22,8 +23,7 @@ SpatialSurvey::SpatialSurvey(bender::BenderHost& host, SurveyConfig config)
   RH_EXPECTS(config_.row_stride >= 1);
 }
 
-RowRecord SpatialSurvey::characterize_row_ber_only(Characterizer& chr, const Site& site,
-                                                   std::uint32_t row) {
+RowRecord characterize_row_ber_only(Characterizer& chr, const Site& site, std::uint32_t row) {
   RowRecord rec;
   rec.site = site;
   rec.physical_row = row;
@@ -39,20 +39,18 @@ RowRecord SpatialSurvey::characterize_row_ber_only(Characterizer& chr, const Sit
 }
 
 std::vector<RowRecord> SpatialSurvey::survey_rows() {
-  const auto regions = paper_regions(host_->device().geometry(), config_.region_rows);
+  // The serial path iterates the same shard plan the campaign runner
+  // distributes across workers, so both produce identical records in
+  // identical order (src/campaign depends on this equivalence).
+  const auto shards = plan_survey_shards(config_, host_->device().geometry());
   const RowMap map = RowMap::from_device(host_->device());
+  Characterizer chr(*host_, map, config_.characterizer);
 
   std::vector<RowRecord> records;
-  for (const std::uint32_t channel : config_.channels) {
-    const Site site{channel, config_.pseudo_channel, config_.bank};
-    Characterizer chr(*host_, map, config_.characterizer);
-    for (const auto& region : regions) {
-      for (std::uint32_t row = region.first_row; row < region.first_row + region.rows;
-           row += config_.row_stride) {
-        records.push_back(config_.wcdp_by_ber ? characterize_row_ber_only(chr, site, row)
-                                              : chr.characterize_row(site, row));
-      }
-    }
+  for (const auto& shard : shards) {
+    auto shard_records = run_shard(chr, shard);
+    records.insert(records.end(), std::make_move_iterator(shard_records.begin()),
+                   std::make_move_iterator(shard_records.end()));
   }
   return records;
 }
@@ -111,7 +109,7 @@ std::vector<ChannelPatternStats> aggregate(const std::vector<RowRecord>& records
 
   std::vector<ChannelPatternStats> out;
   for (const std::uint32_t channel : channels) {
-    for (std::size_t pattern = 0; pattern <= kAllPatterns.size(); ++pattern) {
+    for (std::size_t pattern = 0; pattern <= kWcdpPatternIndex; ++pattern) {
       std::vector<double> values;
       for (const auto& rec : records) {
         if (rec.site.channel != channel) continue;

@@ -24,6 +24,11 @@
 
 namespace rh::core {
 
+/// Index of the per-row WCDP series in pattern-indexed aggregations: indices
+/// 0..kAllPatterns.size()-1 are the Table 1 patterns, kWcdpPatternIndex is
+/// the per-row worst-case data pattern (see ChannelPatternStats::pattern).
+inline constexpr std::size_t kWcdpPatternIndex = kAllPatterns.size();
+
 struct RegionSpec {
   std::string name;
   std::uint32_t first_row = 0;
@@ -73,12 +78,15 @@ public:
   [[nodiscard]] const SurveyConfig& config() const { return config_; }
 
 private:
-  /// Cheap per-row characterization when wcdp_by_ber is set.
-  RowRecord characterize_row_ber_only(Characterizer& chr, const Site& site, std::uint32_t row);
-
   bender::BenderHost* host_;
   SurveyConfig config_;
 };
+
+/// Cheap per-row characterization: BER for the four Table 1 patterns only,
+/// WCDP chosen as the max-BER pattern. The fast path behind wcdp_by_ber
+/// surveys and campaign ShardMode::kBerOnly shards.
+[[nodiscard]] RowRecord characterize_row_ber_only(Characterizer& chr, const Site& site,
+                                                  std::uint32_t row);
 
 /// Aggregation for Figs. 3 and 4: index 0..3 = Table 1 patterns, 4 = WCDP.
 struct ChannelPatternStats {

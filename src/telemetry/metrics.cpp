@@ -23,6 +23,11 @@ void FixedHistogram::observe(double x) {
   ++counts_[static_cast<std::size_t>(idx)];
 }
 
+void FixedHistogram::merge_from(const FixedHistogram& other) {
+  RH_EXPECTS(other.lo_ == lo_ && other.hi_ == hi_ && other.counts_.size() == counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
 std::uint64_t FixedHistogram::total() const {
   return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
 }
@@ -171,6 +176,14 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   std::sort(snap.entries.begin(), snap.entries.end(),
             [](const SnapshotEntry& a, const SnapshotEntry& b) { return a.name < b.name; });
   return snap;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].add(c.value());
+  for (const auto& [name, g] : other.gauges_) gauges_[name].set(g.value());
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name, h.lo(), h.hi(), h.buckets().size()).merge_from(h);
+  }
 }
 
 void MetricsRegistry::reset() {

@@ -53,6 +53,8 @@ public:
   FixedHistogram(double lo, double hi, std::size_t bins);
 
   void observe(double x);
+  /// Adds `other`'s bucket counts. Precondition: identical lo/hi/bins.
+  void merge_from(const FixedHistogram& other);
   [[nodiscard]] std::uint64_t total() const;
   [[nodiscard]] double lo() const { return lo_; }
   [[nodiscard]] double hi() const { return hi_; }
@@ -117,6 +119,11 @@ public:
   FixedHistogram& histogram(const std::string& name, double lo, double hi, std::size_t bins);
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Folds another registry into this one: counters add, gauges take the
+  /// merged registry's value (last merge wins), histograms add bucket counts
+  /// (shape must match). Metrics absent here are created. The aggregation
+  /// primitive behind merging per-worker campaign telemetry into one sink.
+  void merge_from(const MetricsRegistry& other);
   /// Zeroes every registered metric (registration survives).
   void reset();
 

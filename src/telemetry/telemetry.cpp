@@ -170,6 +170,25 @@ void Telemetry::render_act_heatmap(std::ostream& os) const {
   common::render_heatmap(os, grid, labels, "per-bank ACT counts (columns = banks)");
 }
 
+void Telemetry::absorb(const Telemetry& other) {
+  RH_EXPECTS(other.config_.channels == config_.channels &&
+             other.config_.pseudo_channels == config_.pseudo_channels &&
+             other.config_.banks == config_.banks);
+  registry_.merge_from(other.registry_);
+  for (std::size_t i = 0; i < bank_acts_.size(); ++i) bank_acts_[i] += other.bank_acts_[i];
+  for (const auto& e : other.trr_events_) {
+    if (trr_events_.size() >= config_.max_trr_events) break;
+    trr_events_.push_back(e);
+  }
+  for (const auto& e : other.flip_events_) {
+    if (flip_events_.size() >= config_.max_flip_events) break;
+    flip_events_.push_back(e);
+  }
+  if (config_.trace_enabled) {
+    for (const auto& e : other.trace_.in_order()) trace_.push(e);
+  }
+}
+
 void Telemetry::reset() {
   registry_.reset();
   trace_.clear();

@@ -139,6 +139,15 @@ public:
   /// channel/pseudo-channel lane, one column per bank).
   void render_act_heatmap(std::ostream& os) const;
 
+  /// Folds another sink's observations into this one: counters/histograms
+  /// and the per-bank ACT heatmap add, gauges take the absorbed sink's
+  /// values, domain event streams append (up to the configured caps), and
+  /// the absorbed trace events push into this ring (oldest overwritten).
+  /// Used by the campaign runner to aggregate per-worker sinks after a
+  /// parallel sweep; call from one thread only, once the workers are joined.
+  /// Precondition: identical heatmap dimensions.
+  void absorb(const Telemetry& other);
+
   /// Clears metrics, trace, events, and the heatmap.
   void reset();
 

@@ -1,0 +1,281 @@
+#include "campaign/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/journal.hpp"
+#include "campaign/record_io.hpp"
+#include "core/spatial.hpp"
+
+namespace rh::campaign {
+namespace {
+
+// The spatial_test quick survey, decomposed into small (<=8 rows) shards so
+// the resume/failure tests get meaningful checkpoint granularity: 2 channels
+// x 3 regions x 3072/512 rows sampled -> 18 shards of 2 rows each.
+SweepSpec quick_sweep() {
+  core::SurveyConfig survey;
+  survey.channels = {0, 7};
+  survey.row_stride = 512;
+  survey.wcdp_by_ber = true;  // BER-only: fast
+  SweepSpec spec = survey_sweep(hbm::DeviceConfig{}, survey, /*max_rows_per_shard=*/2);
+  spec.settle_thermal = false;  // pin the temperature; skip the PID settle
+  return spec;
+}
+
+CampaignConfig quiet_config() {
+  CampaignConfig config;
+  config.progress = false;
+  return config;
+}
+
+void expect_records_equal(const std::vector<core::RowRecord>& a,
+                          const std::vector<core::RowRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].site.channel, b[i].site.channel) << "record " << i;
+    EXPECT_EQ(a[i].site.pseudo_channel, b[i].site.pseudo_channel) << "record " << i;
+    EXPECT_EQ(a[i].site.bank, b[i].site.bank) << "record " << i;
+    EXPECT_EQ(a[i].physical_row, b[i].physical_row) << "record " << i;
+    EXPECT_EQ(a[i].wcdp, b[i].wcdp) << "record " << i;
+    for (std::size_t p = 0; p < core::kAllPatterns.size(); ++p) {
+      EXPECT_EQ(a[i].ber[p].bit_errors, b[i].ber[p].bit_errors) << "record " << i;
+      EXPECT_EQ(a[i].ber[p].bits_tested, b[i].ber[p].bits_tested) << "record " << i;
+      EXPECT_EQ(a[i].ber[p].ones_to_zeros, b[i].ber[p].ones_to_zeros) << "record " << i;
+      EXPECT_EQ(a[i].ber[p].zeros_to_ones, b[i].ber[p].zeros_to_ones) << "record " << i;
+      // Bitwise double equality: journaled records must be exact.
+      EXPECT_EQ(a[i].ber[p].elapsed_ms, b[i].ber[p].elapsed_ms) << "record " << i;
+      EXPECT_EQ(a[i].hc_first[p], b[i].hc_first[p]) << "record " << i;
+    }
+  }
+}
+
+/// A scratch file deleted on scope exit.
+class TempPath {
+public:
+  explicit TempPath(std::string path) : path_(std::move(path)) { std::remove(path_.c_str()); }
+  ~TempPath() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& str() const { return path_; }
+
+private:
+  std::string path_;
+};
+
+TEST(CampaignTest, ParallelMergeIsBitwiseIdenticalToSerial) {
+  const SweepSpec spec = quick_sweep();
+  ASSERT_GT(spec.shards.size(), 8u);
+
+  CampaignConfig serial = quiet_config();
+  serial.jobs = 1;
+  Campaign one(serial);
+  const auto flat1 = one.run(spec).flat();
+
+  CampaignConfig wide = quiet_config();
+  wide.jobs = 8;
+  Campaign eight(wide);
+  const auto flat8 = eight.run(spec).flat();
+
+  expect_records_equal(flat1, flat8);
+}
+
+TEST(CampaignTest, MatchesSpatialSurveyOnOneHost) {
+  core::SurveyConfig survey;
+  survey.channels = {0, 7};
+  survey.row_stride = 512;
+  survey.wcdp_by_ber = true;
+  SweepSpec spec = survey_sweep(hbm::DeviceConfig{}, survey);
+  spec.settle_thermal = false;
+
+  CampaignConfig config = quiet_config();
+  config.jobs = 4;
+  Campaign campaign(config);
+  const auto flat = campaign.run(spec).flat();
+
+  bender::BenderHost host{hbm::DeviceConfig{}};
+  host.device().set_temperature(85.0);
+  const auto serial = core::SpatialSurvey(host, survey).survey_rows();
+
+  expect_records_equal(flat, serial);
+}
+
+TEST(CampaignTest, ResumesFromTruncatedJournalToIdenticalResult) {
+  const SweepSpec spec = quick_sweep();
+  const TempPath journal("campaign_test_resume.jsonl");
+
+  CampaignConfig full = quiet_config();
+  full.jobs = 2;
+  full.checkpoint_path = journal.str();
+  Campaign first(full);
+  const auto complete = first.run(spec);
+  EXPECT_EQ(complete.shards_run, spec.shards.size());
+  EXPECT_EQ(complete.shards_skipped, 0u);
+
+  // Simulate a kill mid-run: keep the header, half the shard lines, and a
+  // torn final line (the write the kill interrupted).
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(journal.str());
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), spec.shards.size() + 1);
+  const std::size_t keep_shards = spec.shards.size() / 2;
+  {
+    std::ofstream out(journal.str(), std::ios::trunc);
+    for (std::size_t i = 0; i <= keep_shards; ++i) out << lines[i] << '\n';
+    out << lines[keep_shards + 1].substr(0, lines[keep_shards + 1].size() / 2);
+  }
+
+  CampaignConfig resumed = quiet_config();
+  resumed.jobs = 2;
+  resumed.checkpoint_path = journal.str();
+  resumed.resume = true;
+  Campaign second(resumed);
+  const auto result = second.run(spec);
+
+  EXPECT_EQ(result.shards_skipped, keep_shards);
+  EXPECT_EQ(result.shards_run, spec.shards.size() - keep_shards);
+  expect_records_equal(result.flat(), complete.flat());
+
+  // The finished journal is itself complete again: a third resume runs 0.
+  Campaign third(resumed);
+  const auto noop = third.run(spec);
+  EXPECT_EQ(noop.shards_run, 0u);
+  EXPECT_EQ(noop.shards_skipped, spec.shards.size());
+  expect_records_equal(noop.flat(), complete.flat());
+}
+
+TEST(CampaignTest, RefusesJournalFromDifferentSweep) {
+  const SweepSpec spec = quick_sweep();
+  const TempPath journal("campaign_test_mismatch.jsonl");
+
+  CampaignConfig config = quiet_config();
+  config.checkpoint_path = journal.str();
+  Campaign first(config);
+  (void)first.run(spec);
+
+  // Same geometry, different stride -> different plan, different hash.
+  core::SurveyConfig other_survey;
+  other_survey.channels = {0, 7};
+  other_survey.row_stride = 256;
+  other_survey.wcdp_by_ber = true;
+  SweepSpec other = survey_sweep(hbm::DeviceConfig{}, other_survey, 2);
+  other.settle_thermal = false;
+  ASSERT_NE(sweep_config_hash(spec), sweep_config_hash(other));
+
+  config.resume = true;
+  Campaign second(config);
+  EXPECT_THROW((void)second.run(other), common::ConfigError);
+}
+
+TEST(CampaignTest, ShardFailureIsRetriedThenIsolated) {
+  SweepSpec spec = quick_sweep();
+  // Poison one shard: a channel the geometry does not have makes every
+  // attempt throw inside the worker.
+  const std::size_t poisoned = 3;
+  spec.shards[poisoned].site.channel = 99;
+
+  CampaignConfig config = quiet_config();
+  config.jobs = 4;
+  config.fail_on_shard_error = false;
+  Campaign campaign(config);
+  const auto result = campaign.run(spec);
+
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.failures[0].shard, poisoned);
+  EXPECT_EQ(result.shards_retried, config.retries);
+  EXPECT_TRUE(result.per_shard[poisoned].empty());
+  // Every other shard still completed.
+  for (std::size_t i = 0; i < result.per_shard.size(); ++i) {
+    if (i != poisoned) {
+      EXPECT_FALSE(result.per_shard[i].empty()) << "shard " << i;
+    }
+  }
+
+  CampaignConfig strict = quiet_config();
+  strict.jobs = 4;
+  Campaign failing(strict);
+  EXPECT_THROW((void)failing.run(spec), CampaignError);
+}
+
+TEST(CampaignTest, WorkerTelemetryIsAbsorbedIntoAggregate) {
+  const SweepSpec spec = quick_sweep();
+  telemetry::Telemetry aggregate{telemetry::TelemetryConfig{}};
+
+  CampaignConfig config = quiet_config();
+  config.jobs = 4;
+  Campaign campaign(config, &aggregate);
+  const auto result = campaign.run(spec);
+
+  // ACTs from every worker host landed in the aggregate heatmap, and the
+  // campaign counters were merged into the aggregate registry.
+  EXPECT_GT(aggregate.total_acts(), 0u);
+  const auto snap = aggregate.metrics().snapshot();
+  EXPECT_EQ(snap.value_or("campaign.shards_done", -1.0),
+            static_cast<double>(spec.shards.size()));
+  EXPECT_EQ(result.failures.size(), 0u);
+}
+
+TEST(RecordIoTest, RowRecordRoundTripsExactly) {
+  core::RowRecord rec;
+  rec.site = core::Site{7, 1, 3};
+  rec.physical_row = 16383;
+  rec.wcdp = core::DataPattern::kCheckered1;
+  for (std::size_t p = 0; p < core::kAllPatterns.size(); ++p) {
+    rec.ber[p].bit_errors = 1234 + p;
+    rec.ber[p].bits_tested = 1u << 20;
+    rec.ber[p].ones_to_zeros = 1000 + p;
+    rec.ber[p].zeros_to_ones = 234;
+    rec.ber[p].elapsed_ms = 26.999999999999996 + static_cast<double>(p) * 0.1;
+  }
+  rec.hc_first[0] = 14531;
+  rec.hc_first[1] = std::nullopt;
+  rec.hc_first[2] = 262144;
+  rec.hc_first[3] = 1;
+
+  std::string json;
+  append_row_record_json(json, rec);
+  const auto parsed = parse_row_record(parse_json(json, "test record"));
+
+  expect_records_equal({rec}, {parsed});
+}
+
+TEST(RecordIoTest, ParserRejectsMalformedInput) {
+  EXPECT_THROW((void)parse_json("{\"a\":", "torn"), common::ConfigError);
+  EXPECT_THROW((void)parse_json("{\"a\":1} trailing", "trailing"), common::ConfigError);
+  const auto missing = parse_json("{\"ch\":0}", "incomplete record");
+  EXPECT_THROW((void)parse_row_record(missing), common::ConfigError);
+}
+
+TEST(JournalTest, HeaderMismatchNamesTheField) {
+  const TempPath path("campaign_test_header.jsonl");
+  const JournalHeader header{42, 0xabcdef, 7};
+  {
+    JournalWriter writer(path.str(), header);
+    writer.append_shard(3, {});
+  }
+  JournalReader reader(path.str());
+  EXPECT_EQ(reader.header().seed, 42u);
+  EXPECT_EQ(reader.header().config_hash, 0xabcdefu);
+  EXPECT_EQ(reader.header().shard_count, 7u);
+  ASSERT_EQ(reader.shards().size(), 1u);
+  EXPECT_NO_THROW(reader.require_matches(header));
+
+  JournalHeader wrong_seed = header;
+  wrong_seed.seed = 43;
+  EXPECT_THROW(reader.require_matches(wrong_seed), common::ConfigError);
+  JournalHeader wrong_hash = header;
+  wrong_hash.config_hash = 1;
+  EXPECT_THROW(reader.require_matches(wrong_hash), common::ConfigError);
+  JournalHeader wrong_count = header;
+  wrong_count.shard_count = 8;
+  EXPECT_THROW(reader.require_matches(wrong_count), common::ConfigError);
+}
+
+}  // namespace
+}  // namespace rh::campaign
