@@ -19,6 +19,13 @@
 //   --checkpoint=PATH   JSONL results journal written per completed shard
 //   --resume            skip shards already in the --checkpoint journal
 //                       (refuses a journal whose config hash mismatches)
+//   --retries=N         shard retry budget for transient (infrastructure)
+//                       failures; fatal errors are isolated immediately
+//   --fault-rate=F      inject transport faults (upload timeout/drop, readback
+//                       corrupt/short-read, executor stall) with probability F
+//                       per opportunity; results stay byte-identical
+//   --fault-seed=N      fault-plan seed (independent of the device seed)
+//   --retry-attempts=N  per-host transport retry budget (RetryPolicy)
 #pragma once
 
 #include <fstream>
@@ -159,12 +166,23 @@ private:
   std::unique_ptr<telemetry::Telemetry> telemetry_;
 };
 
-/// Parses the shared campaign flags: --jobs=N, --checkpoint=PATH, --resume.
+/// Parses the shared campaign flags: --jobs=N, --checkpoint=PATH, --resume,
+/// --retries=N (shard retry budget), plus the fault-injection knobs
+/// --fault-rate=F (transport-fault probability per opportunity, in [0,1]),
+/// --fault-seed=N (fault-plan seed, independent of the device seed), and
+/// --retry-attempts=N (per-host transport retry budget). All numerics are
+/// validated at the command line (CliError) rather than failing mid-sweep.
 inline campaign::CampaignConfig campaign_config(const common::CliArgs& args) {
   campaign::CampaignConfig config;
-  config.jobs = static_cast<unsigned>(args.get_int("jobs", 1));
+  config.jobs = static_cast<unsigned>(args.get_positive_int("jobs", 1));
   config.checkpoint_path = args.get("checkpoint", "");
   config.resume = args.has("resume");
+  config.retries = static_cast<unsigned>(args.get_positive_int("retries", 1));
+  const double fault_rate = args.get_fraction("fault-rate", 0.0);
+  if (fault_rate > 0.0) config.fault_plan.set_transport_rates(fault_rate);
+  config.fault_plan.seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 0x57084));
+  config.retry_policy.max_attempts =
+      static_cast<unsigned>(args.get_positive_int("retry-attempts", 4));
   if (config.resume && config.checkpoint_path.empty()) {
     throw common::ConfigError("--resume requires --checkpoint=PATH");
   }

@@ -316,6 +316,24 @@ std::string reg(std::uint8_t r) { return "r" + std::to_string(r); }
 
 }  // namespace
 
+bool is_idempotent(const Program& program) {
+  for (const Instruction& ins : program.instructions()) {
+    switch (ins.op) {
+      case Opcode::kWr:
+      case Opcode::kHammer:
+      case Opcode::kHammerSingle:
+      case Opcode::kRef:
+      case Opcode::kMrs:
+      case Opcode::kSrEnter:
+      case Opcode::kSrExit:
+        return false;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
 std::string disassemble(const Instruction& ins) {
   std::string out(to_string(ins.op));
   out += ' ';

@@ -118,6 +118,16 @@ private:
   bool ended_ = false;
 };
 
+/// True when the host may transparently re-run the whole program as a
+/// recovery action: no instruction writes DRAM contents or device mode
+/// state (WR, HAMMER*, REF, MRS, self-refresh). Re-running a read-only
+/// program re-reads the same cells — the way the real rig recovers a lost
+/// readback — at the cost of extra activations, which the methodology
+/// already tolerates as measurement noise. Anything stateful must instead
+/// surface a TransportError and let the campaign re-measure the shard on a
+/// fresh host.
+[[nodiscard]] bool is_idempotent(const Program& program);
+
 /// Human-readable one-line rendering of one instruction, e.g.
 /// "ACT  b3, row=r31" — for debugging and program dumps.
 [[nodiscard]] std::string disassemble(const Instruction& instruction);

@@ -19,6 +19,11 @@ void ThermalRig::set_target(double celsius) {
   in_band_steps_ = 0;
 }
 
+void ThermalRig::perturb(double delta_c) {
+  temperature_c_ += delta_c;
+  in_band_steps_ = 0;
+}
+
 void ThermalRig::step() {
   const double error = target_c_ - temperature_c_;
 

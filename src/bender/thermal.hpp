@@ -40,6 +40,16 @@ public:
   /// One controller tick: PID update + plant integration over dt_s.
   void step();
 
+  /// Instantaneous temperature excursion (injected fault or door-opened
+  /// disturbance): the chip temperature jumps by `delta_c` and the settle
+  /// window restarts, so settled() goes false until the PID re-converges.
+  void perturb(double delta_c);
+
+  /// Persistent ambient shift (injected drift): the plant's cooling target
+  /// moves by `delta_c` and the controller must hold the setpoint against
+  /// the new bias.
+  void shift_ambient(double delta_c) { config_.ambient_c += delta_c; }
+
   /// True once the temperature has stayed within `tolerance_c` of the
   /// target for the last `required` consecutive steps.
   [[nodiscard]] bool settled(double tolerance_c = 0.5, int required = 20) const;

@@ -10,6 +10,7 @@
 #include "campaign/progress.hpp"
 #include "campaign/record_io.hpp"
 #include "common/assert.hpp"
+#include "common/rng.hpp"
 #include "core/row_map.hpp"
 
 namespace rh::campaign {
@@ -67,11 +68,13 @@ std::vector<core::RowRecord> CampaignResult::flat() const {
 namespace {
 
 /// One worker's private measurement stack: a host clone, its telemetry
-/// sink, and a characterizer bound to both. Rebuilt from scratch when a
+/// sink, its fault injector (when the campaign runs under fault injection),
+/// and a characterizer bound to all three. Rebuilt from scratch when a
 /// shard throws (the old host's state is suspect after an exception).
 struct WorkerRig {
   std::unique_ptr<bender::BenderHost> host;
   std::unique_ptr<telemetry::Telemetry> sink;
+  std::unique_ptr<resilience::FaultInjector> injector;
   std::unique_ptr<core::Characterizer> characterizer;
 };
 
@@ -103,7 +106,11 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
   auto& skipped_counter = metrics_.counter("campaign.shards_skipped");
   auto& failed_counter = metrics_.counter("campaign.shards_failed");
   auto& retried_counter = metrics_.counter("campaign.shards_retried");
+  auto& fatal_counter = metrics_.counter("campaign.shards_fatal");
   auto& record_counter = metrics_.counter("campaign.records");
+  auto& injected_counter = metrics_.counter("resilience.injected");
+  auto& recovered_counter = metrics_.counter("resilience.recovered");
+  auto& aborted_counter = metrics_.counter("resilience.aborted");
   total_counter.add(n);
 
   CampaignResult result;
@@ -142,22 +149,41 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
                          failed_counter, jobs);
 
   std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> rig_serial{0};
   std::mutex mutex;  // guards result, journal, counters, progress, aggregate_
 
   auto retire_rig = [&](WorkerRig& rig) {
-    if (rig.sink != nullptr && aggregate_ != nullptr) {
+    if ((rig.sink != nullptr && aggregate_ != nullptr) || rig.injector != nullptr) {
       const std::lock_guard<std::mutex> lock(mutex);
-      aggregate_->absorb(*rig.sink);
+      if (rig.sink != nullptr && aggregate_ != nullptr) aggregate_->absorb(*rig.sink);
+      if (rig.injector != nullptr) {
+        const auto& stats = rig.injector->stats();
+        injected_counter.add(stats.injected);
+        recovered_counter.add(stats.recovered);
+        aborted_counter.add(stats.aborted);
+      }
     }
     rig = WorkerRig{};
   };
 
   auto build_rig = [&](WorkerRig& rig) {
+    // The factory settles the host fault-free; the injector arms only the
+    // measurement phase, so rig bring-up stays deterministic.
     rig.host = factory_(spec);
     if (aggregate_ != nullptr) {
       rig.sink = std::make_unique<telemetry::Telemetry>(aggregate_->config());
       rig.host->set_telemetry(rig.sink.get());
     }
+    if (config_.fault_plan.enabled()) {
+      // Each rig draws an independent, reproducible fault stream: the plan
+      // describes the failure environment, the serial decorrelates rigs.
+      resilience::FaultPlan plan = config_.fault_plan;
+      plan.seed = common::hash_coords(config_.fault_plan.seed, 0x819u,
+                                      rig_serial.fetch_add(1));
+      rig.injector = std::make_unique<resilience::FaultInjector>(std::move(plan));
+      rig.host->set_fault_injector(rig.injector.get());
+    }
+    rig.host->set_retry_policy(config_.retry_policy);
     rig.characterizer = std::make_unique<core::Characterizer>(
         *rig.host, core::RowMap::from_device(rig.host->device()), spec.characterizer);
   };
@@ -172,7 +198,8 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
       std::vector<core::RowRecord> records;
       std::string error;
       bool ok = false;
-      for (unsigned attempt = 0; attempt <= config_.retries && !ok; ++attempt) {
+      bool fatal = false;
+      for (unsigned attempt = 0; attempt <= config_.retries && !ok && !fatal; ++attempt) {
         if (attempt > 0) {
           const std::lock_guard<std::mutex> lock(mutex);
           retried_counter.add();
@@ -182,13 +209,22 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
           if (rig.host == nullptr) build_rig(rig);
           records = core::run_shard(*rig.characterizer, spec.shards[i]);
           ok = true;
-        } catch (const std::exception& e) {
+        } catch (const common::TransientError& e) {
+          // Infrastructure gave out (transport budget exhausted, thermal
+          // upset): worth a retry on a freshly built rig.
           error = e.what();
           retire_rig(rig);  // the host's state is suspect after a throw
+        } catch (const std::exception& e) {
+          // Deterministic failure — a retry would replay the identical
+          // error, so don't burn the budget; isolate the shard now.
+          error = e.what();
+          fatal = true;
+          retire_rig(rig);
         }
       }
 
       const std::lock_guard<std::mutex> lock(mutex);
+      if (fatal) fatal_counter.add();
       if (ok) {
         if (journal != nullptr) journal->append_shard(i, records);
         record_counter.add(records.size());

@@ -15,9 +15,15 @@
 //     (journal.hpp) whose fsync'd header binds it to the exact sweep
 //     config; a resumed campaign skips journaled shards and refuses a
 //     mismatched journal,
-//   * failure isolation — a throwing shard is retried on a freshly built
-//     host; if it fails again it is reported at the end without killing
-//     the rest of the campaign,
+//   * failure isolation — a shard that throws a common::TransientError
+//     (transport exhaustion, thermal upset) is retried on a freshly built
+//     host; a fatal error (bad program, bad config) skips the retry budget
+//     entirely; either way the failure is reported at the end without
+//     killing the rest of the campaign,
+//   * fault injection — CampaignConfig::fault_plan arms a per-rig
+//     resilience::FaultInjector so the whole recovery stack can be
+//     storm-tested (bench/ablation_fault_storm asserts byte-identical
+//     results under a 5 % transport-fault rate),
 //   * progress — a live progress/ETA line fed from campaign.* counters in
 //     the telemetry metrics registry,
 //   * observability — each worker host gets its own telemetry sink, all
@@ -37,6 +43,8 @@
 #include "core/shard.hpp"
 #include "core/spatial.hpp"
 #include "hbm/device.hpp"
+#include "resilience/fault.hpp"
+#include "resilience/retry.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -53,7 +61,9 @@ struct CampaignConfig {
   /// Resume from checkpoint_path, skipping journaled shards. Requires the
   /// journal to exist and match this sweep's config hash.
   bool resume = false;
-  /// Re-runs granted to a failing shard (on a freshly constructed host).
+  /// Re-runs granted to a shard failing with a common::TransientError, each
+  /// on a freshly constructed host. Fatal (non-transient) errors are
+  /// isolated immediately — retrying a malformed program cannot help.
   unsigned retries = 1;
   /// Throw CampaignError after the campaign drains if any shard still
   /// failed. Benches keep this on (partial sweeps must not masquerade as
@@ -63,6 +73,15 @@ struct CampaignConfig {
   /// `progress = false`.
   bool progress = true;
   std::ostream* progress_stream = nullptr;
+  /// Infrastructure fault injection (disabled unless a rate is set or the
+  /// script is non-empty). Each worker rig gets its own FaultInjector,
+  /// deterministically re-seeded from (fault_plan.seed, rig serial), so the
+  /// plan describes the fleet-wide failure environment; because every
+  /// transport recovery is wall-clock-only, merged results stay
+  /// byte-identical to a fault-free run.
+  resilience::FaultPlan fault_plan;
+  /// Per-host transport retry/backoff policy, applied to every worker rig.
+  resilience::RetryPolicy retry_policy;
 };
 
 /// Everything that defines the physics of one sweep: the device (fault seed

@@ -1,5 +1,6 @@
 #include "common/cli.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -15,11 +16,11 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
       continue;
     }
     const std::string body = arg.substr(2);
-    if (body.empty()) throw ConfigError("bare '--' is not a valid flag");
+    if (body.empty()) throw CliError("bare '--' is not a valid flag");
     const auto eq = body.find('=');
     if (eq != std::string::npos) {
       const std::string key = body.substr(0, eq);
-      if (key.empty()) throw ConfigError("malformed flag: " + arg);
+      if (key.empty()) throw CliError("malformed flag: " + arg);
       flags_[key] = body.substr(eq + 1);
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       flags_[body] = argv[++i];
@@ -50,7 +51,7 @@ std::int64_t CliArgs::get_int(const std::string& name, std::int64_t def) const {
     if (pos != it->second.size()) throw std::invalid_argument("trailing chars");
     return v;
   } catch (const std::exception&) {
-    throw ConfigError("flag --" + name + " expects an integer, got '" + it->second + "'");
+    throw CliError("flag --" + name + " expects an integer, got '" + it->second + "'");
   }
 }
 
@@ -64,8 +65,35 @@ double CliArgs::get_double(const std::string& name, double def) const {
     if (pos != it->second.size()) throw std::invalid_argument("trailing chars");
     return v;
   } catch (const std::exception&) {
-    throw ConfigError("flag --" + name + " expects a number, got '" + it->second + "'");
+    throw CliError("flag --" + name + " expects a number, got '" + it->second + "'");
   }
+}
+
+std::int64_t CliArgs::get_positive_int(const std::string& name, std::int64_t def) const {
+  const std::int64_t v = get_int(name, def);
+  if (has(name) && v < 1) {
+    throw CliError("flag --" + name + " expects a positive integer, got '" +
+                   get(name, "") + "'");
+  }
+  return v;
+}
+
+double CliArgs::get_positive_double(const std::string& name, double def) const {
+  const double v = get_double(name, def);
+  if (has(name) && (!std::isfinite(v) || v <= 0.0)) {
+    throw CliError("flag --" + name + " expects a positive finite number, got '" +
+                   get(name, "") + "'");
+  }
+  return v;
+}
+
+double CliArgs::get_fraction(const std::string& name, double def) const {
+  const double v = get_double(name, def);
+  if (has(name) && (!std::isfinite(v) || v < 0.0 || v > 1.0)) {
+    throw CliError("flag --" + name + " expects a fraction in [0, 1], got '" +
+                   get(name, "") + "'");
+  }
+  return v;
 }
 
 std::vector<std::string> CliArgs::unqueried_flags() const {

@@ -4,9 +4,18 @@
 // Layering:
 //   Error                 — root of all library failures
 //   ├─ ConfigError        — invalid device / experiment configuration
+//   │  └─ CliError        — invalid command-line flag value
 //   ├─ ProtocolError      — DRAM command illegal in current bank/device state
 //   ├─ TimingError        — DRAM command violates a JEDEC-style timing rule
-//   └─ ProgramError       — malformed or diverging DRAM Bender program
+//   ├─ ProgramError       — malformed or diverging DRAM Bender program
+//   └─ TransientError     — infrastructure failures that a retry may heal
+//      ├─ TransportError  — PCIe transfer failed after exhausting retries
+//      └─ ThermalError    — thermal rig could not reach / hold the setpoint
+//
+// The transient branch is what the campaign runner keys shard retries on:
+// a TransientError means the *infrastructure* (link, rig) hiccuped and the
+// same shard may well succeed on a fresh host; anything else is treated as
+// fatal for the shard (a program or configuration bug retries cannot fix).
 #pragma once
 
 #include <stdexcept>
@@ -63,11 +72,41 @@ public:
   using Error::Error;
 };
 
+/// A command-line flag carried an out-of-domain value (zero worker count,
+/// negative retry budget, NaN fault rate). Derives from ConfigError so
+/// existing catch sites keep working.
+class CliError : public ConfigError {
+public:
+  using ConfigError::ConfigError;
+};
+
 /// A DRAM Bender program is malformed (bad register, jump out of range,
 /// missing END) or exceeded its execution budget.
 class ProgramError : public Error {
 public:
   using Error::Error;
+};
+
+/// An infrastructure failure that is plausibly transient: retrying the same
+/// operation (or the same shard on a fresh host) may succeed. The campaign
+/// runner only spends shard retries on this branch of the hierarchy.
+class TransientError : public Error {
+public:
+  using Error::Error;
+};
+
+/// A PCIe transfer (program upload or readback drain) kept failing after
+/// the host's RetryPolicy was exhausted.
+class TransportError : public TransientError {
+public:
+  using TransientError::TransientError;
+};
+
+/// The thermal rig could not settle on, or hold, the target temperature
+/// within its budget (plant drift, injected excursions, dead heater).
+class ThermalError : public TransientError {
+public:
+  using TransientError::TransientError;
 };
 
 }  // namespace rh::common

@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for readback-frame
+// integrity checking.
+//
+// Why a CRC and not a checksum: the fault plane injects small bit-level
+// corruptions into FIFO drains, and CRC-32 guarantees detection of any
+// burst up to 32 bits and of all 1..3-bit errors for frames well beyond
+// our row size (Hamming distance 4 holds past 11 KB; a readback frame is
+// one DRAM row, ~1 KB). That guarantee is what lets the resilience tests
+// assert *zero silent corruptions* rather than merely "usually detected".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace rh::resilience {
+
+/// CRC-32 of `data`, optionally continuing from a previous crc (chain calls
+/// with the running value to checksum scattered buffers).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t crc = 0);
+
+}  // namespace rh::resilience

@@ -1,0 +1,96 @@
+#include "resilience/fault.hpp"
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace rh::resilience {
+
+void FaultPlan::set_transport_rates(double rate) {
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    if (is_transport_fault(static_cast<FaultKind>(k))) rates[k] = rate;
+  }
+}
+
+bool FaultPlan::enabled() const {
+  if (!script.empty()) return true;
+  for (const double rate : rates) {
+    if (rate > 0.0) return true;
+  }
+  return false;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  for (const double rate : plan_.rates) {
+    RH_EXPECTS(rate >= 0.0 && rate <= 1.0);
+  }
+}
+
+bool FaultInjector::should_fire(FaultKind kind) {
+  const auto k = static_cast<std::size_t>(kind);
+  const std::uint64_t opportunity = opportunities_[k]++;
+
+  bool fire = false;
+  for (const ScriptedFault& scripted : plan_.script) {
+    if (scripted.kind == kind && scripted.opportunity == opportunity) {
+      fire = true;
+      break;
+    }
+  }
+  if (!fire && plan_.rates[k] > 0.0) {
+    // Counter-based: kind k's stream is untouched by other kinds' draws.
+    const std::uint64_t h = common::hash_coords(plan_.seed, 0xFA017u, k, opportunity);
+    fire = common::to_unit_double(h) < plan_.rates[k];
+  }
+  if (fire) {
+    log_.push_back({stats_.injected, kind, opportunity, FaultResolution::kPending, ""});
+    ++stats_.injected;
+    ++stats_.by_kind[k];
+  }
+  return fire;
+}
+
+std::uint64_t FaultInjector::shape() {
+  return common::hash_coords(plan_.seed, 0x5AAFEu, shape_counter_++);
+}
+
+void FaultInjector::resolve(FaultKind kind, FaultResolution resolution,
+                            const std::string& detail) {
+  for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
+    if (it->kind == kind && it->resolution == FaultResolution::kPending) {
+      it->resolution = resolution;
+      it->detail = detail;
+      return;
+    }
+  }
+  // A resolution with no pending injection is a host bookkeeping bug.
+  RH_EXPECTS(false);
+}
+
+void FaultInjector::note_recovered(FaultKind kind, const std::string& detail) {
+  ++stats_.recovered;
+  resolve(kind, FaultResolution::kRecovered, detail);
+}
+
+void FaultInjector::note_aborted(FaultKind kind, const std::string& detail) {
+  ++stats_.aborted;
+  resolve(kind, FaultResolution::kAborted, detail);
+}
+
+std::string FaultInjector::log_string() const {
+  std::string out;
+  for (const FaultRecord& record : log_) {
+    out += std::to_string(record.sequence) + ' ';
+    out += to_string(record.kind);
+    out += '@' + std::to_string(record.opportunity);
+    switch (record.resolution) {
+      case FaultResolution::kPending: out += " pending"; break;
+      case FaultResolution::kRecovered: out += " recovered"; break;
+      case FaultResolution::kAborted: out += " aborted"; break;
+    }
+    if (!record.detail.empty()) out += " [" + record.detail + ']';
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rh::resilience

@@ -1,0 +1,170 @@
+// The infrastructure fault-injection plane.
+//
+// The paper's measurements come from a physical rig — DRAM Bender over PCIe,
+// a PID-driven heater — where transfers drop, readback FIFOs return garbage,
+// and the thermal plant wanders mid-experiment. This module injects those
+// failure modes into the simulator's transport/thermal/executor layers so
+// the host-side recovery code (bender::BenderHost, campaign::Campaign) can
+// be exercised and regression-tested under reproducible chaos.
+//
+// Determinism contract: the fault stream is a pure function of
+// (plan.seed, plan). Whether the i-th *opportunity* of fault kind k fires is
+//   hash(seed, k, i) < rate[k]      (rate-driven faults)
+// or an exact match against the scripted schedule — never a draw from a
+// shared sequential RNG — so interleaving opportunities of different kinds
+// does not perturb each other, and two runs of the same workload against
+// the same (seed, plan) observe byte-identical fault/recovery event logs.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rh::resilience {
+
+/// Everything the plane knows how to break, layer by layer.
+enum class FaultKind : std::uint8_t {
+  kUploadTimeout = 0,   ///< host->FPGA DMA never completes (watchdog fires)
+  kUploadDrop,          ///< upload transmitted but the completion ack is lost
+  kReadbackCorrupt,     ///< FIFO drain delivered with flipped payload bits
+  kReadbackShortRead,   ///< FIFO drain ends early; a strict prefix arrives
+  kExecutorStall,       ///< FPGA never starts the program (doorbell lost)
+  kThermalExcursion,    ///< chip temperature jumps out of the control band
+  kThermalDrift,        ///< thermal plant's ambient shifts (persistent bias)
+};
+
+inline constexpr std::size_t kFaultKindCount = 7;
+
+[[nodiscard]] constexpr std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kUploadTimeout: return "upload-timeout";
+    case FaultKind::kUploadDrop: return "upload-drop";
+    case FaultKind::kReadbackCorrupt: return "readback-corrupt";
+    case FaultKind::kReadbackShortRead: return "readback-short-read";
+    case FaultKind::kExecutorStall: return "executor-stall";
+    case FaultKind::kThermalExcursion: return "thermal-excursion";
+    case FaultKind::kThermalDrift: return "thermal-drift";
+  }
+  return "?";
+}
+
+/// True for the PCIe-layer faults (the ones whose recovery provably leaves
+/// the device timeline untouched, so campaign results stay byte-identical).
+[[nodiscard]] constexpr bool is_transport_fault(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kUploadTimeout:
+    case FaultKind::kUploadDrop:
+    case FaultKind::kReadbackCorrupt:
+    case FaultKind::kReadbackShortRead:
+    case FaultKind::kExecutorStall:
+      return true;
+    case FaultKind::kThermalExcursion:
+    case FaultKind::kThermalDrift:
+      return false;
+  }
+  return false;
+}
+
+/// One scripted fault: fire `kind` on its `opportunity`-th opportunity
+/// (0-based, counted per kind). Scripted entries fire regardless of rates,
+/// which gives tests exact control over failure placement.
+struct ScriptedFault {
+  FaultKind kind = FaultKind::kUploadTimeout;
+  std::uint64_t opportunity = 0;
+};
+
+/// The reproducible description of a fault campaign: seed, per-kind rates,
+/// explicit script, and fault magnitudes. (seed, plan) => identical stream.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// Per-kind probability that one opportunity fires (indexed by FaultKind).
+  std::array<double, kFaultKindCount> rates{};
+  /// Exact schedule, honoured in addition to the rates.
+  std::vector<ScriptedFault> script;
+
+  // Fault magnitudes.
+  double excursion_c = 5.0;        ///< thermal excursion jump, degC
+  double drift_c = 1.5;            ///< ambient drift magnitude, degC
+  std::uint32_t corrupt_bits = 3;  ///< payload bits flipped per corrupt drain
+
+  [[nodiscard]] double rate(FaultKind kind) const {
+    return rates[static_cast<std::size_t>(kind)];
+  }
+  void set_rate(FaultKind kind, double rate) {
+    rates[static_cast<std::size_t>(kind)] = rate;
+  }
+  /// Arms every transport-layer fault (timeout, drop, corrupt, short-read,
+  /// stall) at `rate` — the fault-storm configuration.
+  void set_transport_rates(double rate);
+  /// True when any rate is non-zero or the script is non-empty.
+  [[nodiscard]] bool enabled() const;
+};
+
+/// How an injected fault was eventually resolved by the layer that hit it.
+enum class FaultResolution : std::uint8_t {
+  kPending = 0,  ///< injected, resolution not yet reported
+  kRecovered,    ///< detected and healed (retry / re-drain / re-settle)
+  kAborted,      ///< detected but the recovery budget ran out
+};
+
+/// One entry of the fault/recovery event log.
+struct FaultRecord {
+  std::uint64_t sequence = 0;     ///< global injection order
+  FaultKind kind = FaultKind::kUploadTimeout;
+  std::uint64_t opportunity = 0;  ///< per-kind opportunity index that fired
+  FaultResolution resolution = FaultResolution::kPending;
+  std::string detail;             ///< recovery-site note ("retry 2/4", ...)
+};
+
+/// Drives one host's fault schedule and records the fault/recovery stream.
+///
+/// Thread-compatibility: an injector belongs to exactly one host (the
+/// campaign builds one per worker rig); it is not internally synchronized.
+class FaultInjector {
+public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Consumes one opportunity of `kind`; true when the fault fires (the
+  /// injection is appended to the log before returning).
+  [[nodiscard]] bool should_fire(FaultKind kind);
+
+  /// Deterministic fault-shaping randomness (which bits corrupt, excursion
+  /// sign, prefix length): a counter-based hash stream independent of the
+  /// firing decisions.
+  [[nodiscard]] std::uint64_t shape();
+
+  /// Marks the most recent unresolved injection of `kind`. The host calls
+  /// these at its recovery sites; the pair (injection, resolution) is what
+  /// the determinism tests compare across runs.
+  void note_recovered(FaultKind kind, const std::string& detail);
+  void note_aborted(FaultKind kind, const std::string& detail);
+
+  struct Stats {
+    std::uint64_t injected = 0;
+    std::uint64_t recovered = 0;
+    std::uint64_t aborted = 0;
+    std::array<std::uint64_t, kFaultKindCount> by_kind{};
+  };
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<FaultRecord>& log() const { return log_; }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// Canonical one-line-per-event rendering of the log
+  /// ("3 upload-timeout@7 recovered [retry 1/4]") — the string the
+  /// determinism contract is asserted on.
+  [[nodiscard]] std::string log_string() const;
+
+private:
+  void resolve(FaultKind kind, FaultResolution resolution, const std::string& detail);
+
+  FaultPlan plan_;
+  std::array<std::uint64_t, kFaultKindCount> opportunities_{};
+  std::uint64_t shape_counter_ = 0;
+  std::vector<FaultRecord> log_;
+  Stats stats_;
+};
+
+}  // namespace rh::resilience

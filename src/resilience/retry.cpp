@@ -1,0 +1,20 @@
+#include "resilience/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace rh::resilience {
+
+double backoff_ms(const RetryPolicy& policy, std::uint64_t op, unsigned attempt) {
+  const double exponent = attempt > 0 ? static_cast<double>(attempt - 1) : 0.0;
+  const double base =
+      std::min(policy.backoff_max_ms,
+               policy.backoff_base_ms * std::pow(policy.backoff_multiplier, exponent));
+  const std::uint64_t h = common::hash_coords(policy.jitter_seed, 0xBAC0FFu, op, attempt);
+  const double unit = common::to_unit_double(h);  // [0, 1)
+  return base * (1.0 + policy.jitter_frac * (2.0 * unit - 1.0));
+}
+
+}  // namespace rh::resilience

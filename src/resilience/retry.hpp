@@ -1,0 +1,38 @@
+// Host-side retry policy: bounded attempts with deterministic exponential
+// backoff and jitter.
+//
+// The backoff for (operation, attempt) is a pure function of the policy —
+// jitter comes from a counter-based hash, not a shared RNG — so a retried
+// run charges exactly the same wall-clock penalty every time. The penalty
+// lands on the host's wall-clock accumulator (BenderHost::wall_ms), never
+// on the device clock: between programs the FPGA holds the DRAM in its
+// idle/refresh state, so host-side dithering must not advance simulated
+// DRAM time (that would perturb retention and break the byte-identical
+// recovery guarantee the fault-storm bench asserts).
+#pragma once
+
+#include <cstdint>
+
+namespace rh::resilience {
+
+struct RetryPolicy {
+  /// Total attempts per operation (1 = no retries).
+  unsigned max_attempts = 4;
+  /// First retry's backoff, milliseconds.
+  double backoff_base_ms = 2.0;
+  /// Growth factor per additional retry.
+  double backoff_multiplier = 2.0;
+  /// Backoff ceiling, milliseconds.
+  double backoff_max_ms = 250.0;
+  /// Jitter as a fraction of the backoff: the wait is scaled by a
+  /// deterministic factor in [1 - jitter_frac, 1 + jitter_frac].
+  double jitter_frac = 0.25;
+  /// Seed of the jitter hash stream.
+  std::uint64_t jitter_seed = 0x7e717e5ULL;
+};
+
+/// Backoff before retry `attempt` (1-based: the wait after the attempt-th
+/// failure) of operation `op`. Deterministic in (policy, op, attempt).
+[[nodiscard]] double backoff_ms(const RetryPolicy& policy, std::uint64_t op, unsigned attempt);
+
+}  // namespace rh::resilience

@@ -32,9 +32,11 @@ enum class TraceCommand : std::uint8_t {
   kHammer,
   kTrrTrigger,
   kBitFlip,
+  kFault,     ///< an injected/detected infrastructure fault (arg = FaultKind)
+  kRecovery,  ///< the matching recovery or abort (arg = FaultKind)
 };
 
-inline constexpr std::size_t kTraceCommandCount = 12;
+inline constexpr std::size_t kTraceCommandCount = 14;
 
 [[nodiscard]] constexpr std::string_view to_string(TraceCommand c) {
   switch (c) {
@@ -50,6 +52,8 @@ inline constexpr std::size_t kTraceCommandCount = 12;
     case TraceCommand::kHammer: return "HAMMER";
     case TraceCommand::kTrrTrigger: return "TRR";
     case TraceCommand::kBitFlip: return "FLIP";
+    case TraceCommand::kFault: return "FAULT";
+    case TraceCommand::kRecovery: return "RECOVERY";
   }
   return "?";
 }

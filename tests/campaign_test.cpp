@@ -173,7 +173,7 @@ TEST(CampaignTest, RefusesJournalFromDifferentSweep) {
   EXPECT_THROW((void)second.run(other), common::ConfigError);
 }
 
-TEST(CampaignTest, ShardFailureIsRetriedThenIsolated) {
+TEST(CampaignTest, FatalShardFailureIsIsolatedWithoutRetries) {
   SweepSpec spec = quick_sweep();
   // Poison one shard: a channel the geometry does not have makes every
   // attempt throw inside the worker.
@@ -188,7 +188,9 @@ TEST(CampaignTest, ShardFailureIsRetriedThenIsolated) {
 
   ASSERT_EQ(result.failures.size(), 1u);
   EXPECT_EQ(result.failures[0].shard, poisoned);
-  EXPECT_EQ(result.shards_retried, config.retries);
+  // A bad channel is a deterministic (fatal) error: retrying cannot help,
+  // so the shard is isolated without spending the retry budget.
+  EXPECT_EQ(result.shards_retried, 0u);
   EXPECT_TRUE(result.per_shard[poisoned].empty());
   // Every other shard still completed.
   for (std::size_t i = 0; i < result.per_shard.size(); ++i) {

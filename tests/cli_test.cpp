@@ -70,5 +70,43 @@ TEST(Cli, NegativeNumbersAsValues) {
   EXPECT_EQ(args.get_int("offset", 0), -12);
 }
 
+TEST(Cli, ParseFailuresAreCliErrors) {
+  // CliError derives from ConfigError: old catch sites keep working, new
+  // ones can distinguish flag errors from config errors.
+  const auto args = make({"--n=abc"});
+  EXPECT_THROW((void)args.get_int("n", 0), CliError);
+  EXPECT_THROW(make({"--"}), CliError);
+}
+
+TEST(Cli, PositiveIntAcceptsValidAndDefaults) {
+  const auto args = make({"--jobs=8"});
+  EXPECT_EQ(args.get_positive_int("jobs", 1), 8);
+  // Absent flag: the default passes through unchecked.
+  EXPECT_EQ(args.get_positive_int("retries", 1), 1);
+}
+
+TEST(Cli, PositiveIntRejectsZeroAndNegative) {
+  EXPECT_THROW((void)make({"--jobs=0"}).get_positive_int("jobs", 1), CliError);
+  EXPECT_THROW((void)make({"--jobs=-4"}).get_positive_int("jobs", 1), CliError);
+  EXPECT_THROW((void)make({"--retries=-1"}).get_positive_int("retries", 1), CliError);
+}
+
+TEST(Cli, PositiveDoubleRejectsZeroNegativeAndNonFinite) {
+  EXPECT_DOUBLE_EQ(make({"--rate=1.5"}).get_positive_double("rate", 1.0), 1.5);
+  EXPECT_THROW((void)make({"--rate=0"}).get_positive_double("rate", 1.0), CliError);
+  EXPECT_THROW((void)make({"--rate=-0.1"}).get_positive_double("rate", 1.0), CliError);
+  EXPECT_THROW((void)make({"--rate=nan"}).get_positive_double("rate", 1.0), CliError);
+  EXPECT_THROW((void)make({"--rate=inf"}).get_positive_double("rate", 1.0), CliError);
+}
+
+TEST(Cli, FractionEnforcesUnitInterval) {
+  EXPECT_DOUBLE_EQ(make({"--fault-rate=0.05"}).get_fraction("fault-rate", 0.0), 0.05);
+  EXPECT_DOUBLE_EQ(make({"--fault-rate=0"}).get_fraction("fault-rate", 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(make({"--fault-rate=1"}).get_fraction("fault-rate", 0.5), 1.0);
+  EXPECT_THROW((void)make({"--fault-rate=1.01"}).get_fraction("fault-rate", 0.0), CliError);
+  EXPECT_THROW((void)make({"--fault-rate=-0.05"}).get_fraction("fault-rate", 0.0), CliError);
+  EXPECT_THROW((void)make({"--fault-rate=nan"}).get_fraction("fault-rate", 0.0), CliError);
+}
+
 }  // namespace
 }  // namespace rh::common

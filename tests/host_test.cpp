@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
 #include "core/data_patterns.hpp"
+#include "resilience/fault.hpp"
 
 namespace rh::bender {
 namespace {
@@ -51,6 +53,41 @@ TEST_F(HostTest, SetChipTemperatureDrivesTheRigAndDevice) {
   EXPECT_GT(after_heat, 0u);  // heating took simulated wall-clock time
   host_.set_chip_temperature(45.0);
   EXPECT_NEAR(host_.device().temperature(), 45.0, 0.6);
+}
+
+TEST_F(HostTest, UnreachableTemperatureThrowsThermalErrorNamingBothSides) {
+  // 300 degC is beyond what the heater can reach in half a second; the
+  // failure must be a ThermalError (a TransientError — the campaign spends
+  // retries on it) and must name the target and actual temperature.
+  try {
+    host_.set_chip_temperature(300.0, /*timeout_s=*/0.5);
+    FAIL() << "expected ThermalError";
+  } catch (const common::ThermalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("300.00"), std::string::npos) << what;
+    EXPECT_NE(what.find("degC"), std::string::npos) << what;
+  }
+  EXPECT_THROW(host_.set_chip_temperature(300.0, 0.5), common::TransientError);
+}
+
+TEST_F(HostTest, WallClockIncludesRetryBackoff) {
+  resilience::FaultPlan plan;
+  plan.script = {{resilience::FaultKind::kUploadTimeout, 0}};
+  resilience::FaultInjector injector(plan);
+  host_.set_fault_injector(&injector);
+
+  ProgramBuilder b(host_.device().geometry(), host_.device().timings());
+  b.sleep(1000);
+  (void)host_.run(b.take(), 0, 0);
+
+  const auto& stats = host_.resilience_stats();
+  EXPECT_EQ(stats.detected, 1u);
+  EXPECT_EQ(stats.retried, 1u);
+  EXPECT_GT(stats.retry_wait_ms, 0.0);
+  // wall_ms = DRAM time + link busy (which includes the watchdog) + backoff.
+  EXPECT_DOUBLE_EQ(host_.wall_ms(), hbm::cycles_to_ms(host_.now()) + host_.link().busy_ms() +
+                                        stats.retry_wait_ms);
+  host_.set_fault_injector(nullptr);
 }
 
 TEST_F(HostTest, RetentionAccruesAcrossIdle) {

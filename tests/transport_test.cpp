@@ -4,6 +4,7 @@
 
 #include "bender/host.hpp"
 #include "core/data_patterns.hpp"
+#include "resilience/fault.hpp"
 
 namespace rh::bender {
 namespace {
@@ -64,6 +65,90 @@ TEST(PcieLink, ProgramsWithoutReadbackSkipTheDownload) {
   b.nop();
   (void)host.run(b.take(), 0, 0);
   EXPECT_EQ(host.link().downloads(), 0u);
+}
+
+// --- accounting under injected faults ------------------------------------
+// Invariant: every attempt, failed or not, charges busy_ms exactly once;
+// uploads/upload_bytes count only delivered transfers; downloads counts
+// every drain performed.
+
+TEST(PcieLink, TimedOutUploadChargesTheWatchdogOnce) {
+  resilience::FaultPlan plan;
+  plan.script = {{resilience::FaultKind::kUploadTimeout, 0}};
+  resilience::FaultInjector injector(plan);
+  PcieLink link;
+  link.set_fault_injector(&injector);
+
+  const auto failed = link.upload(4096);
+  EXPECT_EQ(failed.status, TransferStatus::kTimeout);
+  EXPECT_EQ(failed.bytes, 0u);
+  EXPECT_EQ(link.uploads(), 0u);
+  EXPECT_EQ(link.failed_uploads(), 1u);
+  EXPECT_EQ(link.upload_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(link.busy_ms(), link.config().timeout_ms);
+
+  const auto ok = link.upload(4096);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(link.uploads(), 1u);
+  EXPECT_EQ(link.failed_uploads(), 1u);
+  EXPECT_EQ(link.upload_bytes(), 4096u);
+  EXPECT_DOUBLE_EQ(link.busy_ms(), link.config().timeout_ms + link.transfer_ms(4096));
+}
+
+TEST(PcieLink, DroppedUploadChargesTheFullTransferOnce) {
+  resilience::FaultPlan plan;
+  plan.script = {{resilience::FaultKind::kUploadDrop, 0}};
+  resilience::FaultInjector injector(plan);
+  PcieLink link;
+  link.set_fault_injector(&injector);
+
+  const auto failed = link.upload(1 << 20);
+  EXPECT_EQ(failed.status, TransferStatus::kDropped);
+  // The data crossed the wire before the ack was lost: full transfer cost,
+  // but the transfer is not counted as delivered.
+  EXPECT_DOUBLE_EQ(failed.wall_ms, link.transfer_ms(1 << 20));
+  EXPECT_DOUBLE_EQ(link.busy_ms(), link.transfer_ms(1 << 20));
+  EXPECT_EQ(link.uploads(), 0u);
+  EXPECT_EQ(link.failed_uploads(), 1u);
+}
+
+TEST(PcieLink, FaultedDrainsStillCountAsDownloads) {
+  resilience::FaultPlan plan;
+  plan.script = {{resilience::FaultKind::kReadbackCorrupt, 0},
+                 {resilience::FaultKind::kReadbackShortRead, 1}};
+  resilience::FaultInjector injector(plan);
+  PcieLink link;
+  link.set_fault_injector(&injector);
+
+  const std::vector<std::uint8_t> frame(1024, 0xAA);
+  std::vector<std::uint8_t> out;
+
+  const auto corrupt = link.download(frame, out);
+  EXPECT_TRUE(corrupt.ok());  // the wire cannot tell; the CRC layer can
+  EXPECT_EQ(out.size(), frame.size());
+  EXPECT_NE(out, frame);
+  EXPECT_EQ(link.downloads(), 1u);
+  EXPECT_EQ(link.faulted_downloads(), 1u);
+  double expected_busy = link.transfer_ms(frame.size());
+  EXPECT_DOUBLE_EQ(link.busy_ms(), expected_busy);
+
+  const auto short_read = link.download(frame, out);
+  EXPECT_TRUE(short_read.ok());
+  EXPECT_LT(out.size(), frame.size());  // strict prefix
+  EXPECT_EQ(std::vector<std::uint8_t>(frame.begin(),
+                                      frame.begin() + static_cast<std::ptrdiff_t>(out.size())),
+            out);
+  EXPECT_EQ(link.downloads(), 2u);
+  EXPECT_EQ(link.faulted_downloads(), 2u);
+  // The short drain charges the bytes that actually moved, exactly once.
+  expected_busy += link.transfer_ms(out.size());
+  EXPECT_DOUBLE_EQ(link.busy_ms(), expected_busy);
+
+  const auto clean = link.download(frame, out);
+  EXPECT_TRUE(clean.ok());
+  EXPECT_EQ(out, std::vector<std::uint8_t>(frame.begin(), frame.end()));
+  EXPECT_EQ(link.downloads(), 3u);
+  EXPECT_EQ(link.faulted_downloads(), 2u);
 }
 
 }  // namespace
