@@ -13,6 +13,10 @@
 //   --trace=PATH        write the command trace as Chrome trace-event JSON
 //                       (load in chrome://tracing or Perfetto)
 //   --heatmap           print the per-bank ACT heatmap after the run
+//   --report=PATH       write the campaign run report (phase profile, shard
+//                       latencies, throughput, fault summary) as JSON; also
+//                       forces a telemetry sink on so cmd.* counters exist
+//                       (campaign-backed benches only)
 // Campaign-backed benches (fig3/fig4/fig5, ablation_hammer_count) also take:
 //   --jobs=N            worker threads, each with a private device clone;
 //                       merged output is byte-identical for any N
@@ -41,6 +45,7 @@
 #include "common/table.hpp"
 #include "fault/config.hpp"
 #include "hbm/device.hpp"
+#include "profiling/report.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace rh::benchutil {
@@ -100,10 +105,12 @@ public:
   explicit TelemetrySession(const common::CliArgs& args) {
     metrics_path_ = args.get("metrics-json", "");
     trace_path_ = args.get("trace", "");
+    report_path_ = args.get("report", "");
     heatmap_ = args.has("heatmap");
     // Fail on unwritable paths now, not after a multi-minute run.
     probe_writable(metrics_path_, "metrics");
     probe_writable(trace_path_, "trace");
+    probe_writable(report_path_, "report");
     if (enabled()) {
       telemetry::TelemetryConfig config;
       config.trace_enabled = !trace_path_.empty();
@@ -126,9 +133,25 @@ public:
   }
 
   [[nodiscard]] bool enabled() const {
-    return !metrics_path_.empty() || !trace_path_.empty() || heatmap_;
+    return !metrics_path_.empty() || !trace_path_.empty() || !report_path_.empty() || heatmap_;
   }
   [[nodiscard]] telemetry::Telemetry* sink() { return telemetry_.get(); }
+  [[nodiscard]] const std::string& report_path() const { return report_path_; }
+
+  /// Writes the --report document for a finished campaign (no-op without the
+  /// flag). run_survey_campaign calls this; benches that drive a Campaign by
+  /// hand call it themselves before finish().
+  void write_report(const std::string& label, const campaign::SweepSpec& spec,
+                    const campaign::Campaign& campaign, const campaign::CampaignResult& result) {
+    if (report_path_.empty()) return;
+    const profiling::RunReport report =
+        campaign::build_report(label, spec, campaign, result, telemetry_.get());
+    std::ofstream out(report_path_);
+    if (!out) throw common::ConfigError("cannot open report output file: " + report_path_);
+    profiling::write_report_json(out, report);
+    out << '\n';
+    std::cout << "(report written to " << report_path_ << ")\n";
+  }
 
   /// Writes the requested artifacts and prints one status line per file.
   void finish() {
@@ -162,6 +185,7 @@ private:
 
   std::string metrics_path_;
   std::string trace_path_;
+  std::string report_path_;
   bool heatmap_ = false;
   std::unique_ptr<telemetry::Telemetry> telemetry_;
 };
@@ -196,10 +220,13 @@ inline campaign::CampaignConfig campaign_config(const common::CliArgs& args) {
 inline std::vector<core::RowRecord> run_survey_campaign(const common::CliArgs& args,
                                                         std::uint64_t seed,
                                                         const core::SurveyConfig& survey,
-                                                        TelemetrySession& telem) {
+                                                        TelemetrySession& telem,
+                                                        const std::string& label = "survey") {
   const campaign::SweepSpec spec = campaign::survey_sweep(paper_device_config(seed), survey);
   campaign::Campaign campaign(campaign_config(args), telem.sink());
-  return campaign.run(spec).flat();
+  const campaign::CampaignResult result = campaign.run(spec);
+  telem.write_report(label, spec, campaign, result);
+  return result.flat();
 }
 
 }  // namespace rh::benchutil

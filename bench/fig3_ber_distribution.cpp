@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   config.characterizer.ber_hammers =
       static_cast<std::uint64_t>(args.get_int("hammers", 262144));
   config.characterizer.max_hammers = config.characterizer.ber_hammers;
-  const auto records = benchutil::run_survey_campaign(args, seed, config, telem);
+  const auto records = benchutil::run_survey_campaign(args, seed, config, telem, "fig3");
   benchutil::warn_unqueried(args);
   const auto stats = core::aggregate_ber(records);
 

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   config.characterizer.ber_hammers = config.characterizer.max_hammers;
   config.characterizer.wcdp_tolerance =
       static_cast<std::uint64_t>(args.get_int("tolerance", 512));
-  const auto records = benchutil::run_survey_campaign(args, seed, config, telem);
+  const auto records = benchutil::run_survey_campaign(args, seed, config, telem, "fig4");
   benchutil::warn_unqueried(args);
   const auto stats = core::aggregate_hc_first(records);
 

@@ -1,0 +1,97 @@
+// Perf baseline: runs the canonical fig4-style campaign and emits one
+// machine-readable throughput document (BENCH_campaign.json) that CI diffs
+// against the committed baseline in bench/baselines/ via
+// scripts/check_perf.py.
+//
+// The two tracked axes are the report's throughput numbers:
+//   - commands_per_host_second      — interface commands the fleet simulated
+//                                     per second of real host time,
+//   - device_cycles_per_host_second — how much silicon time one lab second
+//                                     buys.
+// Everything else in the document (phase wall breakdown, records, commands)
+// is context for reading a regression, not a gate.
+//
+// Flags: --seed, --stride (default 2048, the CI smoke sweep), --hammers,
+//        --tolerance, --jobs (default 2), --out=PATH (default
+//        BENCH_campaign.json).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "core/spatial.hpp"
+
+using namespace rh;
+
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const common::CliArgs args(argc, argv);
+    const auto seed = static_cast<std::uint64_t>(
+        args.get_int("seed", static_cast<std::int64_t>(benchutil::kDefaultSeed)));
+    const auto stride = static_cast<std::uint32_t>(args.get_int("stride", 2048));
+    const std::string out_path = args.get("out", "BENCH_campaign.json");
+
+    benchutil::banner("perf baseline", "campaign throughput (fig4-style sweep)");
+
+    core::SurveyConfig config;
+    config.row_stride = stride;
+    config.characterizer.max_hammers =
+        static_cast<std::uint64_t>(args.get_int("hammers", 262144));
+    config.characterizer.ber_hammers = config.characterizer.max_hammers;
+    config.characterizer.wcdp_tolerance =
+        static_cast<std::uint64_t>(args.get_int("tolerance", 512));
+
+    campaign::CampaignConfig run_config;
+    run_config.jobs = static_cast<unsigned>(args.get_positive_int("jobs", 2));
+    benchutil::warn_unqueried(args);
+
+    const campaign::SweepSpec spec =
+        campaign::survey_sweep(benchutil::paper_device_config(seed), config);
+    telemetry::Telemetry sink;  // throughput needs the fleet's cmd.* counters
+    campaign::Campaign campaign(run_config, &sink);
+    const campaign::CampaignResult result = campaign.run(spec);
+    const profiling::RunReport report =
+        campaign::build_report("perf_baseline", spec, campaign, result, &sink);
+
+    std::ofstream out(out_path);
+    if (!out) throw common::ConfigError("cannot open baseline output file: " + out_path);
+    // Keys sorted; schema tagged so check_perf.py can refuse foreign files.
+    out << "{\"bench\":\"campaign_fig4\"";
+    out << ",\"commands\":" << report.commands();
+    out << ",\"commands_per_host_second\":" << num(report.commands_per_host_second());
+    out << ",\"device_cycles\":" << report.device_cycles();
+    out << ",\"device_cycles_per_host_second\":" << num(report.device_cycles_per_host_second());
+    out << ",\"elapsed_s\":" << num(report.elapsed_wall_ms * 1e-3);
+    out << ",\"jobs\":" << report.jobs;
+    out << ",\"phases\":";
+    report.profile.write_json(out, true);
+    out << ",\"records\":" << report.records;
+    out << ",\"schema\":\"rh-perf-baseline/v1\"";
+    out << ",\"seed\":" << report.seed;
+    out << ",\"stride\":" << stride;
+    out << "}\n";
+
+    std::cout << "commands/s:        " << common::fmt_double(report.commands_per_host_second(), 0)
+              << '\n'
+              << "device cycles/s:   "
+              << common::fmt_double(report.device_cycles_per_host_second(), 0) << '\n'
+              << "elapsed:           " << common::fmt_double(report.elapsed_wall_ms * 1e-3, 2)
+              << " s on " << report.jobs << " workers\n"
+              << "(baseline written to " << out_path << ")\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "perf_baseline: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare a perf_baseline run against the committed baseline.
+
+Usage:
+    scripts/check_perf.py BASELINE CURRENT [--tolerance 0.25]
+
+Both files are BENCH_campaign.json documents (schema rh-perf-baseline/v1)
+emitted by bench/perf_baseline. The gate fails (exit 1) when either tracked
+throughput axis — commands_per_host_second or device_cycles_per_host_second —
+drops more than --tolerance below the baseline. Improvements and small
+regressions print but pass. A missing baseline file passes with a note, so
+the check can land before the first baseline is committed and survives
+branches that predate it.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+SCHEMA = "rh-perf-baseline/v1"
+TRACKED = ("commands_per_host_second", "device_cycles_per_host_second")
+CONTEXT = ("commands", "device_cycles", "records", "elapsed_s", "jobs", "stride")
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"check_perf: {path}: expected schema {SCHEMA!r}, "
+                 f"got {doc.get('schema')!r}")
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_campaign.json")
+    parser.add_argument("current", help="BENCH_campaign.json from this build")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    args = parser.parse_args()
+
+    if not os.path.exists(args.baseline):
+        print(f"check_perf: no baseline at {args.baseline}; nothing to "
+              "compare (run bench/perf_baseline and commit the output)")
+        return 0
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    if base.get("stride") != cur.get("stride") or base.get("jobs") != cur.get("jobs"):
+        print(f"check_perf: note: configs differ "
+              f"(baseline stride={base.get('stride')} jobs={base.get('jobs')}, "
+              f"current stride={cur.get('stride')} jobs={cur.get('jobs')}); "
+              "comparing anyway")
+
+    failed = False
+    for key in TRACKED:
+        b, c = float(base[key]), float(cur[key])
+        if b <= 0:
+            print(f"  {key}: baseline is {b}; skipping")
+            continue
+        delta = (c - b) / b
+        floor = b * (1.0 - args.tolerance)
+        verdict = "OK" if c >= floor else "REGRESSED"
+        if verdict == "REGRESSED":
+            failed = True
+        print(f"  {key}: {c:,.0f} vs baseline {b:,.0f} "
+              f"({delta:+.1%}, floor {floor:,.0f}) {verdict}")
+
+    for key in CONTEXT:
+        if key in base and key in cur:
+            print(f"  {key}: {cur[key]} (baseline {base[key]})")
+
+    if failed:
+        print(f"check_perf: FAIL — throughput dropped more than "
+              f"{args.tolerance:.0%} below baseline")
+        return 1
+    print("check_perf: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -89,6 +89,9 @@ void BenderHost::fault_detected(FaultKind kind, std::uint32_t channel,
 void BenderHost::fault_recovered(FaultKind kind, std::uint32_t channel,
                                  std::uint32_t pseudo_channel, const std::string& detail) {
   ++stats_.recovered;
+  // Calls-only: the wall time of the retry is already charged to the phase
+  // (upload/drain/thermal) whose timer was open when the fault fired.
+  profile_.record(profiling::Phase::kRecover, 0, 0.0);
   injector_->note_recovered(kind, detail);
   RH_TELEM(telemetry_, metrics().counter("resilience.recovered").add());
   RH_TELEM(telemetry_, on_command(telemetry::TraceCommand::kRecovery, now_, channel,
@@ -177,10 +180,20 @@ ExecutionResult BenderHost::run(const Program& program, std::uint32_t channel,
   if (injector_ == nullptr) {
     // Zero-overhead fast path: the exact pre-resilience behaviour (one
     // infallible upload, run, one infallible drain — no CRC framing cost).
-    link_.record_upload(upload);
+    // Phase accounting rides along: the executor already timed itself, so
+    // the execute phase reuses RunMetrics instead of a second clock pair.
+    {
+      const profiling::PhaseTimer timer(profile_, profiling::Phase::kUpload);
+      link_.record_upload(upload);
+    }
     ExecutionResult result = executor_.run(program, channel, pseudo_channel, now_);
     now_ = result.end_cycle;
-    if (!result.readback.empty()) link_.record_download(result.readback.size());
+    profile_.record(profiling::Phase::kExecute, result.cycles(),
+                    result.metrics.host_seconds * 1e3);
+    if (!result.readback.empty()) {
+      const profiling::PhaseTimer timer(profile_, profiling::Phase::kDrain);
+      link_.record_download(result.readback.size());
+    }
     return result;
   }
 
@@ -189,7 +202,10 @@ ExecutionResult BenderHost::run(const Program& program, std::uint32_t channel,
   const unsigned budget = std::max(1u, policy_.max_attempts);
 
   for (unsigned run_attempt = 1;; ++run_attempt) {
-    upload_with_retry(upload, op, channel, pseudo_channel);
+    {
+      const profiling::PhaseTimer timer(profile_, profiling::Phase::kUpload);
+      upload_with_retry(upload, op, channel, pseudo_channel);
+    }
 
     if (injector_->should_fire(FaultKind::kExecutorStall)) {
       // The doorbell was lost: the program never started, so no DRAM
@@ -214,11 +230,18 @@ ExecutionResult BenderHost::run(const Program& program, std::uint32_t channel,
 
     ExecutionResult result = executor_.run(program, channel, pseudo_channel, now_);
     now_ = result.end_cycle;
+    profile_.record(profiling::Phase::kExecute, result.cycles(),
+                    result.metrics.host_seconds * 1e3);
     if (result.readback.empty()) return result;
 
     // The executor's FIFO copy is authoritative; what faults is the wire
     // copy. A verified drain therefore returns the pristine readback.
-    if (download_with_verify(result.readback, op, channel, pseudo_channel)) return result;
+    bool drained = false;
+    {
+      const profiling::PhaseTimer timer(profile_, profiling::Phase::kDrain);
+      drained = download_with_verify(result.readback, op, channel, pseudo_channel);
+    }
+    if (drained) return result;
 
     // Drain budget exhausted. The last resort is a full re-run, and only
     // for programs that cannot change stored DRAM or mode state —
@@ -250,6 +273,9 @@ bool BenderHost::settle_loop(double timeout_s) {
 
 void BenderHost::enforce_temperature_guard(std::uint32_t channel,
                                            std::uint32_t pseudo_channel) {
+  // Any re-settle consumes simulated time, so the thermal phase samples the
+  // device clock alongside the wall clock.
+  const profiling::PhaseTimer timer(profile_, profiling::Phase::kThermal, &now_);
   // One thermal-fault opportunity per program launch.
   bool excursion = false;
   if (injector_->should_fire(FaultKind::kThermalExcursion)) {
@@ -301,6 +327,7 @@ void BenderHost::enforce_temperature_guard(std::uint32_t channel,
 }
 
 void BenderHost::set_chip_temperature(double celsius, double timeout_s) {
+  const profiling::PhaseTimer timer(profile_, profiling::Phase::kThermal, &now_);
   thermal_.set_target(celsius);
   // One thermal-fault opportunity per settle request: an excursion fires
   // after the first convergence (forcing a re-settle inside the same

@@ -29,6 +29,7 @@
 #include "bender/thermal.hpp"
 #include "bender/transport.hpp"
 #include "hbm/device.hpp"
+#include "profiling/profile.hpp"
 #include "resilience/fault.hpp"
 #include "resilience/retry.hpp"
 
@@ -109,6 +110,13 @@ public:
 
   [[nodiscard]] const HostResilienceStats& resilience_stats() const { return stats_; }
 
+  /// Host-level phase profile: upload / execute / drain / recover / thermal
+  /// accounting for every program this host has run. device_cycles totals
+  /// are deterministic (pure functions of the command stream); wall_ms is
+  /// real process time. The campaign runner merges each worker host's
+  /// profile into the fleet profile when the rig retires.
+  [[nodiscard]] const profiling::Profile& profile() const { return profile_; }
+
   [[nodiscard]] hbm::Cycle now() const { return now_; }
   [[nodiscard]] hbm::Device& device() { return *device_; }
   [[nodiscard]] const hbm::Device& device() const { return *device_; }
@@ -157,6 +165,7 @@ private:
 
   resilience::FaultInjector* injector_ = nullptr;
   resilience::RetryPolicy policy_;
+  profiling::Profile profile_;
   telemetry::Telemetry* telemetry_ = nullptr;
   TemperatureGuard guard_;
   double guard_band_c_ = 1.0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <iostream>
 #include <mutex>
 #include <thread>
@@ -78,6 +79,11 @@ struct WorkerRig {
   std::unique_ptr<core::Characterizer> characterizer;
 };
 
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
 }  // namespace
 
 Campaign::Campaign(CampaignConfig config, telemetry::Telemetry* aggregate)
@@ -94,6 +100,7 @@ Campaign::Campaign(CampaignConfig config, telemetry::Telemetry* aggregate)
 }
 
 CampaignResult Campaign::run(const SweepSpec& spec) {
+  const auto run_start = std::chrono::steady_clock::now();
   const std::size_t n = spec.shards.size();
   for (std::size_t i = 0; i < n; ++i) {
     RH_EXPECTS(spec.shards[i].index == i);  // merge order is index order
@@ -111,6 +118,10 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
   auto& injected_counter = metrics_.counter("resilience.injected");
   auto& recovered_counter = metrics_.counter("resilience.recovered");
   auto& aborted_counter = metrics_.counter("resilience.aborted");
+  // Per-shard end-to-end wall time (all attempts, incl. rig rebuilds). The
+  // name carries "wall_ms" on purpose: the deterministic report projection
+  // filters metrics by that suffix.
+  auto& shard_wall_hist = metrics_.histogram("campaign.shard_wall_ms", 0.0, 60000.0, 120);
   total_counter.add(n);
 
   CampaignResult result;
@@ -153,8 +164,12 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
   std::mutex mutex;  // guards result, journal, counters, progress, aggregate_
 
   auto retire_rig = [&](WorkerRig& rig) {
-    if ((rig.sink != nullptr && aggregate_ != nullptr) || rig.injector != nullptr) {
+    if (rig.host != nullptr || (rig.sink != nullptr && aggregate_ != nullptr) ||
+        rig.injector != nullptr) {
       const std::lock_guard<std::mutex> lock(mutex);
+      // Host-level phases (upload/execute/drain/recover/thermal) fold into
+      // the fleet profile when the rig retires, mirroring telemetry absorb.
+      if (rig.host != nullptr) profile_.merge_from(rig.host->profile());
       if (rig.sink != nullptr && aggregate_ != nullptr) aggregate_->absorb(*rig.sink);
       if (rig.injector != nullptr) {
         const auto& stats = rig.injector->stats();
@@ -190,6 +205,11 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
 
   auto worker = [&]() {
     WorkerRig rig;
+    // Each worker accounts its campaign-level phases into a private profile
+    // (merged under the completion lock at thread exit); its hosts' phases
+    // travel with retire_rig. Mirrors the per-worker telemetry sinks.
+    profiling::Profile wprof;
+    const auto worker_start = std::chrono::steady_clock::now();
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= n) break;
@@ -199,45 +219,80 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
       std::string error;
       bool ok = false;
       bool fatal = false;
+      unsigned attempts_used = 0;
+      double shard_wall_ms = 0.0;       // all attempts, incl. rig rebuilds
+      std::uint64_t shard_cycles = 0;   // measurement cycles (deterministic)
       for (unsigned attempt = 0; attempt <= config_.retries && !ok && !fatal; ++attempt) {
         if (attempt > 0) {
           const std::lock_guard<std::mutex> lock(mutex);
           retried_counter.add();
           ++result.shards_retried;
         }
+        ++attempts_used;
+        const auto attempt_start = std::chrono::steady_clock::now();
+        double build_ms = 0.0;
+        hbm::Cycle run_from = 0;
+        bool running = false;
         try {
-          if (rig.host == nullptr) build_rig(rig);
+          if (rig.host == nullptr) {
+            build_rig(rig);
+            build_ms = ms_since(attempt_start);
+            // Bring-up cycles = the fresh host's clock (thermal settle).
+            wprof.record(profiling::Phase::kRigBuild, rig.host->now(), build_ms);
+          }
+          run_from = rig.host->now();
+          running = true;
           records = core::run_shard(*rig.characterizer, spec.shards[i]);
           ok = true;
         } catch (const common::TransientError& e) {
           // Infrastructure gave out (transport budget exhausted, thermal
           // upset): worth a retry on a freshly built rig.
           error = e.what();
-          retire_rig(rig);  // the host's state is suspect after a throw
         } catch (const std::exception& e) {
           // Deterministic failure — a retry would replay the identical
           // error, so don't burn the budget; isolate the shard now.
           error = e.what();
           fatal = true;
-          retire_rig(rig);
         }
+        const std::uint64_t run_cycles =
+            (running && rig.host != nullptr) ? rig.host->now() - run_from : 0;
+        const double attempt_ms = ms_since(attempt_start);
+        wprof.record(profiling::Phase::kShardRun, run_cycles,
+                     std::max(0.0, attempt_ms - build_ms));
+        shard_wall_ms += attempt_ms;
+        shard_cycles += run_cycles;
+        if (!ok) retire_rig(rig);  // the host's state is suspect after a throw
       }
 
       const std::lock_guard<std::mutex> lock(mutex);
       if (fatal) fatal_counter.add();
       if (ok) {
-        if (journal != nullptr) journal->append_shard(i, records);
+        if (journal != nullptr) {
+          const profiling::PhaseTimer timer(wprof, profiling::Phase::kCheckpoint);
+          journal->append_shard(i, records, shard_wall_ms, attempts_used);
+        }
         record_counter.add(records.size());
         result.per_shard[i] = std::move(records);
+        result.timings.push_back({i, shard_cycles, shard_wall_ms, attempts_used});
+        shard_wall_hist.observe(shard_wall_ms);
         ++result.shards_run;
         done_counter.add();
       } else {
+        if (journal != nullptr) journal->append_failure(i, attempts_used, error);
         result.failures.push_back({i, error});
         failed_counter.add();
       }
       progress.update();
     }
     retire_rig(rig);
+    // Queue wait + scheduling gaps: whatever worker lifetime no phase claims.
+    const double lifetime_ms = ms_since(worker_start);
+    const double busy_ms = wprof.stat(profiling::Phase::kRigBuild).wall_ms +
+                           wprof.stat(profiling::Phase::kShardRun).wall_ms +
+                           wprof.stat(profiling::Phase::kCheckpoint).wall_ms;
+    wprof.record(profiling::Phase::kIdle, 0, std::max(0.0, lifetime_ms - busy_ms));
+    const std::lock_guard<std::mutex> lock(mutex);
+    profile_.merge_from(wprof);
   };
 
   if (pending > 0) {
@@ -249,6 +304,14 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
 
   std::sort(result.failures.begin(), result.failures.end(),
             [](const ShardFailure& a, const ShardFailure& b) { return a.shard < b.shard; });
+  // Workers push timings in completion order; shard order is the canonical
+  // (and deterministic) presentation.
+  std::sort(result.timings.begin(), result.timings.end(),
+            [](const profiling::ShardTiming& a, const profiling::ShardTiming& b) {
+              return a.shard < b.shard;
+            });
+  result.elapsed_wall_ms = ms_since(run_start);
+  result.jobs = jobs;
   progress.finish();
   if (aggregate_ != nullptr) aggregate_->metrics().merge_from(metrics_);
 
@@ -268,6 +331,37 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
     throw CampaignError(message);
   }
   return result;
+}
+
+profiling::RunReport build_report(const std::string& label, const SweepSpec& spec,
+                                  const Campaign& campaign, const CampaignResult& result,
+                                  const telemetry::Telemetry* sink) {
+  profiling::RunReport report;
+  report.campaign = label;
+  report.seed = spec.device.fault.seed;
+  report.jobs = result.jobs;
+  report.shards_total = spec.shards.size();
+  report.shards_done = result.shards_run;
+  report.shards_skipped = result.shards_skipped;
+  report.shards_failed = result.failures.size();
+  report.shards_retried = result.shards_retried;
+  report.elapsed_wall_ms = result.elapsed_wall_ms;
+  report.profile = campaign.profile();
+  report.timings = result.timings;
+  for (const auto& shard : result.per_shard) report.records += shard.size();
+  if (sink != nullptr) {
+    // The aggregate sink already holds the campaign.* counters (run() merges
+    // them in) plus every worker's cmd.*/trr.*/flip.* observations.
+    report.metrics = sink->metrics().snapshot();
+    report.trace = {sink->trace().total_recorded(),
+                    static_cast<std::uint64_t>(sink->trace().size()),
+                    sink->trace().dropped()};
+  } else {
+    report.metrics = campaign.metrics().snapshot();
+  }
+  report.shards_fatal =
+      static_cast<std::uint64_t>(report.metrics.value_or("campaign.shards_fatal", 0.0));
+  return report;
 }
 
 }  // namespace rh::campaign

@@ -43,6 +43,7 @@
 #include "core/shard.hpp"
 #include "core/spatial.hpp"
 #include "hbm/device.hpp"
+#include "profiling/report.hpp"
 #include "resilience/fault.hpp"
 #include "resilience/retry.hpp"
 #include "telemetry/metrics.hpp"
@@ -120,6 +121,15 @@ struct CampaignResult {
   std::uint64_t shards_skipped = 0;  ///< restored from the journal
   std::uint64_t shards_retried = 0;  ///< extra attempts granted
 
+  /// Cost accounting for every shard executed this run (skipped/failed
+  /// shards absent), sorted by shard index. device_cycles and attempts are
+  /// deterministic; wall_ms is real host time.
+  std::vector<profiling::ShardTiming> timings;
+  /// Whole-campaign host wall clock (journal restore through pool join).
+  double elapsed_wall_ms = 0.0;
+  /// Worker threads actually used (after clamping to pending shards).
+  unsigned jobs = 1;
+
   /// Records of all shards concatenated in shard order — the deterministic
   /// merge the benches consume (identical to the serial sweep's output).
   [[nodiscard]] std::vector<core::RowRecord> flat() const;
@@ -152,11 +162,29 @@ public:
   /// Live campaign.* counters (shards_total/done/skipped/failed/retried).
   [[nodiscard]] const telemetry::MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Fleet phase profile: every worker's campaign-level phases (rig_build /
+  /// shard_run / checkpoint / idle) plus every retired host's host-level
+  /// phases, merged under the completion lock. Accumulates across run()
+  /// calls on the same Campaign.
+  [[nodiscard]] const profiling::Profile& profile() const { return profile_; }
+
 private:
   CampaignConfig config_;
   telemetry::Telemetry* aggregate_;
   HostFactory factory_;
   telemetry::MetricsRegistry metrics_;
+  profiling::Profile profile_;
 };
+
+/// Joins a finished campaign into one RunReport: the fleet profile, the
+/// campaign.*/resilience.* counters, per-shard timings, and — when `sink`
+/// (the TelemetrySession aggregate the workers reported into) is non-null —
+/// the full fleet metrics snapshot and trace-ring accounting. With a null
+/// sink the report still carries the campaign's own counters; cmd.*-derived
+/// throughput is simply absent.
+[[nodiscard]] profiling::RunReport build_report(const std::string& label, const SweepSpec& spec,
+                                                const Campaign& campaign,
+                                                const CampaignResult& result,
+                                                const telemetry::Telemetry* sink = nullptr);
 
 }  // namespace rh::campaign

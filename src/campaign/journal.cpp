@@ -4,9 +4,13 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <ostream>
 
 #include "campaign/record_io.hpp"
 #include "common/error.hpp"
+#include "common/table.hpp"
+#include "profiling/report.hpp"
+#include "telemetry/metrics.hpp"
 
 #if __has_include(<unistd.h>)
 #include <unistd.h>
@@ -99,14 +103,28 @@ void JournalWriter::write_line(const std::string& line) {
 }
 
 void JournalWriter::append_shard(std::uint64_t shard,
-                                 const std::vector<core::RowRecord>& records) {
-  std::string line = "{\"shard\":" + std::to_string(shard) + ",\"records\":[";
+                                 const std::vector<core::RowRecord>& records, double wall_ms,
+                                 unsigned attempts) {
+  std::string line = "{\"shard\":" + std::to_string(shard);
+  if (wall_ms >= 0.0) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.3f", wall_ms);
+    line += ",\"attempts\":" + std::to_string(attempts) + ",\"wall_ms\":" + buf;
+  }
+  line += ",\"records\":[";
   for (std::size_t i = 0; i < records.size(); ++i) {
     if (i != 0) line += ',';
     append_row_record_json(line, records[i]);
   }
   line += "]}";
   write_line(line);
+}
+
+void JournalWriter::append_failure(std::uint64_t shard, unsigned attempts,
+                                   const std::string& what) {
+  write_line("{\"shard\":" + std::to_string(shard) + ",\"attempts\":" +
+             std::to_string(attempts) + ",\"failed\":\"" + telemetry::json_escape(what) +
+             "\"}");
 }
 
 JournalReader::JournalReader(const std::string& path) {
@@ -152,15 +170,86 @@ JournalReader::JournalReader(const std::string& path) {
       if (in.peek() == EOF) break;
       throw;
     }
-    const std::uint64_t shard = entry.at("shard").as_u64();
-    std::vector<core::RowRecord> records;
-    const JsonValue& array = entry.at("records");
-    records.reserve(array.items.size());
-    for (const JsonValue& r : array.items) records.push_back(parse_row_record(r));
-    shards_[shard] = std::move(records);
+    ShardOutcome outcome;
+    outcome.shard = entry.at("shard").as_u64();
+    if (const JsonValue* attempts = entry.find("attempts"); attempts != nullptr) {
+      outcome.attempts = static_cast<unsigned>(attempts->as_u64());
+    }
+    if (const JsonValue* wall = entry.find("wall_ms"); wall != nullptr) {
+      outcome.wall_ms = wall->as_double();
+    }
+    if (const JsonValue* failed = entry.find("failed"); failed != nullptr) {
+      // Failure annotation: report fodder only — the shard stays pending,
+      // so a resume re-runs it.
+      outcome.ok = false;
+      outcome.error = failed->text;
+    } else {
+      std::vector<core::RowRecord> records;
+      const JsonValue& array = entry.at("records");
+      records.reserve(array.items.size());
+      for (const JsonValue& r : array.items) records.push_back(parse_row_record(r));
+      outcome.records = records.size();
+      shards_[outcome.shard] = std::move(records);
+    }
+    outcomes_.push_back(std::move(outcome));
     intact_bytes_ += line.size() + 1;
   }
   intact_bytes_ = std::min(intact_bytes_, file_size);
+}
+
+void render_journal_summary(std::ostream& os, const std::string& path,
+                            const JournalReader& reader) {
+  const JournalHeader& h = reader.header();
+  os << "=== checkpoint journal: " << path << " ===\n";
+  os << "sweep: seed " << h.seed << ", config " << hash_hex(h.config_hash) << ", "
+     << h.shard_count << " shards planned\n";
+
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  std::size_t retried = 0;
+  std::size_t records = 0;
+  std::vector<double> wall;
+  for (const ShardOutcome& o : reader.outcomes()) {
+    if (o.ok) {
+      ++done;
+      records += o.records;
+      if (o.wall_ms >= 0.0) wall.push_back(o.wall_ms);
+    } else {
+      ++failed;
+    }
+    if (o.attempts > 1) ++retried;
+  }
+  // Duplicate completion lines can make `done` exceed the distinct count;
+  // report both so a resumed journal reads honestly.
+  os << "shards: " << reader.shards().size() << "/" << h.shard_count << " complete ("
+     << done << " completion lines, " << failed << " failure lines, " << retried
+     << " needed retries)  |  records: " << records << '\n';
+  if (reader.shards().size() < h.shard_count) {
+    os << "pending: " << h.shard_count - reader.shards().size()
+       << " shards — rerun with --resume to finish the sweep\n";
+  }
+
+  if (!wall.empty()) {
+    const profiling::LatencySummary lat = profiling::summarize_latencies(wall);
+    common::Table latency({"timed shards", "min", "p50", "p90", "p99", "max", "mean",
+                           "total s"});
+    latency.add_row({std::to_string(lat.count), common::fmt_double(lat.min, 1),
+                     common::fmt_double(lat.p50, 1), common::fmt_double(lat.p90, 1),
+                     common::fmt_double(lat.p99, 1), common::fmt_double(lat.max, 1),
+                     common::fmt_double(lat.mean, 1),
+                     common::fmt_double(lat.total_ms * 1e-3, 1)});
+    os << "\nwall ms per journaled shard:\n";
+    latency.print(os);
+  } else {
+    os << "(no per-shard wall-ms annotations in this journal)\n";
+  }
+
+  for (const ShardOutcome& o : reader.outcomes()) {
+    if (!o.ok) {
+      os << "failed shard " << o.shard << " after " << o.attempts
+         << " attempt" << (o.attempts == 1 ? "" : "s") << ": " << o.error << '\n';
+    }
+  }
 }
 
 void JournalReader::require_matches(const JournalHeader& expected) const {

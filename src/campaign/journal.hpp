@@ -5,8 +5,14 @@
 //
 //   {"kind":"rh-campaign-journal","version":1,"seed":...,
 //    "config_hash":"<16 hex digits>","shards":N}          <- header, fsync'd
-//   {"shard":7,"records":[{...RowRecord...}, ...]}        <- per shard, in
+//   {"shard":7,"attempts":1,"wall_ms":812.4,
+//    "records":[{...RowRecord...}, ...]}                  <- per shard, in
 //   {"shard":3,"records":[...]}                              completion order
+//   {"shard":9,"attempts":2,"failed":"<error text>"}      <- isolated failure
+//
+// "attempts"/"wall_ms" are optional cost annotations (rh_report --journal
+// renders them); journals written before they existed parse fine, and a
+// failure line never counts as a completed shard — resume re-runs it.
 //
 // The header binds the journal to one exact sweep: the seed, the FNV-1a
 // hash of the full campaign configuration (device geometry, scramble,
@@ -21,6 +27,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -56,13 +63,31 @@ public:
   JournalWriter& operator=(const JournalWriter&) = delete;
 
   /// Writes one completed shard as a single line, flushed and fsync'd.
-  void append_shard(std::uint64_t shard, const std::vector<core::RowRecord>& records);
+  /// `wall_ms` < 0 omits the cost annotations (attempts/wall_ms), keeping
+  /// the pre-annotation byte format.
+  void append_shard(std::uint64_t shard, const std::vector<core::RowRecord>& records,
+                    double wall_ms = -1.0, unsigned attempts = 1);
+
+  /// Journals an isolated shard failure (after the retry budget drained).
+  /// Failure lines are report fodder only: resume still re-runs the shard.
+  void append_failure(std::uint64_t shard, unsigned attempts, const std::string& what);
 
 private:
   void write_line(const std::string& line);
 
   std::FILE* file_ = nullptr;
   std::string path_;
+};
+
+/// One journal line's cost/outcome annotations, in file order — what
+/// rh_report --journal summarizes without re-running anything.
+struct ShardOutcome {
+  std::uint64_t shard = 0;
+  bool ok = true;
+  unsigned attempts = 1;
+  double wall_ms = -1.0;     ///< < 0 when the line carried no annotation
+  std::size_t records = 0;   ///< completed lines only
+  std::string error;         ///< failure lines only
 };
 
 /// Loads a journal: header plus every intact shard line. A torn final line
@@ -76,6 +101,8 @@ public:
   [[nodiscard]] const std::map<std::uint64_t, std::vector<core::RowRecord>>& shards() const {
     return shards_;
   }
+  /// Every intact shard line (completions and failures), in file order.
+  [[nodiscard]] const std::vector<ShardOutcome>& outcomes() const { return outcomes_; }
 
   /// Throws common::ConfigError naming the mismatched field if the journal
   /// was written for a different sweep than `expected`.
@@ -89,7 +116,14 @@ public:
 private:
   JournalHeader header_;
   std::map<std::uint64_t, std::vector<core::RowRecord>> shards_;
+  std::vector<ShardOutcome> outcomes_;
   std::uint64_t intact_bytes_ = 0;
 };
+
+/// Renders a human summary of a journal (shards done/failed/retried,
+/// wall-ms-per-shard percentiles when the journal carries annotations) —
+/// the standalone `rh_report --journal` view of a possibly killed campaign.
+void render_journal_summary(std::ostream& os, const std::string& path,
+                            const JournalReader& reader);
 
 }  // namespace rh::campaign

@@ -1,0 +1,141 @@
+// Phase-level profiling for the simulator stack: where does a campaign's
+// time actually go?
+//
+// Every phase accounts two *independent* clocks:
+//   - device_cycles — simulated interface-clock cycles consumed while the
+//     phase was open. This is physics: it is a pure function of the command
+//     stream, so totals are byte-identical across --jobs counts, reruns, and
+//     machines (the determinism test pins this).
+//   - wall_ms — real host-process time (steady_clock). This is engineering:
+//     it depends on the machine, the scheduler, and the build, and is what
+//     the perf baseline tracks. Wall fields are therefore *excluded* from
+//     every byte-identity check and from the deterministic report view.
+//
+// Phase taxonomy (see DESIGN.md §10):
+//   host-level  — upload / execute / drain / recover / thermal: one
+//                 BenderHost's program pipeline. Device cycles advance only
+//                 in execute (programs) and thermal (PID settle).
+//   campaign-level — rig_build / shard_run / checkpoint / idle / report:
+//                 the worker pool. shard_run *contains* the host-level
+//                 phases of the programs it ran, so campaign-level and
+//                 host-level groups each sum to ~the run's total on their
+//                 own axis; do not add the two groups together.
+//
+// Threading model mirrors MetricsRegistry: each worker owns a private
+// Profile and the campaign merges them (merge_from) under its completion
+// lock; a Profile itself is not thread-safe.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+namespace rh::profiling {
+
+enum class Phase : std::uint8_t {
+  // host-level
+  kUpload = 0,  ///< program/wide-register PCIe upload (incl. retries)
+  kExecute,     ///< executor running a program (device cycles advance)
+  kDrain,       ///< readback FIFO drain + CRC verify (incl. re-drains)
+  kRecover,     ///< fault recovery actions (calls only; time stays in the
+                ///< phase where the retry ran, so nothing double-counts)
+  kThermal,     ///< thermal rig settle/guard (device cycles advance)
+  // campaign-level
+  kRigBuild,    ///< worker host construction + bring-up to temperature
+  kShardRun,    ///< run_shard measurement work (contains host-level phases)
+  kCheckpoint,  ///< journal append (fsync'd) under the completion lock
+  kIdle,        ///< worker lifetime not accounted to any phase above
+  kReport,      ///< end-of-run report/export generation
+};
+
+inline constexpr std::size_t kPhaseCount = 10;
+
+[[nodiscard]] constexpr std::string_view to_string(Phase p) {
+  switch (p) {
+    case Phase::kUpload: return "upload";
+    case Phase::kExecute: return "execute";
+    case Phase::kDrain: return "drain";
+    case Phase::kRecover: return "recover";
+    case Phase::kThermal: return "thermal";
+    case Phase::kRigBuild: return "rig_build";
+    case Phase::kShardRun: return "shard_run";
+    case Phase::kCheckpoint: return "checkpoint";
+    case Phase::kIdle: return "idle";
+    case Phase::kReport: return "report";
+  }
+  return "?";
+}
+
+struct PhaseStat {
+  std::uint64_t calls = 0;
+  std::uint64_t device_cycles = 0;
+  double wall_ms = 0.0;
+};
+
+/// Per-thread phase accumulator. Fleet aggregation follows the
+/// MetricsRegistry pattern: workers each fill their own and the owner calls
+/// merge_from once they are joined.
+class Profile {
+public:
+  void record(Phase phase, std::uint64_t device_cycles, double wall_ms,
+              std::uint64_t calls = 1);
+
+  [[nodiscard]] const PhaseStat& stat(Phase phase) const {
+    return stats_[static_cast<std::size_t>(phase)];
+  }
+  /// Sum of wall_ms over every phase (both groups; see the header comment
+  /// before reading anything into the number).
+  [[nodiscard]] double total_wall_ms() const;
+
+  /// Adds every phase's calls/cycles/wall from `other`.
+  void merge_from(const Profile& other);
+  void reset();
+
+  /// One key-sorted JSON object, {"checkpoint":{"calls":..,...},...}, every
+  /// phase always present so documents diff cleanly. include_wall=false
+  /// keeps only the device_cycles of execute and shard_run — the projection
+  /// that is byte-identical across schedules. Everything else is dropped:
+  /// wall_ms is host time, call counts depend on which worker got which
+  /// shard, and bring-up cycles (rig_build, thermal) repeat once per worker
+  /// rig, so all of them vary with --jobs.
+  void write_json(std::ostream& os, bool include_wall = true) const;
+
+private:
+  std::array<PhaseStat, kPhaseCount> stats_{};
+};
+
+/// RAII scope timer: opens a phase at construction, records it into the
+/// profile at destruction (or an early stop()). `cycle_clock` may point at
+/// the owning host's simulated clock; the timer samples it at both ends so
+/// phases that advance simulated time (execute, thermal) report the cycles
+/// they consumed. Pass nullptr for pure host-side phases.
+class PhaseTimer {
+public:
+  PhaseTimer(Profile& profile, Phase phase, const std::uint64_t* cycle_clock = nullptr)
+      : profile_(&profile),
+        cycle_clock_(cycle_clock),
+        phase_(phase),
+        start_cycles_(cycle_clock != nullptr ? *cycle_clock : 0),
+        start_(std::chrono::steady_clock::now()) {}
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  ~PhaseTimer() { stop(); }
+
+  /// Records the phase now instead of at scope exit; idempotent.
+  void stop();
+
+private:
+  Profile* profile_;
+  const std::uint64_t* cycle_clock_;
+  Phase phase_;
+  std::uint64_t start_cycles_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
+};
+
+}  // namespace rh::profiling

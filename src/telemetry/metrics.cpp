@@ -10,6 +10,28 @@
 
 namespace rh::telemetry {
 
+double histogram_quantile(double lo, double hi, const std::vector<std::uint64_t>& buckets,
+                          double q) {
+  std::uint64_t total = 0;
+  for (const auto c : buckets) total += c;
+  if (total == 0 || buckets.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double width = (hi - lo) / static_cast<double>(buckets.size());
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const auto count = static_cast<double>(buckets[i]);
+    if (count > 0.0 && cumulative + count >= target) {
+      // Linear interpolation: the target rank sits `frac` of the way through
+      // this bucket's samples, assumed uniform across the bucket's range.
+      const double frac = std::clamp((target - cumulative) / count, 0.0, 1.0);
+      return lo + width * (static_cast<double>(i) + frac);
+    }
+    cumulative += count;
+  }
+  return hi;  // q == 1 with trailing empty buckets
+}
+
 FixedHistogram::FixedHistogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
   RH_EXPECTS(hi > lo);
   RH_EXPECTS(bins > 0);
@@ -21,11 +43,27 @@ void FixedHistogram::observe(double x) {
   auto idx = static_cast<std::int64_t>(std::floor((x - lo_) / width));
   idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
   ++counts_[static_cast<std::size_t>(idx)];
+  sum_ += x;
 }
 
 void FixedHistogram::merge_from(const FixedHistogram& other) {
   RH_EXPECTS(other.lo_ == lo_ && other.hi_ == hi_ && other.counts_.size() == counts_.size());
   for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  sum_ += other.sum_;
+}
+
+double FixedHistogram::quantile(double q) const {
+  return histogram_quantile(lo_, hi_, counts_, q);
+}
+
+HistogramSummary FixedHistogram::summary() const {
+  HistogramSummary s;
+  s.count = total();
+  s.sum = sum_;
+  s.p50 = quantile(0.50);
+  s.p90 = quantile(0.90);
+  s.p99 = quantile(0.99);
+  return s;
 }
 
 std::uint64_t FixedHistogram::total() const {
@@ -44,7 +82,10 @@ double FixedHistogram::bucket_upper(std::size_t i) const {
   return lo_ + width * static_cast<double>(i + 1);
 }
 
-void FixedHistogram::reset() { std::fill(counts_.begin(), counts_.end(), 0); }
+void FixedHistogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  sum_ = 0.0;
+}
 
 const SnapshotEntry* MetricsSnapshot::find(std::string_view name) const {
   for (const auto& e : entries) {
@@ -106,13 +147,24 @@ void write_group(std::ostream& os, const std::vector<SnapshotEntry>& entries, Me
     first = false;
     os << '"' << json_escape(e.name) << "\":";
     if (kind == MetricKind::kHistogram) {
-      os << "{\"lo\":" << json_number(e.lo) << ",\"hi\":" << json_number(e.hi)
-         << ",\"total\":" << json_number(e.value) << ",\"buckets\":[";
+      // Keys in sorted order so the document is byte-stable under diffing.
+      const double width = (e.hi - e.lo) / static_cast<double>(e.buckets.size());
+      os << "{\"bounds\":[";
+      for (std::size_t i = 0; i <= e.buckets.size(); ++i) {
+        if (i != 0) os << ',';
+        os << json_number(e.lo + width * static_cast<double>(i));
+      }
+      os << "],\"buckets\":[";
       for (std::size_t i = 0; i < e.buckets.size(); ++i) {
         if (i != 0) os << ',';
         os << e.buckets[i];
       }
-      os << "]}";
+      os << "],\"count\":" << json_number(e.value) << ",\"hi\":" << json_number(e.hi)
+         << ",\"lo\":" << json_number(e.lo)
+         << ",\"p50\":" << json_number(histogram_quantile(e.lo, e.hi, e.buckets, 0.50))
+         << ",\"p90\":" << json_number(histogram_quantile(e.lo, e.hi, e.buckets, 0.90))
+         << ",\"p99\":" << json_number(histogram_quantile(e.lo, e.hi, e.buckets, 0.99))
+         << ",\"sum\":" << json_number(e.sum) << '}';
     } else {
       os << json_number(e.value);
     }
@@ -164,14 +216,14 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   snap.entries.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, c] : counters_) {
     snap.entries.push_back(
-        {name, MetricKind::kCounter, static_cast<double>(c.value()), 0.0, 0.0, {}});
+        {name, MetricKind::kCounter, static_cast<double>(c.value()), 0.0, 0.0, 0.0, {}});
   }
   for (const auto& [name, g] : gauges_) {
-    snap.entries.push_back({name, MetricKind::kGauge, g.value(), 0.0, 0.0, {}});
+    snap.entries.push_back({name, MetricKind::kGauge, g.value(), 0.0, 0.0, 0.0, {}});
   }
   for (const auto& [name, h] : histograms_) {
     snap.entries.push_back({name, MetricKind::kHistogram, static_cast<double>(h.total()), h.lo(),
-                            h.hi(), h.buckets()});
+                            h.hi(), h.sum(), h.buckets()});
   }
   std::sort(snap.entries.begin(), snap.entries.end(),
             [](const SnapshotEntry& a, const SnapshotEntry& b) { return a.name < b.name; });

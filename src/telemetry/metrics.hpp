@@ -45,28 +45,56 @@ private:
   double value_ = 0.0;
 };
 
+/// count/sum plus the distribution quantiles the run-report and JSON export
+/// paths print. Quantiles are estimated from the bucket counts (linear
+/// interpolation within the covering bucket), so they are exact to bucket
+/// resolution, not to sample resolution.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Quantile q in [0, 1] of a fixed-width-bucket histogram over [lo, hi),
+/// linearly interpolated within the covering bucket. Returns 0 for an empty
+/// histogram; q outside [0, 1] is clamped. Shared by FixedHistogram and the
+/// snapshot export path (which only has the bucket vector).
+[[nodiscard]] double histogram_quantile(double lo, double hi,
+                                        const std::vector<std::uint64_t>& buckets, double q);
+
 /// Fixed-width-bucket histogram over [lo, hi); samples outside the range are
 /// clamped into the edge buckets (mirrors common::Histogram, but with the
-/// integer counts and bucket introspection the export path needs).
+/// integer counts and bucket introspection the export path needs). The sum
+/// accumulates the *observed* values (pre-clamp), so mean = sum/total is
+/// faithful even when samples land in the edge buckets.
 class FixedHistogram {
 public:
   FixedHistogram(double lo, double hi, std::size_t bins);
 
   void observe(double x);
-  /// Adds `other`'s bucket counts. Precondition: identical lo/hi/bins.
+  /// Adds `other`'s bucket counts and sum. Precondition: identical lo/hi/bins.
   void merge_from(const FixedHistogram& other);
   [[nodiscard]] std::uint64_t total() const;
   [[nodiscard]] double lo() const { return lo_; }
   [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] double sum() const { return sum_; }
   [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return counts_; }
   /// Inclusive-exclusive value range [lower, upper) of bucket `i`.
   [[nodiscard]] double bucket_lower(std::size_t i) const;
   [[nodiscard]] double bucket_upper(std::size_t i) const;
+  /// Quantile q in [0, 1], interpolated within the covering bucket (see
+  /// histogram_quantile). 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+  /// count/sum/p50/p90/p99 in one call (what the run report prints).
+  [[nodiscard]] HistogramSummary summary() const;
   void reset();
 
 private:
   double lo_;
   double hi_;
+  double sum_ = 0.0;
   std::vector<std::uint64_t> counts_;
 };
 
@@ -82,13 +110,14 @@ enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
 }
 
 /// One exported metric: counters/gauges carry `value`; histograms carry
-/// `value` = total samples plus the bucket vector and range.
+/// `value` = total samples plus the bucket vector, range, and sum.
 struct SnapshotEntry {
   std::string name;
   MetricKind kind = MetricKind::kCounter;
   double value = 0.0;
   double lo = 0.0;
   double hi = 0.0;
+  double sum = 0.0;
   std::vector<std::uint64_t> buckets;
 };
 
@@ -102,7 +131,11 @@ struct MetricsSnapshot {
   [[nodiscard]] double value_or(std::string_view name, double def) const;
 
   /// Emits the snapshot as a JSON object {"counters":{...}, "gauges":{...},
-  /// "histograms":{...}}.
+  /// "histograms":{...}}. Metric names are sorted within each group and
+  /// every object's keys are emitted in sorted order, so two snapshots of
+  /// the same state produce byte-identical documents. Each histogram is
+  /// {"bounds":[b0..bn] (the n+1 bucket edges), "buckets":[counts],
+  ///  "count":samples, "hi":, "lo":, "p50":, "p90":, "p99":, "sum":}.
   void write_json(std::ostream& os) const;
   /// Emits one CSV row per metric (histograms: one row per bucket) through
   /// the common CSV helper: metric,kind,lo,hi,value.
