@@ -14,25 +14,15 @@
 // Flags: --seed, --stride (default 2048, the CI smoke sweep), --hammers,
 //        --tolerance, --jobs (default 2), --out=PATH (default
 //        BENCH_campaign.json).
-#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "bench_util.hpp"
 #include "core/spatial.hpp"
+#include "profiling/report.hpp"
 
 using namespace rh;
-
-namespace {
-
-std::string num(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   try {
@@ -66,21 +56,7 @@ int main(int argc, char** argv) {
 
     std::ofstream out(out_path);
     if (!out) throw common::ConfigError("cannot open baseline output file: " + out_path);
-    // Keys sorted; schema tagged so check_perf.py can refuse foreign files.
-    out << "{\"bench\":\"campaign_fig4\"";
-    out << ",\"commands\":" << report.commands();
-    out << ",\"commands_per_host_second\":" << num(report.commands_per_host_second());
-    out << ",\"device_cycles\":" << report.device_cycles();
-    out << ",\"device_cycles_per_host_second\":" << num(report.device_cycles_per_host_second());
-    out << ",\"elapsed_s\":" << num(report.elapsed_wall_ms * 1e-3);
-    out << ",\"jobs\":" << report.jobs;
-    out << ",\"phases\":";
-    report.profile.write_json(out, true);
-    out << ",\"records\":" << report.records;
-    out << ",\"schema\":\"rh-perf-baseline/v1\"";
-    out << ",\"seed\":" << report.seed;
-    out << ",\"stride\":" << stride;
-    out << "}\n";
+    profiling::write_perf_baseline_json(out, report, stride);
 
     std::cout << "commands/s:        " << common::fmt_double(report.commands_per_host_second(), 0)
               << '\n'

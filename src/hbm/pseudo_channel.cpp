@@ -61,7 +61,7 @@ const Bank& PseudoChannel::bank(std::uint32_t index) const {
 void PseudoChannel::activate(std::uint32_t bank_idx, std::uint32_t row, Cycle now,
                              double temperature_c) {
   check_not_self_refreshing();
-  channel_timing_.on_activate(now);
+  channel_timing_.on_activate(now, bank_idx);
   bank(bank_idx).activate(row, now, temperature_c);
   proprietary_trr_.observe_activate(bank_idx, row);
   documented_trr_.observe_activate(bank_idx, row);
@@ -84,14 +84,14 @@ void PseudoChannel::precharge_all(Cycle now, double temperature_c) {
 void PseudoChannel::read(std::uint32_t bank_idx, std::uint32_t column, Cycle now, bool ecc,
                          std::span<std::uint8_t> out) {
   check_not_self_refreshing();
-  channel_timing_.on_column(now);
+  channel_timing_.on_column(now, /*is_write=*/false);
   bank(bank_idx).read(column, now, ecc, out);
 }
 
 void PseudoChannel::write(std::uint32_t bank_idx, std::uint32_t column,
                           std::span<const std::uint8_t> data, Cycle now) {
   check_not_self_refreshing();
-  channel_timing_.on_column(now);
+  channel_timing_.on_column(now, /*is_write=*/true);
   bank(bank_idx).write(column, data, now);
 }
 

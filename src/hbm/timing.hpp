@@ -40,8 +40,19 @@ struct TimingParams {
   Cycle tRTP = 5;    ///< RD to PRE (8.3 ns)
   Cycle tCCD = 2;    ///< column-to-column (3.3 ns)
   Cycle tRRD = 4;    ///< ACT-to-ACT, different banks, same pseudo channel
+                     ///< (tRRD_S: short, across bank groups)
+  Cycle tRRD_L = 4;  ///< ACT-to-ACT within one bank group (the paper bin
+                     ///< shows no visible L/S split at 600 MHz; vendor
+                     ///< profiles may widen it)
+  Cycle tFAW = 18;   ///< four-activate window: any 5th ACT in a pseudo
+                     ///< channel waits tFAW from the 4th-previous (30 ns)
+  Cycle tWTR = 5;    ///< end of WR burst to next RD on the shared data
+                     ///< path (8.3 ns write-to-read turnaround)
   Cycle tRFC = 156;  ///< REF to next command (260 ns)
   Cycle tREFI = 2340;  ///< nominal REF-to-REF interval (3.9 us)
+
+  /// Banks per bank group for the tRRD_L scope (16 banks = 4 groups of 4).
+  std::uint32_t banks_per_group = 4;
 
   /// Standard refresh window: every row refreshed once per 32 ms.
   Cycle refresh_window = ms_to_cycles(32.0);

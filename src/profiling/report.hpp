@@ -98,4 +98,9 @@ struct RunReport {
 void write_report_json(std::ostream& os, const RunReport& report, bool include_wall = true);
 void render_report_text(std::ostream& os, const RunReport& report);
 
+/// Emits the rh-perf-baseline/v1 throughput document (keys sorted) that
+/// scripts/check_perf.py diffs against the committed baseline. Shared by
+/// bench/perf_baseline and the golden-contract schema test.
+void write_perf_baseline_json(std::ostream& os, const RunReport& report, std::uint32_t stride);
+
 }  // namespace rh::profiling

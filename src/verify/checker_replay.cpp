@@ -1,0 +1,110 @@
+#include "verify/checker_replay.hpp"
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "verify/oracle.hpp"
+
+namespace rh::verify {
+
+std::string timing_rule(std::string_view message) {
+  constexpr std::string_view prefix = "timing violation: ";
+  constexpr std::string_view suffix = " requires";
+  const auto start = message.find(prefix);
+  if (start == std::string_view::npos) return std::string(message);
+  const auto from = start + prefix.size();
+  const auto end = message.find(suffix, from);
+  if (end == std::string_view::npos) return std::string(message.substr(from));
+  return std::string(message.substr(from, end - from));
+}
+
+std::string protocol_tag(std::string_view message) {
+  struct Mapping {
+    std::string_view prefix;
+    const char* tag;
+  };
+  static constexpr Mapping kMappings[] = {
+      {"ACT to a bank with an open row", "act-open"},
+      {"PRE to a bank with no open row", "pre-closed"},
+      {"RD to a bank with no open row", "rd-closed"},
+      {"WR to a bank with no open row", "wr-closed"},
+      {"REF with an open bank", "ref-open"},
+  };
+  for (const auto& m : kMappings) {
+    if (message.rfind(m.prefix, 0) == 0) return m.tag;
+  }
+  return std::string(message);  // unmapped wording shows up verbatim in diffs
+}
+
+CheckerReplay::CheckerReplay(const hbm::TimingParams& timings, std::uint32_t banks)
+    : t_(timings), channel_(t_) {
+  RH_EXPECTS(banks > 0);
+  banks_.reserve(banks);
+  for (std::uint32_t b = 0; b < banks; ++b) banks_.emplace_back(t_);
+}
+
+Verdict CheckerReplay::step(const Command& c) {
+  RH_EXPECTS(c.bank < banks_.size());
+  try {
+    switch (c.op) {
+      case Op::kAct:
+        channel_.on_activate(c.cycle, c.bank);
+        banks_[c.bank].on_activate(c.cycle, c.arg);
+        break;
+      case Op::kPre:
+        channel_.check_not_refreshing(c.cycle);
+        banks_[c.bank].on_precharge(c.cycle);
+        break;
+      case Op::kPreAll:
+        channel_.check_not_refreshing(c.cycle);
+        for (auto& b : banks_) {
+          if (b.open()) b.on_precharge(c.cycle);
+        }
+        break;
+      case Op::kRead:
+        channel_.on_column(c.cycle, /*is_write=*/false);
+        banks_[c.bank].on_read(c.cycle);
+        break;
+      case Op::kWrite:
+        channel_.on_column(c.cycle, /*is_write=*/true);
+        banks_[c.bank].on_write(c.cycle);
+        break;
+      case Op::kRef:
+        for (const auto& b : banks_) {
+          if (b.open()) throw common::ProtocolError("REF with an open bank");
+        }
+        channel_.on_refresh(c.cycle);
+        break;
+    }
+  } catch (const common::TimingError& e) {
+    return timing_verdict(timing_rule(e.what()));
+  } catch (const common::ProtocolError& e) {
+    return protocol_verdict(protocol_tag(e.what()));
+  }
+  return ok_verdict();
+}
+
+std::vector<Verdict> replay_checker(const CommandStream& commands,
+                                    const hbm::TimingParams& timings, std::uint32_t banks) {
+  CheckerReplay replay(timings, banks);
+  std::vector<Verdict> verdicts;
+  verdicts.reserve(commands.size());
+  for (const auto& c : commands) {
+    verdicts.push_back(replay.step(c));
+    if (!verdicts.back().ok()) break;
+  }
+  return verdicts;
+}
+
+std::vector<Verdict> replay_oracle(const CommandStream& commands, const hbm::TimingParams& timings,
+                                   std::uint32_t banks, const std::string& disabled_rule) {
+  TimingOracle oracle(timings, banks, disabled_rule);
+  std::vector<Verdict> verdicts;
+  verdicts.reserve(commands.size());
+  for (const auto& c : commands) {
+    verdicts.push_back(oracle.step(c));
+    if (!verdicts.back().ok()) break;
+  }
+  return verdicts;
+}
+
+}  // namespace rh::verify

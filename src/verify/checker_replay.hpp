@@ -1,0 +1,61 @@
+// Replays command streams through the *production* timing checkers
+// (hbm::ChannelTiming + hbm::BankTiming), mirroring PseudoChannel's
+// dispatch order exactly, and converts the resulting exceptions into
+// Verdicts the differential harness can compare against the oracle's.
+//
+// Replay is stop-at-first-violation: the checker classes validate before
+// mutating, but a multi-object dispatch (channel state updates before a
+// bank-level throw) would leave partially-applied state, so continuing
+// past a violation is not well-defined for either implementation. A
+// verdict list is therefore zero or more `ok` entries, optionally
+// terminated by one violation.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hbm/timing_checker.hpp"
+#include "verify/command_stream.hpp"
+#include "verify/verdict.hpp"
+
+namespace rh::verify {
+
+/// Extracts the rule name from a TimingError message
+/// ("timing violation: tRC requires ..." -> "tRC").
+[[nodiscard]] std::string timing_rule(std::string_view message);
+
+/// Maps a ProtocolError message to its stable comparison tag
+/// ("ACT to a bank with an open row" -> "act-open").
+[[nodiscard]] std::string protocol_tag(std::string_view message);
+
+class CheckerReplay {
+public:
+  CheckerReplay(const hbm::TimingParams& timings, std::uint32_t banks);
+
+  CheckerReplay(const CheckerReplay&) = delete;
+  CheckerReplay& operator=(const CheckerReplay&) = delete;
+
+  /// Dispatches one command through the production checkers; exceptions
+  /// become verdicts. Callers must stop at the first non-ok verdict.
+  Verdict step(const Command& c);
+
+private:
+  hbm::TimingParams t_;  ///< owned: the checker objects keep pointers into it
+  hbm::ChannelTiming channel_;
+  std::vector<hbm::BankTiming> banks_;
+};
+
+/// Replays `commands`, stopping at the first violation. The returned list
+/// has one verdict per *executed* command.
+[[nodiscard]] std::vector<Verdict> replay_checker(const CommandStream& commands,
+                                                  const hbm::TimingParams& timings,
+                                                  std::uint32_t banks);
+
+/// Same, through the oracle. `disabled_rule` is the planted-bug knob.
+[[nodiscard]] std::vector<Verdict> replay_oracle(const CommandStream& commands,
+                                                 const hbm::TimingParams& timings,
+                                                 std::uint32_t banks,
+                                                 const std::string& disabled_rule = {});
+
+}  // namespace rh::verify

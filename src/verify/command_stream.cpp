@@ -1,0 +1,194 @@
+#include "verify/command_stream.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rh::verify {
+
+namespace {
+
+/// Timing parameters reachable from `! timing <name> <cycles>` directives.
+/// refresh_window / refs_per_window are refresh *scheduling*, not legality
+/// rules, so they are deliberately absent.
+struct TimingField {
+  const char* name;
+  hbm::Cycle hbm::TimingParams::*field;
+};
+
+constexpr TimingField kTimingFields[] = {
+    {"tRC", &hbm::TimingParams::tRC},       {"tRAS", &hbm::TimingParams::tRAS},
+    {"tRP", &hbm::TimingParams::tRP},       {"tRCD", &hbm::TimingParams::tRCD},
+    {"tWR", &hbm::TimingParams::tWR},       {"tRTP", &hbm::TimingParams::tRTP},
+    {"tCCD", &hbm::TimingParams::tCCD},     {"tRRD", &hbm::TimingParams::tRRD},
+    {"tRRD_L", &hbm::TimingParams::tRRD_L}, {"tFAW", &hbm::TimingParams::tFAW},
+    {"tWTR", &hbm::TimingParams::tWTR},     {"tRFC", &hbm::TimingParams::tRFC},
+    {"tREFI", &hbm::TimingParams::tREFI},
+};
+
+[[nodiscard]] bool needs_bank(Op op) {
+  return op == Op::kAct || op == Op::kPre || op == Op::kRead || op == Op::kWrite;
+}
+
+[[nodiscard]] bool needs_arg(Op op) {
+  return op == Op::kAct || op == Op::kRead || op == Op::kWrite;
+}
+
+[[nodiscard]] std::optional<Op> parse_op(std::string_view token) {
+  if (token == "ACT") return Op::kAct;
+  if (token == "PRE") return Op::kPre;
+  if (token == "PREA") return Op::kPreAll;
+  if (token == "RD") return Op::kRead;
+  if (token == "WR") return Op::kWrite;
+  if (token == "REF") return Op::kRef;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string_view to_string(Op op) {
+  switch (op) {
+    case Op::kAct: return "ACT";
+    case Op::kPre: return "PRE";
+    case Op::kPreAll: return "PREA";
+    case Op::kRead: return "RD";
+    case Op::kWrite: return "WR";
+    case Op::kRef: return "REF";
+  }
+  return "?";
+}
+
+StreamFile parse_stream(std::string_view text, const std::string& what) {
+  StreamFile out;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineno = 0;
+  const auto fail = [&](const std::string& msg) -> void {
+    throw common::ConfigError(what + ":" + std::to_string(lineno) + ": " + msg);
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok) || tok[0] == '#') continue;
+
+    if (tok == "!") {
+      std::string directive;
+      if (!(ls >> directive)) fail("empty directive");
+      if (directive == "banks") {
+        if (!(ls >> out.banks) || out.banks == 0) fail("banks needs a positive count");
+      } else if (directive == "timing") {
+        std::string name;
+        hbm::Cycle value = 0;
+        if (!(ls >> name >> value)) fail("timing directive needs <name> <cycles>");
+        bool known = false;
+        for (const auto& f : kTimingFields) {
+          if (name == f.name) {
+            out.timings.*f.field = value;
+            known = true;
+            break;
+          }
+        }
+        if (name == "banks_per_group") {
+          out.timings.banks_per_group = static_cast<std::uint32_t>(value);
+          known = true;
+        }
+        if (!known) fail("unknown timing parameter: " + name);
+      } else if (directive == "expect") {
+        std::string kind;
+        if (!(ls >> kind)) fail("expect directive needs a verdict");
+        Expectation e;
+        if (kind == "ok") {
+          e.verdict = ok_verdict();
+        } else {
+          std::string rule;
+          if (!(ls >> rule >> e.index)) fail("expect needs <kind> <rule> <index>");
+          if (kind == "timing") {
+            e.verdict = timing_verdict(rule);
+          } else if (kind == "protocol") {
+            e.verdict = protocol_verdict(rule);
+          } else {
+            fail("expect kind must be ok|timing|protocol, got: " + kind);
+          }
+        }
+        out.expect = e;
+      } else {
+        fail("unknown directive: " + directive);
+      }
+      continue;
+    }
+
+    Command cmd;
+    try {
+      cmd.cycle = std::stoull(tok);
+    } catch (const std::exception&) {
+      fail("expected a cycle number, got: " + tok);
+    }
+    std::string op_tok;
+    if (!(ls >> op_tok)) fail("missing command mnemonic");
+    const auto op = parse_op(op_tok);
+    if (!op) fail("unknown command mnemonic: " + op_tok);
+    cmd.op = *op;
+    if (needs_bank(*op) && !(ls >> cmd.bank)) fail("missing bank operand");
+    if (needs_arg(*op) && !(ls >> cmd.arg)) fail("missing row/column operand");
+    out.commands.push_back(cmd);
+  }
+
+  lineno = 0;  // range errors are file-level, not line-level
+  for (const auto& cmd : out.commands) {
+    if (cmd.bank >= out.banks) {
+      throw common::ConfigError(what + ": bank " + std::to_string(cmd.bank) +
+                                " out of range (banks=" + std::to_string(out.banks) + ")");
+    }
+  }
+  return out;
+}
+
+StreamFile load_stream_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw common::ConfigError("cannot open command stream: " + path);
+  std::ostringstream text;
+  text << file.rdbuf();
+  return parse_stream(text.str(), path);
+}
+
+std::string format_stream(const CommandStream& commands) {
+  std::string out;
+  for (const auto& cmd : commands) {
+    out += std::to_string(cmd.cycle);
+    out += ' ';
+    out += to_string(cmd.op);
+    if (needs_bank(cmd.op)) {
+      out += ' ';
+      out += std::to_string(cmd.bank);
+    }
+    if (needs_arg(cmd.op)) {
+      out += ' ';
+      out += std::to_string(cmd.arg);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string format_stream_file(const CommandStream& commands, const hbm::TimingParams& timings,
+                               std::uint32_t banks, const std::vector<std::string>& comments) {
+  const hbm::TimingParams defaults{};
+  std::string out = "# rh-command-stream/v1\n";
+  for (const auto& c : comments) out += "# " + c + "\n";
+  if (banks != StreamFile{}.banks) out += "! banks " + std::to_string(banks) + "\n";
+  for (const auto& f : kTimingFields) {
+    if (timings.*f.field != defaults.*f.field) {
+      out += std::string("! timing ") + f.name + " " + std::to_string(timings.*f.field) + "\n";
+    }
+  }
+  if (timings.banks_per_group != defaults.banks_per_group) {
+    out += "! timing banks_per_group " + std::to_string(timings.banks_per_group) + "\n";
+  }
+  out += format_stream(commands);
+  return out;
+}
+
+}  // namespace rh::verify

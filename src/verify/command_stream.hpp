@@ -1,0 +1,79 @@
+// The fuzzer's command vocabulary and its on-disk text format (.rhcs).
+//
+// A stream is the raw material of differential verification: an ordered
+// list of interface commands with absolute issue cycles, replayed through
+// both the production timing checkers and the independent oracle. The text
+// format is deliberately line-oriented and diff-friendly so shrunk
+// counterexamples commit cleanly into tests/corpus/:
+//
+//   # rh-command-stream/v1
+//   ! banks 4                    <- optional overrides ('!' directives)
+//   ! timing tFAW 24
+//   0 ACT 0 5                    <- <cycle> <OP> [bank] [row|col]
+//   4 ACT 1 9
+//   30 PRE 0
+//   60 PREA
+//   200 REF
+//   ! expect timing tRP 3        <- declared final verdict (kind rule index)
+//
+// The optional `! expect` directive pins the stream's final verdict so a
+// corpus replay fails loudly if a rule change silently alters what a
+// committed repro exercises.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hbm/timing.hpp"
+#include "verify/verdict.hpp"
+
+namespace rh::verify {
+
+enum class Op : std::uint8_t { kAct, kPre, kPreAll, kRead, kWrite, kRef };
+
+[[nodiscard]] std::string_view to_string(Op op);
+
+struct Command {
+  hbm::Cycle cycle = 0;
+  Op op = Op::kAct;
+  std::uint32_t bank = 0;
+  std::uint32_t arg = 0;  ///< row for ACT, column for RD/WR, unused otherwise
+};
+
+using CommandStream = std::vector<Command>;
+
+/// Final verdict a corpus file declares via `! expect`.
+struct Expectation {
+  Verdict verdict;
+  std::size_t index = 0;  ///< command index the verdict lands on
+};
+
+/// One parsed .rhcs file: the commands plus any directive overrides.
+struct StreamFile {
+  CommandStream commands;
+  hbm::TimingParams timings{};
+  std::uint32_t banks = 16;
+  std::optional<Expectation> expect;
+};
+
+/// Parses .rhcs text. Throws common::ConfigError naming `what` and the
+/// offending line on malformed input or out-of-range bank indices.
+[[nodiscard]] StreamFile parse_stream(std::string_view text, const std::string& what);
+
+/// Loads and parses a .rhcs file. Throws common::ConfigError on I/O errors.
+[[nodiscard]] StreamFile load_stream_file(const std::string& path);
+
+/// Renders the command lines only (no directives), one per line.
+[[nodiscard]] std::string format_stream(const CommandStream& commands);
+
+/// Renders a complete .rhcs document: header comment, any `comment` lines
+/// (each prefixed with "# "), directives for every parameter that differs
+/// from the defaults, and the commands. parse_stream round-trips it.
+[[nodiscard]] std::string format_stream_file(const CommandStream& commands,
+                                             const hbm::TimingParams& timings, std::uint32_t banks,
+                                             const std::vector<std::string>& comments = {});
+
+}  // namespace rh::verify

@@ -1,0 +1,119 @@
+#include "verify/differential.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "verify/checker_replay.hpp"
+#include "verify/shrink.hpp"
+
+namespace rh::verify {
+
+std::optional<Disagreement> compare_stream(const CommandStream& commands,
+                                           const hbm::TimingParams& timings, std::uint32_t banks,
+                                           const std::string& disabled_rule) {
+  const auto oracle = replay_oracle(commands, timings, banks, disabled_rule);
+  const auto checker = replay_checker(commands, timings, banks);
+  const std::size_t common_len = std::min(oracle.size(), checker.size());
+  for (std::size_t i = 0; i < common_len; ++i) {
+    if (oracle[i] != checker[i]) return Disagreement{i, oracle[i], checker[i]};
+  }
+  if (oracle.size() != checker.size()) {
+    // One side stopped (violation) where the other carried on: the verdict
+    // at the shorter side's end already differed, so common_len caught it —
+    // unless the shorter list ended exactly at the stream's end. Guard the
+    // remaining case: lists of different length with an agreeing prefix.
+    const std::size_t i = common_len;
+    const Verdict o = i < oracle.size() ? oracle[i] : ok_verdict();
+    const Verdict c = i < checker.size() ? checker[i] : ok_verdict();
+    return Disagreement{i, o, c};
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+void log_stream(std::ostream& log, const CommandStream& s) {
+  for (const auto& c : s) {
+    log << "    " << c.cycle << ' ' << to_string(c.op);
+    if (c.op == Op::kAct || c.op == Op::kPre || c.op == Op::kRead || c.op == Op::kWrite) {
+      log << ' ' << c.bank;
+    }
+    if (c.op == Op::kAct || c.op == Op::kRead || c.op == Op::kWrite) log << ' ' << c.arg;
+    log << '\n';
+  }
+}
+
+}  // namespace
+
+FuzzStats run_fuzz(const FuzzConfig& cfg, std::ostream& log) {
+  GenConfig gen = cfg.gen;
+  gen.disabled_rule = cfg.disable_rule;
+
+  log << "rh_fuzz: seed=" << cfg.seed << " iters=" << cfg.iters << " max-cmds=" << gen.max_cmds
+      << " banks=" << gen.banks << " mutate=" << static_cast<int>(cfg.mutate_fraction * 100)
+      << "% shrink=" << (cfg.shrink ? "on" : "off")
+      << " disable-rule=" << (cfg.disable_rule.empty() ? "<none>" : cfg.disable_rule) << '\n';
+
+  FuzzStats stats;
+  stats.iters = cfg.iters;
+  for (std::size_t iter = 0; iter < cfg.iters; ++iter) {
+    common::Xoshiro256 rng(common::hash_coords(cfg.seed, iter));
+    CommandStream stream = generate_valid(rng, gen);
+    if (rng.uniform() < cfg.mutate_fraction) {
+      if (mutate_stream(rng, stream, gen)) ++stats.mutated;
+    }
+
+    const auto disagreement = compare_stream(stream, gen.timings, gen.banks, cfg.disable_rule);
+    if (!disagreement) {
+      const auto verdicts = replay_checker(stream, gen.timings, gen.banks);
+      if (!verdicts.empty() && !verdicts.back().ok()) ++stats.violating;
+      continue;
+    }
+
+    ++stats.disagreements;
+    log << "[iter " << iter << "] disagreement at cmd " << disagreement->index
+        << ": oracle=" << to_string(disagreement->oracle)
+        << " checker=" << to_string(disagreement->checker) << '\n';
+
+    CommandStream repro = stream;
+    if (cfg.shrink) {
+      repro = shrink_stream(std::move(repro), [&](const CommandStream& candidate) {
+        return compare_stream(candidate, gen.timings, gen.banks, cfg.disable_rule).has_value();
+      });
+      log << "[iter " << iter << "] shrunk " << stream.size() << " -> " << repro.size()
+          << " commands:\n";
+    } else {
+      log << "[iter " << iter << "] repro (" << repro.size() << " commands, unshrunk):\n";
+    }
+    log_stream(log, repro);
+
+    if (!cfg.corpus_dir.empty()) {
+      const auto final_diff = compare_stream(repro, gen.timings, gen.banks, cfg.disable_rule);
+      const std::string path = cfg.corpus_dir + "/disagree-seed" + std::to_string(cfg.seed) +
+                               "-iter" + std::to_string(iter) + ".rhcs";
+      std::ofstream out(path);
+      if (!out) throw common::ConfigError("cannot write counterexample: " + path);
+      std::vector<std::string> comments = {
+          "shrunk disagreement from rh_fuzz --seed " + std::to_string(cfg.seed) + " (iter " +
+              std::to_string(iter) + ")",
+      };
+      if (final_diff) {
+        comments.push_back("at cmd " + std::to_string(final_diff->index) +
+                           ": oracle=" + to_string(final_diff->oracle) +
+                           " checker=" + to_string(final_diff->checker));
+      }
+      out << format_stream_file(repro, gen.timings, gen.banks, comments);
+      stats.repro_paths.push_back(path);
+      log << "[iter " << iter << "] wrote " << path << '\n';
+    }
+    stats.repros.push_back(std::move(repro));
+  }
+
+  log << "rh_fuzz: done iters=" << stats.iters << " mutated=" << stats.mutated
+      << " violating=" << stats.violating << " disagreements=" << stats.disagreements << '\n';
+  return stats;
+}
+
+}  // namespace rh::verify

@@ -1,0 +1,60 @@
+// The differential fuzz loop: generate -> (maybe) mutate -> replay through
+// both implementations -> compare verdict-for-verdict -> shrink and record
+// any disagreement.
+//
+// Everything is a pure function of (seed, config): per-iteration RNGs are
+// derived with hash_coords(seed, iter), so `rh_fuzz --seed S --iters N`
+// produces a byte-identical log on every run and any reported iteration
+// can be re-run in isolation.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "verify/command_stream.hpp"
+#include "verify/generator.hpp"
+#include "verify/verdict.hpp"
+
+namespace rh::verify {
+
+/// First index where the two verdict lists differ.
+struct Disagreement {
+  std::size_t index = 0;
+  Verdict oracle;
+  Verdict checker;
+};
+
+/// Replays `commands` through both implementations and reports the first
+/// divergence, or nullopt when they agree verdict-for-verdict.
+[[nodiscard]] std::optional<Disagreement> compare_stream(const CommandStream& commands,
+                                                         const hbm::TimingParams& timings,
+                                                         std::uint32_t banks,
+                                                         const std::string& disabled_rule = {});
+
+struct FuzzConfig {
+  std::uint64_t seed = 1;
+  std::size_t iters = 1000;
+  GenConfig gen;
+  double mutate_fraction = 0.6;  ///< fraction of iterations that get a mutation
+  bool shrink = true;
+  std::string corpus_dir;     ///< write shrunk repros here (empty: keep in-memory only)
+  std::string disable_rule;   ///< planted-bug mode: oracle ignores this rule
+};
+
+struct FuzzStats {
+  std::size_t iters = 0;
+  std::size_t mutated = 0;        ///< iterations where a mutation applied
+  std::size_t violating = 0;      ///< streams ending in an (agreed) violation
+  std::size_t disagreements = 0;
+  std::vector<CommandStream> repros;      ///< shrunk disagreeing streams
+  std::vector<std::string> repro_paths;   ///< files written under corpus_dir
+};
+
+/// Runs the loop, logging deterministically to `log` (config header, one
+/// block per disagreement, summary line). Same config => identical bytes.
+FuzzStats run_fuzz(const FuzzConfig& cfg, std::ostream& log);
+
+}  // namespace rh::verify

@@ -1,0 +1,195 @@
+#include "verify/generator.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "verify/oracle.hpp"
+
+namespace rh::verify {
+
+namespace {
+
+/// Traffic mix weights; ACT-heavy like a hammer workload.
+struct OpWeight {
+  Op op;
+  std::uint64_t weight;
+};
+
+constexpr OpWeight kWeights[] = {
+    {Op::kAct, 5}, {Op::kPre, 3}, {Op::kRead, 3}, {Op::kWrite, 3}, {Op::kRef, 1}, {Op::kPreAll, 1},
+};
+
+[[nodiscard]] std::uint32_t pick_bank(common::Xoshiro256& rng, const TimingOracle& oracle,
+                                      bool want_open) {
+  std::vector<std::uint32_t> candidates;
+  for (std::uint32_t b = 0; b < oracle.bank_count(); ++b) {
+    if (oracle.bank_open(b) == want_open) candidates.push_back(b);
+  }
+  RH_EXPECTS(!candidates.empty());
+  return candidates[rng.below(candidates.size())];
+}
+
+}  // namespace
+
+CommandStream generate_valid(common::Xoshiro256& rng, const GenConfig& cfg) {
+  TimingOracle oracle(cfg.timings, cfg.banks, cfg.disabled_rule);
+  CommandStream out;
+  out.reserve(cfg.max_cmds);
+  hbm::Cycle cursor = 0;
+
+  while (out.size() < cfg.max_cmds) {
+    // Feasible ops under the current open/closed state.
+    bool any_open = false;
+    bool any_closed = false;
+    for (std::uint32_t b = 0; b < cfg.banks; ++b) {
+      (oracle.bank_open(b) ? any_open : any_closed) = true;
+    }
+    std::uint64_t total = 0;
+    for (const auto& w : kWeights) {
+      const bool feasible = (w.op == Op::kAct && any_closed) ||
+                            ((w.op == Op::kPre || w.op == Op::kRead || w.op == Op::kWrite) &&
+                             any_open) ||
+                            (w.op == Op::kRef && !any_open) || w.op == Op::kPreAll;
+      if (feasible) total += w.weight;
+    }
+    std::uint64_t r = rng.below(total);
+    Op op = Op::kPreAll;
+    for (const auto& w : kWeights) {
+      const bool feasible = (w.op == Op::kAct && any_closed) ||
+                            ((w.op == Op::kPre || w.op == Op::kRead || w.op == Op::kWrite) &&
+                             any_open) ||
+                            (w.op == Op::kRef && !any_open) || w.op == Op::kPreAll;
+      if (!feasible) continue;
+      if (r < w.weight) {
+        op = w.op;
+        break;
+      }
+      r -= w.weight;
+    }
+
+    Command cmd;
+    cmd.op = op;
+    if (op == Op::kAct) {
+      cmd.bank = pick_bank(rng, oracle, /*want_open=*/false);
+      cmd.arg = static_cast<std::uint32_t>(rng.below(cfg.rows));
+    } else if (op == Op::kPre || op == Op::kRead || op == Op::kWrite) {
+      cmd.bank = pick_bank(rng, oracle, /*want_open=*/true);
+      if (op != Op::kPre) cmd.arg = static_cast<std::uint32_t>(rng.below(cfg.cols));
+    }
+
+    const hbm::Cycle earliest = oracle.earliest_legal(op, cmd.bank);
+    const hbm::Cycle floor = out.empty() ? 0 : cursor + 1;
+    // Mostly tight schedules (rule edges), occasionally a long idle gap.
+    const hbm::Cycle jitter = rng.below(8) == 0 ? rng.below(48) : rng.below(3);
+    cmd.cycle = std::max(earliest, floor) + jitter;
+
+    const Verdict v = oracle.step(cmd);
+    RH_EXPECTS(v.ok());
+    cursor = cmd.cycle;
+    out.push_back(cmd);
+  }
+  return out;
+}
+
+std::string_view to_string(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kTighten: return "tighten";
+    case MutationKind::kDupAct: return "dup-act";
+    case MutationKind::kDropPre: return "drop-pre";
+    case MutationKind::kRetargetBank: return "retarget-bank";
+    case MutationKind::kEarlyRef: return "early-ref";
+  }
+  return "?";
+}
+
+namespace {
+
+[[nodiscard]] bool apply_tighten(common::Xoshiro256& rng, CommandStream& s, const GenConfig& cfg) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const std::size_t i = rng.below(s.size());
+    TimingOracle oracle(cfg.timings, cfg.banks, cfg.disabled_rule);
+    bool prefix_ok = true;
+    for (std::size_t k = 0; k < i; ++k) {
+      if (!oracle.step(s[k]).ok()) {
+        prefix_ok = false;
+        break;
+      }
+    }
+    if (!prefix_ok) continue;
+    const hbm::Cycle earliest = oracle.earliest_legal(s[i].op, s[i].bank);
+    if (earliest == 0 || s[i].cycle < earliest) continue;  // no gate to undercut
+    s[i].cycle = earliest - 1;
+    return true;
+  }
+  return false;
+}
+
+[[nodiscard]] bool apply_dup_act(common::Xoshiro256& rng, CommandStream& s, const GenConfig& cfg) {
+  std::vector<std::size_t> acts;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i].op == Op::kAct) acts.push_back(i);
+  }
+  if (acts.empty()) return false;
+  const std::size_t i = acts[rng.below(acts.size())];
+  Command dup = s[i];
+  dup.cycle += 1 + rng.below(std::max<hbm::Cycle>(1, cfg.timings.tRRD));
+  s.insert(s.begin() + static_cast<std::ptrdiff_t>(i) + 1, dup);
+  return true;
+}
+
+[[nodiscard]] bool apply_drop_pre(common::Xoshiro256& rng, CommandStream& s) {
+  std::vector<std::size_t> pres;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i].op == Op::kPre || s[i].op == Op::kPreAll) pres.push_back(i);
+  }
+  if (pres.empty()) return false;
+  s.erase(s.begin() + static_cast<std::ptrdiff_t>(pres[rng.below(pres.size())]));
+  return true;
+}
+
+[[nodiscard]] bool apply_retarget(common::Xoshiro256& rng, CommandStream& s,
+                                  const GenConfig& cfg) {
+  if (cfg.banks < 2) return false;
+  std::vector<std::size_t> banked;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const Op op = s[i].op;
+    if (op == Op::kAct || op == Op::kPre || op == Op::kRead || op == Op::kWrite) banked.push_back(i);
+  }
+  if (banked.empty()) return false;
+  const std::size_t i = banked[rng.below(banked.size())];
+  const auto shift = 1 + static_cast<std::uint32_t>(rng.below(cfg.banks - 1));
+  s[i].bank = (s[i].bank + shift) % cfg.banks;
+  return true;
+}
+
+[[nodiscard]] bool apply_early_ref(common::Xoshiro256& rng, CommandStream& s) {
+  const std::size_t i = rng.below(s.size());
+  Command ref;
+  ref.op = Op::kRef;
+  ref.cycle = s[i].cycle + 1;
+  s.insert(s.begin() + static_cast<std::ptrdiff_t>(i) + 1, ref);
+  return true;
+}
+
+}  // namespace
+
+std::optional<MutationKind> mutate_stream(common::Xoshiro256& rng, CommandStream& s,
+                                          const GenConfig& cfg) {
+  if (s.empty()) return std::nullopt;
+  const auto first = static_cast<std::uint8_t>(rng.below(5));
+  for (std::uint8_t delta = 0; delta < 5; ++delta) {
+    const auto kind = static_cast<MutationKind>((first + delta) % 5);
+    bool applied = false;
+    switch (kind) {
+      case MutationKind::kTighten: applied = apply_tighten(rng, s, cfg); break;
+      case MutationKind::kDupAct: applied = apply_dup_act(rng, s, cfg); break;
+      case MutationKind::kDropPre: applied = apply_drop_pre(rng, s); break;
+      case MutationKind::kRetargetBank: applied = apply_retarget(rng, s, cfg); break;
+      case MutationKind::kEarlyRef: applied = apply_early_ref(rng, s); break;
+    }
+    if (applied) return kind;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rh::verify

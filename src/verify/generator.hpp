@@ -1,0 +1,53 @@
+// Seeded property-based command-stream generation.
+//
+// generate_valid() builds streams that are legal *by construction*: every
+// command is placed at or after the oracle's earliest_legal() cycle for
+// its (op, bank), with small random jitter (and an occasional long gap so
+// rules with history — tFAW, tRFC — get exercised from both sides). Op
+// choice is weighted toward the interesting traffic mix (ACT-heavy, with
+// occasional REF/PREA).
+//
+// mutate_stream() then injects exactly one perturbation drawn from a small
+// operator set — tightening a command below its deadline, duplicating an
+// ACT, dropping a PRE, retargeting a bank, inserting an early REF. Most
+// mutants violate some rule; the differential property is not "mutants
+// fail" but "both implementations say the *same thing* about them", so
+// mutants that happen to stay legal are useful inputs too.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "hbm/timing.hpp"
+#include "verify/command_stream.hpp"
+
+namespace rh::verify {
+
+struct GenConfig {
+  hbm::TimingParams timings{};
+  std::uint32_t banks = 8;
+  std::uint32_t rows = 64;
+  std::uint32_t cols = 32;
+  std::size_t max_cmds = 48;
+  /// Oracle rule ignored during generation and comparison (planted bug).
+  std::string disabled_rule;
+};
+
+/// Generates one valid-by-construction stream with strictly increasing
+/// cycles. With a disabled_rule set, "valid" means valid per the *planted*
+/// oracle — the production checker may legitimately object.
+[[nodiscard]] CommandStream generate_valid(common::Xoshiro256& rng, const GenConfig& cfg);
+
+enum class MutationKind : std::uint8_t { kTighten, kDupAct, kDropPre, kRetargetBank, kEarlyRef };
+
+[[nodiscard]] std::string_view to_string(MutationKind kind);
+
+/// Applies one random mutation in place. Returns the operator applied, or
+/// nullopt when no operator had an applicable site (tiny streams).
+[[nodiscard]] std::optional<MutationKind> mutate_stream(common::Xoshiro256& rng, CommandStream& s,
+                                                        const GenConfig& cfg);
+
+}  // namespace rh::verify

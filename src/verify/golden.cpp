@@ -1,0 +1,96 @@
+#include "verify/golden.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rh::verify {
+
+namespace {
+
+[[nodiscard]] const char* kind_name(campaign::JsonValue::Kind kind) {
+  using Kind = campaign::JsonValue::Kind;
+  switch (kind) {
+    case Kind::kNull: return "null";
+    case Kind::kBool: return "bool";
+    case Kind::kNumber: return "number";
+    case Kind::kString: return "string";
+    case Kind::kArray: return "array";
+    case Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+void shape_node(const campaign::JsonValue& value, const std::string& path,
+                std::vector<std::string>& out) {
+  out.push_back((path.empty() ? "/" : path) + " " + kind_name(value.kind));
+  if (value.kind == campaign::JsonValue::Kind::kObject) {
+    for (const auto& [key, member] : value.members) shape_node(member, path + "/" + key, out);
+  } else if (value.kind == campaign::JsonValue::Kind::kArray && !value.items.empty()) {
+    // Arrays are homogeneous in all our schemas; the first element stands
+    // in for the element shape.
+    shape_node(value.items.front(), path + "/[]", out);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> json_shape(const campaign::JsonValue& value) {
+  std::vector<std::string> out;
+  shape_node(value, "", out);
+  return out;
+}
+
+std::string shape_text(std::string_view json, const std::string& what) {
+  const auto value = campaign::parse_json(json, what);
+  std::string out;
+  for (const auto& line : json_shape(value)) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<std::string> check_golden(const std::string& golden_path,
+                                        const std::string& actual_shape) {
+  if (std::getenv("RH_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path);
+    if (!out) throw common::ConfigError("cannot write golden file: " + golden_path);
+    out << actual_shape;
+    return std::nullopt;
+  }
+
+  std::ifstream in(golden_path);
+  if (!in) {
+    return "golden file missing: " + golden_path +
+           " (run with RH_UPDATE_GOLDEN=1 to create it, then review and commit)";
+  }
+  std::ostringstream expected_stream;
+  expected_stream << in.rdbuf();
+  const std::string expected = expected_stream.str();
+  if (expected == actual_shape) return std::nullopt;
+
+  // Name the first divergent line so the failure reads as a schema diff.
+  std::istringstream exp(expected);
+  std::istringstream act(actual_shape);
+  std::string exp_line;
+  std::string act_line;
+  std::size_t lineno = 0;
+  while (true) {
+    ++lineno;
+    const bool has_exp = static_cast<bool>(std::getline(exp, exp_line));
+    const bool has_act = static_cast<bool>(std::getline(act, act_line));
+    if (!has_exp && !has_act) break;  // differ only in trailing bytes
+    if (!has_exp || !has_act || exp_line != act_line) {
+      return "schema drift vs " + golden_path + " at line " + std::to_string(lineno) +
+             ":\n  golden: " + (has_exp ? exp_line : "<end of file>") +
+             "\n  actual: " + (has_act ? act_line : "<end of file>") +
+             "\n(if intentional, regenerate with RH_UPDATE_GOLDEN=1 and review the diff)";
+    }
+  }
+  return "golden file differs in whitespace/trailing bytes: " + golden_path;
+}
+
+}  // namespace rh::verify

@@ -1,0 +1,40 @@
+// Golden-contract schema pinning.
+//
+// Consumers of our on-disk documents (scripts/check_perf.py, rh_report
+// --journal, external dashboards) bind to field *names, order, and types*
+// — not values. json_shape() reduces a document to exactly that: one
+// "<path> <kind>" line per node, member order preserved (the JSON reader
+// keeps it), array element shape taken from the first element under a
+// "[]" path segment. The shape of a schema is stable across seeds and
+// machines even though the values are not, so it can be committed as a
+// golden file and compared byte-for-byte.
+//
+// check_golden() compares an actual shape against the committed file and
+// renders a first-difference diff on mismatch. Setting RH_UPDATE_GOLDEN=1
+// in the environment rewrites the golden instead — the explicit
+// "yes, I am changing the schema on purpose" step.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/record_io.hpp"
+
+namespace rh::verify {
+
+/// One "<path> <kind>" line per JSON node, in document order.
+[[nodiscard]] std::vector<std::string> json_shape(const campaign::JsonValue& value);
+
+/// Parses `json` (error messages name `what`) and returns its shape as one
+/// newline-joined string with a trailing newline.
+[[nodiscard]] std::string shape_text(std::string_view json, const std::string& what);
+
+/// Compares `actual_shape` to the golden file. Returns nullopt on match;
+/// otherwise a diff naming the first divergent line. With RH_UPDATE_GOLDEN
+/// set, (re)writes the golden file and matches.
+[[nodiscard]] std::optional<std::string> check_golden(const std::string& golden_path,
+                                                      const std::string& actual_shape);
+
+}  // namespace rh::verify

@@ -1,0 +1,186 @@
+#include "verify/oracle.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace rh::verify {
+
+TimingOracle::TimingOracle(const hbm::TimingParams& timings, std::uint32_t banks,
+                           std::string disabled_rule)
+    : t_(timings), disabled_(std::move(disabled_rule)), banks_(banks) {
+  RH_EXPECTS(banks > 0);
+}
+
+void TimingOracle::reset() {
+  std::fill(banks_.begin(), banks_.end(), BankState{});
+  bus_ = BusState{};
+}
+
+std::uint32_t TimingOracle::group_of(std::uint32_t bank) const {
+  return t_.banks_per_group > 0 ? bank / t_.banks_per_group : 0;
+}
+
+void TimingOracle::gates_for(const Command& c, std::vector<Gate>& out) const {
+  out.clear();
+  const auto timing = [&](const char* tag, bool enabled, hbm::Cycle not_before) {
+    out.push_back({Verdict::Kind::kTiming, tag, enabled, not_before});
+  };
+  const auto protocol = [&](const char* tag, bool violated) {
+    out.push_back({Verdict::Kind::kProtocol, tag, violated, 0});
+  };
+  const auto refreshing = [&] { timing("tRFC", bus_.ref_done > 0, bus_.ref_done); };
+  const BankState& bank = banks_[c.bank];
+
+  switch (c.op) {
+    case Op::kAct: {
+      refreshing();
+      timing("tRRD", bus_.ever_act, bus_.last_act + t_.tRRD);
+      const std::uint32_t g = group_of(c.bank);
+      const bool group_seen = g < bus_.group_ever_act.size() && bus_.group_ever_act[g];
+      timing("tRRD_L", group_seen, group_seen ? bus_.group_last_act[g] + t_.tRRD_L : 0);
+      const bool faw_full = bus_.faw_count >= 4;
+      timing("tFAW", faw_full, faw_full ? bus_.faw[bus_.faw_count % 4] + t_.tFAW : 0);
+      protocol("act-open", bank.open);
+      timing("tRC", bank.ever_act, bank.last_act + t_.tRC);
+      timing("tRP", bank.ever_pre, bank.last_pre + t_.tRP);
+      break;
+    }
+    case Op::kPre: {
+      refreshing();
+      protocol("pre-closed", !bank.open);
+      timing("tRAS", bank.ever_act, bank.last_act + t_.tRAS);
+      timing("tWR", bank.ever_wr, bank.last_wr + t_.tWR);
+      timing("tRTP", bank.ever_rd, bank.last_rd + t_.tRTP);
+      break;
+    }
+    case Op::kPreAll: {
+      refreshing();
+      for (const auto& b : banks_) {
+        if (!b.open) continue;
+        timing("tRAS", b.ever_act, b.last_act + t_.tRAS);
+        timing("tWR", b.ever_wr, b.last_wr + t_.tWR);
+        timing("tRTP", b.ever_rd, b.last_rd + t_.tRTP);
+      }
+      break;
+    }
+    case Op::kRead: {
+      refreshing();
+      timing("tCCD", bus_.ever_col, bus_.last_col + t_.tCCD);
+      timing("tWTR", bus_.ever_wr, bus_.last_wr + t_.tWTR);
+      protocol("rd-closed", !bank.open);
+      timing("tRCD", bank.ever_act, bank.last_act + t_.tRCD);
+      break;
+    }
+    case Op::kWrite: {
+      refreshing();
+      timing("tCCD", bus_.ever_col, bus_.last_col + t_.tCCD);
+      protocol("wr-closed", !bank.open);
+      timing("tRCD", bank.ever_act, bank.last_act + t_.tRCD);
+      break;
+    }
+    case Op::kRef: {
+      bool any_open = false;
+      for (const auto& b : banks_) any_open = any_open || b.open;
+      protocol("ref-open", any_open);
+      refreshing();
+      break;
+    }
+  }
+}
+
+Verdict TimingOracle::check(const Command& c) const {
+  RH_EXPECTS(c.bank < banks_.size());
+  std::vector<Gate> gates;
+  gates_for(c, gates);
+  for (const auto& g : gates) {
+    if (!g.enabled || g.tag == disabled_) continue;
+    if (g.kind == Verdict::Kind::kProtocol) return protocol_verdict(g.tag);
+    if (c.cycle < g.not_before) return timing_verdict(g.tag);
+  }
+  return ok_verdict();
+}
+
+Verdict TimingOracle::step(const Command& c) {
+  Verdict v = check(c);
+  if (v.ok()) apply(c);
+  return v;
+}
+
+hbm::Cycle TimingOracle::earliest_legal(Op op, std::uint32_t bank) const {
+  RH_EXPECTS(bank < banks_.size());
+  std::vector<Gate> gates;
+  gates_for({0, op, bank, 0}, gates);
+  hbm::Cycle earliest = 0;
+  for (const auto& g : gates) {
+    if (g.kind != Verdict::Kind::kTiming || !g.enabled || g.tag == disabled_) continue;
+    earliest = std::max(earliest, g.not_before);
+  }
+  return earliest;
+}
+
+bool TimingOracle::protocol_ok(Op op, std::uint32_t bank) const {
+  RH_EXPECTS(bank < banks_.size());
+  std::vector<Gate> gates;
+  gates_for({0, op, bank, 0}, gates);
+  for (const auto& g : gates) {
+    if (g.kind == Verdict::Kind::kProtocol && g.enabled) return false;
+  }
+  return true;
+}
+
+void TimingOracle::apply(const Command& c) {
+  BankState& bank = banks_[c.bank];
+  switch (c.op) {
+    case Op::kAct: {
+      bus_.last_act = c.cycle;
+      bus_.ever_act = true;
+      const std::uint32_t g = group_of(c.bank);
+      if (g >= bus_.group_ever_act.size()) {
+        bus_.group_ever_act.resize(g + 1, false);
+        bus_.group_last_act.resize(g + 1, 0);
+      }
+      bus_.group_ever_act[g] = true;
+      bus_.group_last_act[g] = c.cycle;
+      bus_.faw[bus_.faw_count % 4] = c.cycle;
+      ++bus_.faw_count;
+      bank.open = true;
+      bank.open_row = c.arg;
+      bank.last_act = c.cycle;
+      bank.ever_act = true;
+      break;
+    }
+    case Op::kPre:
+      bank.open = false;
+      bank.last_pre = c.cycle;
+      bank.ever_pre = true;
+      break;
+    case Op::kPreAll:
+      for (auto& b : banks_) {
+        if (!b.open) continue;
+        b.open = false;
+        b.last_pre = c.cycle;
+        b.ever_pre = true;
+      }
+      break;
+    case Op::kRead:
+      bus_.last_col = c.cycle;
+      bus_.ever_col = true;
+      bank.last_rd = c.cycle;
+      bank.ever_rd = true;
+      break;
+    case Op::kWrite:
+      bus_.last_col = c.cycle;
+      bus_.ever_col = true;
+      bus_.last_wr = c.cycle;
+      bus_.ever_wr = true;
+      bank.last_wr = c.cycle;
+      bank.ever_wr = true;
+      break;
+    case Op::kRef:
+      bus_.ref_done = c.cycle + t_.tRFC;
+      break;
+  }
+}
+
+}  // namespace rh::verify

@@ -1,0 +1,110 @@
+// The independent JEDEC timing oracle.
+//
+// A second, table-driven implementation of the inter-command timing rules,
+// written against the rule definitions (JESD235-class scopes) rather than
+// against hbm::TimingChecker's code, so the two can disagree. For every
+// command the oracle builds an ordered table of *gates* — per-rule
+// (enabled, not-before-cycle) entries plus protocol-state entries — and
+// the first violated gate is the verdict. The gate order is the documented
+// check-order contract both implementations follow (see DESIGN.md §11):
+//
+//   ACT   tRFC  tRRD  tRRD_L  tFAW  [act-open]  tRC  tRP
+//   PRE   tRFC  [pre-closed]  tRAS  tWR  tRTP
+//   PREA  tRFC  then per *open* bank in index order: tRAS tWR tRTP
+//   RD    tRFC  tCCD  tWTR  [rd-closed]  tRCD
+//   WR    tRFC  tCCD  [wr-closed]  tRCD
+//   REF   [ref-open]  tRFC
+//
+// tREFI is a scheduling cadence, not a prohibition — neither implementation
+// rejects late refreshes; the generator issues REF at roughly that cadence
+// instead.
+//
+// A single rule can be disabled by name (`disabled_rule`). That is the
+// harness's planted-bug mode: with, say, tFAW ignored, generated streams
+// stop respecting it, the production checker objects, and the differential
+// loop must catch and shrink the disagreement — proving the harness would
+// notice a real rule regression.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hbm/timing.hpp"
+#include "verify/command_stream.hpp"
+#include "verify/verdict.hpp"
+
+namespace rh::verify {
+
+class TimingOracle {
+public:
+  TimingOracle(const hbm::TimingParams& timings, std::uint32_t banks,
+               std::string disabled_rule = {});
+
+  /// Verdict for issuing `c` in the current state. Does not mutate state.
+  [[nodiscard]] Verdict check(const Command& c) const;
+
+  /// check(), then applies the command's state transition when legal.
+  /// State is untouched on a violation (stop-at-first-violation replay).
+  Verdict step(const Command& c);
+
+  /// Earliest cycle at which (op, bank) clears every enabled timing gate.
+  /// Protocol feasibility is a separate question — see protocol_ok().
+  [[nodiscard]] hbm::Cycle earliest_legal(Op op, std::uint32_t bank) const;
+
+  /// True if (op, bank) is legal protocol-wise (open/closed row state).
+  [[nodiscard]] bool protocol_ok(Op op, std::uint32_t bank) const;
+
+  [[nodiscard]] bool bank_open(std::uint32_t bank) const { return banks_[bank].open; }
+  [[nodiscard]] std::uint32_t bank_count() const { return static_cast<std::uint32_t>(banks_.size()); }
+
+  void reset();
+
+private:
+  struct Gate {
+    Verdict::Kind kind = Verdict::Kind::kTiming;
+    const char* tag = "";
+    bool enabled = false;          ///< rule applies given history / row state
+    hbm::Cycle not_before = 0;     ///< timing gates only
+  };
+
+  struct BankState {
+    bool open = false;
+    std::uint32_t open_row = 0;
+    hbm::Cycle last_act = 0;
+    hbm::Cycle last_pre = 0;
+    hbm::Cycle last_rd = 0;
+    hbm::Cycle last_wr = 0;
+    bool ever_act = false;
+    bool ever_pre = false;
+    bool ever_rd = false;
+    bool ever_wr = false;
+  };
+
+  struct BusState {
+    hbm::Cycle last_act = 0;
+    hbm::Cycle last_col = 0;
+    hbm::Cycle last_wr = 0;
+    hbm::Cycle ref_done = 0;
+    bool ever_act = false;
+    bool ever_col = false;
+    bool ever_wr = false;
+    std::vector<hbm::Cycle> group_last_act;
+    std::vector<bool> group_ever_act;
+    std::array<hbm::Cycle, 4> faw{};
+    std::uint64_t faw_count = 0;
+  };
+
+  /// Builds the ordered gate table for `c` into `out`.
+  void gates_for(const Command& c, std::vector<Gate>& out) const;
+  void apply(const Command& c);
+  [[nodiscard]] std::uint32_t group_of(std::uint32_t bank) const;
+
+  hbm::TimingParams t_;
+  std::string disabled_;
+  std::vector<BankState> banks_;
+  BusState bus_;
+};
+
+}  // namespace rh::verify

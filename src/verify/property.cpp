@@ -1,0 +1,39 @@
+#include "verify/property.hpp"
+
+#include <ostream>
+
+namespace rh::verify {
+
+PropertyOutcome Property::run(std::uint64_t seed, std::size_t cases) const {
+  PropertyOutcome outcome;
+  outcome.name = name_;
+  outcome.cases = cases;
+  for (std::size_t i = 0; i < cases; ++i) {
+    common::Xoshiro256 rng(common::hash_coords(seed, i));
+    if (auto counterexample = body_(rng)) {
+      outcome.passed = false;
+      outcome.failing_case = i;
+      outcome.counterexample = std::move(*counterexample);
+      break;
+    }
+  }
+  return outcome;
+}
+
+bool check_properties(const std::vector<Property>& properties, std::uint64_t seed,
+                      std::size_t cases, std::ostream& log) {
+  bool all_passed = true;
+  for (const auto& p : properties) {
+    const auto outcome = p.run(seed, cases);
+    if (outcome.passed) {
+      log << "PASS " << outcome.name << " (" << outcome.cases << " cases)\n";
+    } else {
+      all_passed = false;
+      log << "FAIL " << outcome.name << " case " << outcome.failing_case << ": "
+          << outcome.counterexample << '\n';
+    }
+  }
+  return all_passed;
+}
+
+}  // namespace rh::verify

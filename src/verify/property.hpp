@@ -1,0 +1,57 @@
+// Reusable seeded properties with counterexample reporting.
+//
+// A Property is a named predicate run over N independently-seeded cases;
+// the body returns nullopt on success or a human-readable counterexample
+// string on failure. Case RNGs derive from hash_coords(seed, case_index),
+// so a failing case index is enough to reproduce it in isolation:
+//
+//   Property p("scramble round-trips", [](common::Xoshiro256& rng) {
+//     ... return std::optional<std::string>{} or "row 17: got 19";
+//   });
+//   auto outcome = p.run(seed, 500);
+//
+// The differential suites (oracle agreement, campaign identities, ECC and
+// scramble invariants) are all expressed this way so failures print a
+// uniform "<name> case <i>: <counterexample>" line.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rh::verify {
+
+struct PropertyOutcome {
+  std::string name;
+  std::size_t cases = 0;
+  bool passed = true;
+  std::size_t failing_case = 0;     ///< valid when !passed
+  std::string counterexample;       ///< valid when !passed
+};
+
+class Property {
+public:
+  using Body = std::function<std::optional<std::string>(common::Xoshiro256&)>;
+
+  Property(std::string name, Body body) : name_(std::move(name)), body_(std::move(body)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Runs `cases` seeded cases; stops at the first counterexample.
+  [[nodiscard]] PropertyOutcome run(std::uint64_t seed, std::size_t cases) const;
+
+private:
+  std::string name_;
+  Body body_;
+};
+
+/// Runs every property, logging one line each; false if any failed.
+bool check_properties(const std::vector<Property>& properties, std::uint64_t seed,
+                      std::size_t cases, std::ostream& log);
+
+}  // namespace rh::verify

@@ -1,0 +1,42 @@
+#include "verify/shrink.hpp"
+
+#include <algorithm>
+
+namespace rh::verify {
+
+namespace {
+
+[[nodiscard]] CommandStream without_range(const CommandStream& s, std::size_t start,
+                                          std::size_t count) {
+  CommandStream out;
+  out.reserve(s.size() - count);
+  out.insert(out.end(), s.begin(), s.begin() + static_cast<std::ptrdiff_t>(start));
+  out.insert(out.end(), s.begin() + static_cast<std::ptrdiff_t>(std::min(s.size(), start + count)),
+             s.end());
+  return out;
+}
+
+}  // namespace
+
+CommandStream shrink_stream(CommandStream failing, const FailPredicate& still_fails) {
+  std::size_t chunk = std::max<std::size_t>(1, failing.size() / 2);
+  while (true) {
+    bool reduced = false;
+    for (std::size_t start = 0; start < failing.size(); start += chunk) {
+      CommandStream candidate = without_range(failing, start, chunk);
+      if (candidate.empty()) continue;  // an empty stream cannot fail
+      if (still_fails(candidate)) {
+        failing = std::move(candidate);
+        reduced = true;
+        // Restart the sweep: indices shifted under us.
+        break;
+      }
+    }
+    if (reduced) continue;
+    if (chunk == 1) break;
+    chunk = std::max<std::size_t>(1, chunk / 2);
+  }
+  return failing;
+}
+
+}  // namespace rh::verify

@@ -1,0 +1,21 @@
+// Greedy delta-debugging (ddmin-style) shrinking of failing command
+// streams: repeatedly try removing chunks, keep any removal that still
+// fails the predicate, and halve the chunk size until single-command
+// granularity is exhausted. Deterministic — no randomness — so the same
+// failing input always shrinks to the same minimal repro.
+#pragma once
+
+#include <functional>
+
+#include "verify/command_stream.hpp"
+
+namespace rh::verify {
+
+/// Returns true when the (candidate) stream still exhibits the failure.
+using FailPredicate = std::function<bool(const CommandStream&)>;
+
+/// Shrinks `failing` (which must satisfy the predicate) to a locally
+/// minimal subsequence that still does.
+[[nodiscard]] CommandStream shrink_stream(CommandStream failing, const FailPredicate& still_fails);
+
+}  // namespace rh::verify

@@ -1,0 +1,50 @@
+// The unit of agreement between the production timing checkers and the
+// independent JEDEC oracle: every replayed command gets exactly one
+// Verdict, and the differential harness requires the two implementations
+// to agree verdict-for-verdict — same outcome kind *and* same rule.
+//
+// Timing verdicts carry the rule name ("tRC", "tFAW", ...); protocol
+// verdicts carry a stable tag ("act-open", "ref-open", ...) so the
+// comparison does not depend on exact exception wording.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace rh::verify {
+
+struct Verdict {
+  enum class Kind : std::uint8_t { kOk, kTiming, kProtocol };
+
+  Kind kind = Kind::kOk;
+  std::string rule;  ///< timing rule name or protocol tag; empty for ok
+
+  [[nodiscard]] bool ok() const { return kind == Kind::kOk; }
+
+  friend bool operator==(const Verdict& a, const Verdict& b) {
+    return a.kind == b.kind && a.rule == b.rule;
+  }
+  friend bool operator!=(const Verdict& a, const Verdict& b) { return !(a == b); }
+};
+
+[[nodiscard]] inline Verdict ok_verdict() { return {}; }
+
+[[nodiscard]] inline Verdict timing_verdict(std::string rule) {
+  return {Verdict::Kind::kTiming, std::move(rule)};
+}
+
+[[nodiscard]] inline Verdict protocol_verdict(std::string tag) {
+  return {Verdict::Kind::kProtocol, std::move(tag)};
+}
+
+[[nodiscard]] inline std::string to_string(const Verdict& v) {
+  switch (v.kind) {
+    case Verdict::Kind::kOk: return "ok";
+    case Verdict::Kind::kTiming: return "timing:" + v.rule;
+    case Verdict::Kind::kProtocol: return "protocol:" + v.rule;
+  }
+  return "?";
+}
+
+}  // namespace rh::verify

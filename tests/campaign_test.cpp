@@ -279,5 +279,105 @@ TEST(JournalTest, HeaderMismatchNamesTheField) {
   EXPECT_THROW(reader.require_matches(wrong_count), common::ConfigError);
 }
 
+// Adversarial journals for JournalReader::outcomes(): real kill/retry
+// interleavings produce duplicate completions, failure-then-success for the
+// same shard, and annotation-free lines — the reader must keep the full
+// per-line history (report fodder) while shards() deduplicates.
+
+core::RowRecord minimal_record(std::uint32_t row) {
+  core::RowRecord record;
+  record.site = {0, 0, 1};
+  record.physical_row = row;
+  return record;
+}
+
+TEST(JournalTest, OutcomesKeepDuplicateCompletionsButShardsLastWins) {
+  // A shard journaled twice (kill after fsync, resume re-ran it): outcomes()
+  // reports both lines in file order; shards() keeps only the last.
+  const TempPath path("campaign_test_dup.jsonl");
+  {
+    JournalWriter writer(path.str(), JournalHeader{1, 2, 4});
+    writer.append_shard(5, {minimal_record(10)}, 100.0, 1);
+    writer.append_shard(5, {minimal_record(10), minimal_record(11)}, 250.0, 2);
+  }
+  JournalReader reader(path.str());
+  ASSERT_EQ(reader.outcomes().size(), 2u);
+  EXPECT_EQ(reader.outcomes()[0].shard, 5u);
+  EXPECT_EQ(reader.outcomes()[0].records, 1u);
+  EXPECT_EQ(reader.outcomes()[1].records, 2u);
+  EXPECT_EQ(reader.outcomes()[1].attempts, 2u);
+  ASSERT_EQ(reader.shards().size(), 1u);
+  EXPECT_EQ(reader.shards().at(5).size(), 2u) << "last completion must win";
+  EXPECT_EQ(reader.shards().at(5)[1].physical_row, 11u);
+}
+
+TEST(JournalTest, FailureThenSuccessForTheSameShard) {
+  // Retry exhausted on one rig, then a resume completed the shard: the
+  // failure line stays in the history but must not mask the completion.
+  const TempPath path("campaign_test_fail_then_ok.jsonl");
+  {
+    JournalWriter writer(path.str(), JournalHeader{1, 2, 4});
+    writer.append_failure(3, 2, "transport: injected timeout");
+    writer.append_shard(3, {minimal_record(7)}, 90.0, 1);
+  }
+  JournalReader reader(path.str());
+  ASSERT_EQ(reader.outcomes().size(), 2u);
+  EXPECT_FALSE(reader.outcomes()[0].ok);
+  EXPECT_EQ(reader.outcomes()[0].attempts, 2u);
+  EXPECT_EQ(reader.outcomes()[0].error, "transport: injected timeout");
+  EXPECT_EQ(reader.outcomes()[0].records, 0u);
+  EXPECT_TRUE(reader.outcomes()[1].ok);
+  ASSERT_EQ(reader.shards().count(3), 1u) << "failure line must not mask the completion";
+  EXPECT_EQ(reader.shards().at(3)[0].physical_row, 7u);
+}
+
+TEST(JournalTest, SuccessThenFailureStillCountsAsCompleted) {
+  // The reverse interleaving (completion journaled, a later rig failed on a
+  // stale re-run): the shard stays completed — resume must not re-run it.
+  const TempPath path("campaign_test_ok_then_fail.jsonl");
+  {
+    JournalWriter writer(path.str(), JournalHeader{1, 2, 4});
+    writer.append_shard(6, {minimal_record(9)});
+    writer.append_failure(6, 1, "late failure");
+  }
+  JournalReader reader(path.str());
+  ASSERT_EQ(reader.outcomes().size(), 2u);
+  EXPECT_EQ(reader.shards().count(6), 1u);
+}
+
+TEST(JournalTest, MissingOptionalAnnotationsParseWithDefaults) {
+  // Pre-annotation journals carry no attempts/wall_ms; hand-build one line
+  // per optional-field combination and check the documented defaults.
+  const TempPath path("campaign_test_optional.jsonl");
+  {
+    JournalWriter writer(path.str(), JournalHeader{1, 2, 4});
+    writer.append_shard(0, {minimal_record(1)});           // no annotations
+    writer.append_shard(1, {minimal_record(2)}, 42.5, 3);  // both annotations
+  }
+  JournalReader reader(path.str());
+  ASSERT_EQ(reader.outcomes().size(), 2u);
+  EXPECT_EQ(reader.outcomes()[0].attempts, 1u);
+  EXPECT_LT(reader.outcomes()[0].wall_ms, 0.0) << "absent wall_ms reads back negative";
+  EXPECT_EQ(reader.outcomes()[1].attempts, 3u);
+  EXPECT_EQ(reader.outcomes()[1].wall_ms, 42.5);
+}
+
+TEST(JournalTest, OutcomesIgnoreTornTrailingLineButKeepIntactPrefix) {
+  const TempPath path("campaign_test_torn.jsonl");
+  {
+    JournalWriter writer(path.str(), JournalHeader{1, 2, 4});
+    writer.append_shard(0, {minimal_record(1)}, 10.0, 1);
+  }
+  const std::uint64_t intact = JournalReader(path.str()).intact_bytes();
+  {
+    std::ofstream out(path.str(), std::ios::app);
+    out << "{\"shard\":1,\"records\":[{\"ch\"";  // the kill mid-write
+  }
+  JournalReader reader(path.str());
+  ASSERT_EQ(reader.outcomes().size(), 1u);
+  EXPECT_EQ(reader.outcomes()[0].shard, 0u);
+  EXPECT_EQ(reader.intact_bytes(), intact) << "torn tail must not extend the intact prefix";
+}
+
 }  // namespace
 }  // namespace rh::campaign

@@ -1,0 +1,75 @@
+// Replays every committed .rhcs stream in tests/corpus/ through both the
+// independent oracle and the production checker: the two must agree
+// verdict-for-verdict, and any `! expect` directive must hold. The corpus
+// is where rh_fuzz repros and hand-picked boundary streams live, so a
+// timing-rule regression fails here with the exact file naming the rule.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "verify/checker_replay.hpp"
+#include "verify/command_stream.hpp"
+#include "verify/differential.hpp"
+
+#ifndef RH_CORPUS_DIR
+#error "RH_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace rh::verify {
+namespace {
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(RH_CORPUS_DIR)) {
+    if (entry.path().extension() == ".rhcs") paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+TEST(CorpusReplay, CorpusIsSeeded) {
+  // The corpus ships with ~14 hand-picked boundary streams plus the shrunk
+  // sentinel repros; an empty directory means the test is not testing.
+  EXPECT_GE(corpus_files().size(), 10u);
+}
+
+TEST(CorpusReplay, EveryStreamAgreesAndMeetsItsExpectation) {
+  for (const std::string& path : corpus_files()) {
+    SCOPED_TRACE(path);
+    const StreamFile file = load_stream_file(path);
+    ASSERT_FALSE(file.commands.empty());
+
+    const auto disagreement = compare_stream(file.commands, file.timings, file.banks);
+    ASSERT_FALSE(disagreement.has_value())
+        << "oracle=" << to_string(disagreement->oracle)
+        << " checker=" << to_string(disagreement->checker) << " at index " << disagreement->index;
+
+    if (!file.expect.has_value()) continue;
+    const auto verdicts = replay_checker(file.commands, file.timings, file.banks);
+    ASSERT_FALSE(verdicts.empty());
+    if (file.expect->verdict.ok()) {
+      ASSERT_EQ(verdicts.size(), file.commands.size());
+      EXPECT_TRUE(verdicts.back().ok()) << "expected a clean stream, got "
+                                        << to_string(verdicts.back());
+    } else {
+      ASSERT_EQ(verdicts.size(), file.expect->index + 1)
+          << "expected the stream to stop at index " << file.expect->index;
+      EXPECT_EQ(verdicts.back(), file.expect->verdict);
+    }
+  }
+}
+
+TEST(CorpusReplay, EveryStreamCarriesAnExpectation) {
+  // A corpus file without `! expect` still checks agreement but pins no
+  // behaviour; require the directive so regressions flip a named verdict.
+  for (const std::string& path : corpus_files()) {
+    SCOPED_TRACE(path);
+    EXPECT_TRUE(load_stream_file(path).expect.has_value());
+  }
+}
+
+}  // namespace
+}  // namespace rh::verify

@@ -1,0 +1,141 @@
+// Golden-contract tests: pin the *shape* (field names, order, types) of
+// every on-disk document schema against committed golden files under
+// tests/golden/. Values vary by seed and machine; shapes must not change
+// without review. To accept an intentional schema change, rerun with
+// RH_UPDATE_GOLDEN=1 and commit the regenerated .shape files.
+#include "verify/golden.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "campaign/journal.hpp"
+#include "profiling/report.hpp"
+#include "telemetry/metrics.hpp"
+
+#ifndef RH_GOLDEN_DIR
+#error "RH_GOLDEN_DIR must point at the committed golden shape files"
+#endif
+
+namespace rh::verify {
+namespace {
+
+std::string golden(const std::string& name) { return std::string(RH_GOLDEN_DIR) + "/" + name; }
+
+/// A canonical populated report: every optional branch of the writers has
+/// content (shard timings, metrics in all three groups, trace counts), so
+/// the shape covers the full schema, not a degenerate empty document.
+profiling::RunReport canonical_report() {
+  profiling::RunReport report;
+  report.campaign = "golden";
+  report.seed = 7;
+  report.jobs = 2;
+  report.shards_total = 4;
+  report.shards_done = 3;
+  report.shards_skipped = 1;
+  report.shards_retried = 1;
+  report.records = 96;
+  report.elapsed_wall_ms = 1234.5;
+  report.profile.record(profiling::Phase::kExecute, 50000, 800.0, 3);
+  report.profile.record(profiling::Phase::kShardRun, 48000, 700.0, 3);
+  report.timings.push_back({0, 16000, 250.0, 1});
+  report.timings.push_back({2, 16000, 300.0, 2});
+  telemetry::MetricsRegistry registry;
+  registry.counter("cmd.act").add(100);
+  registry.gauge("thermal.temp_c").set(85.0);
+  registry.histogram("shard.wall_ms", 0.0, 1000.0, 8).observe(250.0);
+  report.metrics = registry.snapshot();
+  report.trace = {10, 8, 2};
+  return report;
+}
+
+TEST(GoldenContract, RunReportSchemaV1) {
+  std::ostringstream os;
+  profiling::write_report_json(os, canonical_report(), /*include_wall=*/true);
+  const auto diff = check_golden(golden("run_report_v1.shape"),
+                                 shape_text(os.str(), "rh-run-report/v1"));
+  EXPECT_FALSE(diff.has_value()) << *diff;
+}
+
+TEST(GoldenContract, RunReportDeterministicProjection) {
+  // The include_wall=false projection is its own contract: the determinism
+  // tests byte-compare it, so silently gaining a wall-clock field would
+  // break them machine-dependently. Pin it separately.
+  std::ostringstream os;
+  profiling::write_report_json(os, canonical_report(), /*include_wall=*/false);
+  const auto diff = check_golden(golden("run_report_deterministic.shape"),
+                                 shape_text(os.str(), "rh-run-report deterministic projection"));
+  EXPECT_FALSE(diff.has_value()) << *diff;
+}
+
+TEST(GoldenContract, MetricsSnapshotJson) {
+  std::ostringstream os;
+  canonical_report().metrics.write_json(os);
+  const auto diff =
+      check_golden(golden("metrics_snapshot.shape"), shape_text(os.str(), "metrics snapshot"));
+  EXPECT_FALSE(diff.has_value()) << *diff;
+}
+
+TEST(GoldenContract, PerfBaselineSchemaV1) {
+  std::ostringstream os;
+  profiling::write_perf_baseline_json(os, canonical_report(), /*stride=*/2048);
+  const auto diff = check_golden(golden("perf_baseline_v1.shape"),
+                                 shape_text(os.str(), "rh-perf-baseline/v1"));
+  EXPECT_FALSE(diff.has_value()) << *diff;
+}
+
+TEST(GoldenContract, CheckpointJournalV1) {
+  // The journal is JSONL: pin the shape of each line kind — header,
+  // annotated completion, bare completion, failure — as one document each.
+  const std::string path = "golden_contract_journal.jsonl";
+  std::remove(path.c_str());
+  {
+    campaign::JournalWriter writer(path, campaign::JournalHeader{7, 0xabcdefu, 4});
+    core::RowRecord record;
+    record.site = {0, 1, 2};
+    record.physical_row = 17;
+    record.hc_first[0] = 4096;  // cover the non-null branch of hc_first
+    writer.append_shard(3, {record}, 812.5, 2);
+    writer.append_shard(1, {record});  // pre-annotation byte format
+    writer.append_failure(2, 3, "injected fault");
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  const char* kLabels[] = {"header", "shard-annotated", "shard-bare", "failure"};
+  std::string actual;
+  std::string line;
+  for (const char* label : kLabels) {
+    ASSERT_TRUE(std::getline(in, line)) << "journal is missing its " << label << " line";
+    actual += std::string("== ") + label + "\n" + shape_text(line, label);
+  }
+  std::remove(path.c_str());
+  const auto diff = check_golden(golden("checkpoint_journal_v1.shape"), actual);
+  EXPECT_FALSE(diff.has_value()) << *diff;
+}
+
+TEST(GoldenContract, MissingGoldenFileExplainsHowToCreateIt) {
+  if (std::getenv("RH_UPDATE_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "update mode would create the intentionally-missing file";
+  }
+  const auto diff = check_golden(golden("does_not_exist.shape"), "/ object\n");
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_NE(diff->find("RH_UPDATE_GOLDEN"), std::string::npos);
+}
+
+TEST(GoldenContract, ShapeDetectsFieldRenameAddRemoveAndReorder) {
+  const std::string base = shape_text(R"({"a":1,"b":"x","c":[{"d":true}]})", "base");
+  EXPECT_NE(base, shape_text(R"({"a":1,"b":"x","c":[{"e":true}]})", "rename"));
+  EXPECT_NE(base, shape_text(R"({"a":1,"b":"x","c":[{"d":true}],"z":0})", "add"));
+  EXPECT_NE(base, shape_text(R"({"a":1,"c":[{"d":true}]})", "remove"));
+  EXPECT_NE(base, shape_text(R"({"b":"x","a":1,"c":[{"d":true}]})", "reorder"));
+  EXPECT_NE(base, shape_text(R"({"a":"1","b":"x","c":[{"d":true}]})", "type-change"));
+  // Values alone never change the shape.
+  EXPECT_EQ(base, shape_text(R"({"a":99,"b":"y","c":[{"d":false}]})", "values"));
+}
+
+}  // namespace
+}  // namespace rh::verify

@@ -95,6 +95,54 @@ TEST_F(ChannelTimingTest, BackToBackActsAcrossBanksNeedTRrd) {
   channel_.on_activate(100 + t_.tRRD);
 }
 
+TEST_F(ChannelTimingTest, SameGroupActsNeedTRrdL) {
+  // Banks 0 and 1 share a bank group; with a widened tRRD_L the pair is
+  // gated by the long spacing even though tRRD (short) is satisfied.
+  t_.tRRD_L = t_.tRRD + 3;
+  channel_.on_activate(100, 0);
+  EXPECT_THROW(channel_.on_activate(100 + t_.tRRD_L - 1, 1), common::TimingError);
+  channel_.on_activate(100 + t_.tRRD_L, 1);
+}
+
+TEST_F(ChannelTimingTest, CrossGroupActsOnlyNeedTRrdShort) {
+  t_.tRRD_L = t_.tRRD + 3;
+  channel_.on_activate(100, 0);
+  channel_.on_activate(100 + t_.tRRD, t_.banks_per_group);  // different group
+}
+
+TEST_F(ChannelTimingTest, FifthActWaitsForTFaw) {
+  // Four ACTs at the tRRD floor; the fifth must clear tFAW from the first.
+  Cycle now = 100;
+  for (std::uint32_t i = 0; i < 4; ++i) channel_.on_activate(now + i * t_.tRRD, i);
+  EXPECT_THROW(channel_.on_activate(100 + t_.tFAW - 1, 4), common::TimingError);
+  channel_.on_activate(100 + t_.tFAW, 4);
+}
+
+TEST_F(ChannelTimingTest, FawWindowRollsForward) {
+  // Once the window slides, the fifth-and-later ACTs gate on the
+  // fourth-previous ACT, not the very first.
+  Cycle now = 100;
+  for (std::uint32_t i = 0; i < 4; ++i) channel_.on_activate(now + i * t_.tRRD, i % 2);
+  channel_.on_activate(100 + t_.tFAW, 0);
+  // Sixth ACT: window anchor is the second ACT (100 + tRRD).
+  EXPECT_THROW(channel_.on_activate(100 + t_.tRRD + t_.tFAW - 1, 1), common::TimingError);
+  channel_.on_activate(100 + t_.tRRD + t_.tFAW, 1);
+}
+
+TEST_F(ChannelTimingTest, WriteToReadTurnaroundNeedsTWtr) {
+  channel_.on_column(100, /*is_write=*/true);
+  EXPECT_THROW(channel_.on_column(100 + t_.tWTR - 1, /*is_write=*/false), common::TimingError);
+  channel_.on_column(100 + t_.tWTR, /*is_write=*/false);
+}
+
+TEST_F(ChannelTimingTest, WriteToWriteOnlyNeedsTCcd) {
+  channel_.on_column(100, /*is_write=*/true);
+  channel_.on_column(100 + t_.tCCD, /*is_write=*/true);
+  // A later read still honours tWTR from the most recent write.
+  EXPECT_THROW(channel_.on_column(100 + t_.tCCD + t_.tWTR - 1, /*is_write=*/false),
+               common::TimingError);
+}
+
 TEST_F(ChannelTimingTest, ColumnBusNeedsTCcd) {
   channel_.on_column(100);
   EXPECT_THROW(channel_.on_column(100 + t_.tCCD - 1), common::TimingError);

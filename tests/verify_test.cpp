@@ -1,0 +1,295 @@
+// The differential verification harness itself: oracle rule coverage,
+// stream parsing/round-trips, valid-by-construction generation, mutation,
+// shrinking, and the planted-bug sensitivity check that proves the
+// harness would catch a real timing-rule regression.
+#include "verify/differential.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "verify/checker_replay.hpp"
+#include "verify/generator.hpp"
+#include "verify/oracle.hpp"
+#include "verify/shrink.hpp"
+
+namespace rh::verify {
+namespace {
+
+const hbm::TimingParams kT = hbm::paper_timings();
+
+TEST(TimingOracle, LegalActPreActRoundTrip) {
+  TimingOracle oracle(kT, 4);
+  EXPECT_EQ(oracle.step({0, Op::kAct, 0, 5}), ok_verdict());
+  EXPECT_EQ(oracle.step({kT.tRAS, Op::kPre, 0, 0}), ok_verdict());
+  EXPECT_EQ(oracle.step({kT.tRAS + kT.tRP, Op::kAct, 0, 6}), ok_verdict());
+  EXPECT_TRUE(oracle.bank_open(0));
+}
+
+TEST(TimingOracle, ChecksRulesInContractOrder) {
+  // An ACT violating both tRC and tRP must report tRC (checked first).
+  TimingOracle oracle(kT, 4);
+  ASSERT_TRUE(oracle.step({0, Op::kAct, 0, 5}).ok());
+  ASSERT_TRUE(oracle.step({kT.tRAS, Op::kPre, 0, 0}).ok());
+  EXPECT_EQ(oracle.check({kT.tRC - 1, Op::kAct, 0, 6}), timing_verdict("tRC"));
+  // At exactly tRC, tRP (tRAS + tRP = 29 > tRC = 28) still blocks.
+  EXPECT_EQ(oracle.check({kT.tRC, Op::kAct, 0, 6}), timing_verdict("tRP"));
+}
+
+TEST(TimingOracle, EarliestLegalMatchesCheckBoundary) {
+  TimingOracle oracle(kT, 4);
+  ASSERT_TRUE(oracle.step({0, Op::kAct, 0, 5}).ok());
+  ASSERT_TRUE(oracle.step({kT.tRAS, Op::kPre, 0, 0}).ok());
+  const hbm::Cycle e = oracle.earliest_legal(Op::kAct, 0);
+  EXPECT_EQ(e, kT.tRAS + kT.tRP);
+  EXPECT_FALSE(oracle.check({e - 1, Op::kAct, 0, 6}).ok());
+  EXPECT_TRUE(oracle.check({e, Op::kAct, 0, 6}).ok());
+}
+
+TEST(TimingOracle, StepDoesNotMutateOnViolation) {
+  TimingOracle oracle(kT, 4);
+  ASSERT_TRUE(oracle.step({0, Op::kAct, 0, 5}).ok());
+  EXPECT_FALSE(oracle.step({1, Op::kAct, 1, 5}).ok());  // tRRD
+  // Had the illegal ACT been applied, bank 1 would be open.
+  EXPECT_FALSE(oracle.bank_open(1));
+  EXPECT_TRUE(oracle.step({kT.tRRD, Op::kAct, 1, 5}).ok());
+}
+
+TEST(TimingOracle, FawWindowAndDisableRule) {
+  TimingOracle strict(kT, 8);
+  TimingOracle planted(kT, 8, "tFAW");
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(strict.step({i * kT.tRRD, Op::kAct, i, 1}).ok());
+    ASSERT_TRUE(planted.step({i * kT.tRRD, Op::kAct, i, 1}).ok());
+  }
+  const Command fifth{kT.tFAW - 1, Op::kAct, 4, 1};
+  EXPECT_EQ(strict.check(fifth), timing_verdict("tFAW"));
+  EXPECT_EQ(planted.check(fifth), ok_verdict());
+  EXPECT_EQ(strict.earliest_legal(Op::kAct, 4), kT.tFAW);
+  EXPECT_LT(planted.earliest_legal(Op::kAct, 4), kT.tFAW);
+}
+
+TEST(TimingOracle, RefProtocolBeforeTrfc) {
+  TimingOracle oracle(kT, 2);
+  ASSERT_TRUE(oracle.step({0, Op::kRef, 0, 0}).ok());
+  ASSERT_TRUE(oracle.step({kT.tRFC, Op::kAct, 0, 3}).ok());
+  // A REF with an open bank inside the next tRFC window: protocol wins.
+  ASSERT_TRUE(oracle.step({kT.tRFC + kT.tRRD, Op::kRef, 0, 0}).kind ==
+              Verdict::Kind::kProtocol);
+}
+
+TEST(CheckerReplayTest, MessageExtraction) {
+  EXPECT_EQ(timing_rule("timing violation: tRC requires cycle >= 28, command issued at 3"), "tRC");
+  EXPECT_EQ(protocol_tag("ACT to a bank with an open row"), "act-open");
+  EXPECT_EQ(protocol_tag("REF with an open bank"), "ref-open");
+}
+
+TEST(StreamFormat, ParsesDirectivesAndCommands) {
+  const auto file = parse_stream("# comment\n"
+                                 "! banks 2\n"
+                                 "! timing tFAW 24\n"
+                                 "0 ACT 0 5\n"
+                                 "12 RD 0 3\n"
+                                 "40 PREA\n"
+                                 "200 REF\n"
+                                 "! expect timing tRAS 2\n",
+                                 "test");
+  EXPECT_EQ(file.banks, 2u);
+  EXPECT_EQ(file.timings.tFAW, 24u);
+  ASSERT_EQ(file.commands.size(), 4u);
+  EXPECT_EQ(file.commands[1].op, Op::kRead);
+  EXPECT_EQ(file.commands[1].arg, 3u);
+  ASSERT_TRUE(file.expect.has_value());
+  EXPECT_EQ(file.expect->verdict, timing_verdict("tRAS"));
+  EXPECT_EQ(file.expect->index, 2u);
+}
+
+TEST(StreamFormat, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_stream("0 BOGUS 1\n", "t"), common::ConfigError);
+  EXPECT_THROW((void)parse_stream("x ACT 0 1\n", "t"), common::ConfigError);
+  EXPECT_THROW((void)parse_stream("0 ACT 9 1\n! banks 4\n", "t"), common::ConfigError);
+  EXPECT_THROW((void)parse_stream("! timing tBOGUS 7\n", "t"), common::ConfigError);
+}
+
+TEST(StreamFormat, FileRoundTripsThroughFormatter) {
+  GenConfig cfg;
+  cfg.max_cmds = 24;
+  common::Xoshiro256 rng(11);
+  const CommandStream stream = generate_valid(rng, cfg);
+  hbm::TimingParams t = cfg.timings;
+  t.tFAW = 24;  // force a directive into the document
+  const std::string text = format_stream_file(stream, t, cfg.banks, {"round trip"});
+  const auto parsed = parse_stream(text, "round-trip");
+  EXPECT_EQ(parsed.banks, cfg.banks);
+  EXPECT_EQ(parsed.timings.tFAW, 24u);
+  ASSERT_EQ(parsed.commands.size(), stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(parsed.commands[i].cycle, stream[i].cycle);
+    EXPECT_EQ(parsed.commands[i].op, stream[i].op);
+    EXPECT_EQ(parsed.commands[i].bank, stream[i].bank);
+    EXPECT_EQ(parsed.commands[i].arg, stream[i].arg);
+  }
+}
+
+TEST(Generator, ValidByConstructionAgainstBothImplementations) {
+  GenConfig cfg;
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    common::Xoshiro256 rng(seed);
+    const CommandStream stream = generate_valid(rng, cfg);
+    ASSERT_EQ(stream.size(), cfg.max_cmds);
+    const auto oracle = replay_oracle(stream, cfg.timings, cfg.banks);
+    const auto checker = replay_checker(stream, cfg.timings, cfg.banks);
+    ASSERT_EQ(oracle.size(), stream.size()) << "oracle rejected its own stream, seed " << seed;
+    ASSERT_TRUE(oracle.back().ok());
+    ASSERT_EQ(checker.size(), stream.size()) << "checker rejected a valid stream, seed " << seed;
+    ASSERT_TRUE(checker.back().ok());
+  }
+}
+
+TEST(Generator, StrictlyIncreasingCycles) {
+  GenConfig cfg;
+  common::Xoshiro256 rng(5);
+  const CommandStream stream = generate_valid(rng, cfg);
+  for (std::size_t i = 1; i < stream.size(); ++i) {
+    ASSERT_GT(stream[i].cycle, stream[i - 1].cycle);
+  }
+}
+
+TEST(Generator, MutantsStillAgreeDifferentially) {
+  // Mutants usually violate some rule; the property under test is that
+  // both implementations say the same thing about every mutant.
+  GenConfig cfg;
+  std::size_t violating = 0;
+  for (std::uint64_t seed = 1000; seed < 1300; ++seed) {
+    common::Xoshiro256 rng(seed);
+    CommandStream stream = generate_valid(rng, cfg);
+    (void)mutate_stream(rng, stream, cfg);
+    const auto disagreement = compare_stream(stream, cfg.timings, cfg.banks);
+    ASSERT_FALSE(disagreement.has_value())
+        << "seed " << seed << ": oracle=" << to_string(disagreement->oracle)
+        << " checker=" << to_string(disagreement->checker) << " at " << disagreement->index;
+    const auto verdicts = replay_checker(stream, cfg.timings, cfg.banks);
+    if (!verdicts.empty() && !verdicts.back().ok()) ++violating;
+  }
+  EXPECT_GT(violating, 100u) << "mutators are not injecting violations";
+}
+
+TEST(Shrinker, ReducesToMinimalFailingSubsequence) {
+  // Predicate: stream contains >= 3 ACT commands. Minimal repro: exactly 3.
+  CommandStream stream;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    stream.push_back({i * 30, i % 3 == 0 ? Op::kAct : Op::kPre, 0, 0});
+  }
+  const auto shrunk = shrink_stream(stream, [](const CommandStream& s) {
+    std::size_t acts = 0;
+    for (const auto& c : s) acts += c.op == Op::kAct ? 1 : 0;
+    return acts >= 3;
+  });
+  EXPECT_EQ(shrunk.size(), 3u);
+  for (const auto& c : shrunk) EXPECT_EQ(c.op, Op::kAct);
+}
+
+TEST(FuzzLoop, PlantedBugIsCaughtAndShrunkToEightCommandsOrFewer) {
+  // Disable tFAW in the oracle: generation stops respecting it, the
+  // production checker objects, and the loop must notice and shrink.
+  FuzzConfig cfg;
+  cfg.seed = 3;
+  cfg.iters = 300;
+  cfg.disable_rule = "tFAW";
+  std::ostringstream log;
+  const FuzzStats stats = run_fuzz(cfg, log);
+  ASSERT_GT(stats.disagreements, 0u) << "planted tFAW bug went unnoticed:\n" << log.str();
+  for (const auto& repro : stats.repros) {
+    EXPECT_LE(repro.size(), 8u) << "shrunk repro still has " << repro.size() << " commands";
+    EXPECT_TRUE(compare_stream(repro, cfg.gen.timings, cfg.gen.banks, cfg.disable_rule))
+        << "shrunk repro no longer disagrees";
+  }
+}
+
+TEST(FuzzLoop, PlantedProtocolScopeBugsAreCaught) {
+  // Every other disable-able rule must also be fuzzable to a disagreement,
+  // proving coverage isn't tFAW-specific. tREFI is cadence-only; tRC and
+  // tRRD_L are shadowed by tRAS+tRP / tRRD at paper values, so they get
+  // their own widened-window tests below.
+  for (const char* rule : {"tRP", "tRAS", "tRCD", "tCCD", "tRRD", "tWTR", "tWR", "tRTP"}) {
+    FuzzConfig cfg;
+    cfg.seed = 17;
+    cfg.iters = 400;
+    cfg.shrink = false;  // detection only; keep the loop fast
+    cfg.disable_rule = rule;
+    std::ostringstream log;
+    const FuzzStats stats = run_fuzz(cfg, log);
+    EXPECT_GT(stats.disagreements, 0u) << "planted " << rule << " bug went unnoticed";
+  }
+}
+
+TEST(FuzzLoop, DisabledTrcWithDominantWindowIsCaught) {
+  // With paper timings tRAS + tRP = 29 > tRC = 28, so tRC never binds and
+  // disabling it is invisible — itself a fact this harness documents.
+  // Widen tRC past the PRE path to make the plant observable.
+  FuzzConfig cfg;
+  cfg.seed = 17;
+  cfg.iters = 300;
+  cfg.shrink = false;
+  cfg.disable_rule = "tRC";
+  cfg.gen.timings.tRC = cfg.gen.timings.tRAS + cfg.gen.timings.tRP + 8;
+  std::ostringstream log;
+  const FuzzStats stats = run_fuzz(cfg, log);
+  EXPECT_GT(stats.disagreements, 0u);
+}
+
+TEST(FuzzLoop, DisabledTrrdLongWithWidenedWindowIsCaught) {
+  FuzzConfig cfg;
+  cfg.seed = 29;
+  cfg.iters = 300;
+  cfg.shrink = false;
+  cfg.disable_rule = "tRRD_L";
+  cfg.gen.timings.tRRD_L = cfg.gen.timings.tRRD + 4;
+  std::ostringstream log;
+  const FuzzStats stats = run_fuzz(cfg, log);
+  EXPECT_GT(stats.disagreements, 0u);
+}
+
+TEST(FuzzLoop, LogIsDeterministicForAFixedSeed) {
+  FuzzConfig cfg;
+  cfg.seed = 99;
+  cfg.iters = 150;
+  std::ostringstream a;
+  std::ostringstream b;
+  (void)run_fuzz(cfg, a);
+  (void)run_fuzz(cfg, b);
+  EXPECT_FALSE(a.str().empty());
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(FuzzLoop, CleanRulesProduceZeroDisagreements) {
+  FuzzConfig cfg;
+  cfg.seed = 1234;
+  cfg.iters = 500;
+  std::ostringstream log;
+  const FuzzStats stats = run_fuzz(cfg, log);
+  EXPECT_EQ(stats.disagreements, 0u) << log.str();
+  EXPECT_GT(stats.violating, 100u);  // mutants genuinely exercise rules
+}
+
+TEST(Regression, Cycle0ColumnSentinelsAreGated) {
+  // Surfaced by the harness (tests/corpus/sentinel-*.rhcs): BankTiming
+  // used cycle!=0 sentinels for write-recovery/read-to-precharge history,
+  // so column commands at cycle 0 escaped tWR/tRTP.
+  hbm::TimingParams t = kT;
+  t.tRCD = 0;
+  t.tWR = 30;
+  const CommandStream stream = {
+      {0, Op::kAct, 0, 5},
+      {0, Op::kWrite, 0, 0},
+      {kT.tRAS, Op::kPre, 0, 0},
+  };
+  EXPECT_FALSE(compare_stream(stream, t, 1).has_value());
+  const auto verdicts = replay_checker(stream, t, 1);
+  ASSERT_EQ(verdicts.size(), 3u);
+  EXPECT_EQ(verdicts.back(), timing_verdict("tWR"));
+}
+
+}  // namespace
+}  // namespace rh::verify
