@@ -30,6 +30,12 @@
 //                       per opportunity; results stay byte-identical
 //   --fault-seed=N      fault-plan seed (independent of the device seed)
 //   --retry-attempts=N  per-host transport retry budget (RetryPolicy)
+//   --metrics-stream=PATH        live rh-metrics-stream/v1 JSONL (fsync'd per
+//                                sample; follow with tools/rh_tail)
+//   --stream-cycle-cadence=N     device cycles between per-worker samples
+//                                (default 2^24, deterministic series)
+//   --stream-wall-cadence-ms=F   wall ms between campaign-aggregate samples
+//                                (default 200)
 #pragma once
 
 #include <fstream>
@@ -153,6 +159,15 @@ public:
     std::cout << "(report written to " << report_path_ << ")\n";
   }
 
+  /// Hands the session a finished campaign's span forest (copied): the
+  /// --trace export then carries the campaign -> shard -> attempt -> phase
+  /// tree alongside the command slices. run_survey_campaign calls this.
+  void set_spans(const telemetry::SpanSheet& spans) {
+    spans_.clear();
+    spans_.merge_from(spans);
+    have_spans_ = true;
+  }
+
   /// Writes the requested artifacts and prints one status line per file.
   void finish() {
     if (!telemetry_) return;
@@ -165,10 +180,15 @@ public:
     if (!trace_path_.empty()) {
       std::ofstream out(trace_path_);
       if (!out) throw common::ConfigError("cannot open trace output file: " + trace_path_);
-      telemetry_->write_chrome_trace(out);
+      telemetry_->write_chrome_trace(out, have_spans_ ? &spans_ : nullptr);
       std::cout << "(trace written to " << trace_path_ << ")\n";
     }
     if (heatmap_) telemetry_->render_act_heatmap(std::cout);
+    if (const std::uint64_t dropped = telemetry_->trace_dropped_total(); dropped > 0) {
+      std::cerr << "warning: " << dropped << " command-trace events dropped (ring capacity "
+                << telemetry_->config().trace_capacity
+                << "); the telemetry.trace_dropped counter carries the total\n";
+    }
   }
 
 private:
@@ -188,6 +208,8 @@ private:
   std::string report_path_;
   bool heatmap_ = false;
   std::unique_ptr<telemetry::Telemetry> telemetry_;
+  telemetry::SpanSheet spans_;
+  bool have_spans_ = false;
 };
 
 /// Parses the shared campaign flags: --jobs=N, --checkpoint=PATH, --resume,
@@ -207,6 +229,12 @@ inline campaign::CampaignConfig campaign_config(const common::CliArgs& args) {
   config.fault_plan.seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 0x57084));
   config.retry_policy.max_attempts =
       static_cast<unsigned>(args.get_positive_int("retry-attempts", 4));
+  config.metrics_stream_path = args.get("metrics-stream", "");
+  config.stream_cycle_cadence = static_cast<std::uint64_t>(
+      args.get_positive_int("stream-cycle-cadence",
+                            static_cast<std::int64_t>(config.stream_cycle_cadence)));
+  config.stream_wall_cadence_ms =
+      args.get_positive_double("stream-wall-cadence-ms", config.stream_wall_cadence_ms);
   if (config.resume && config.checkpoint_path.empty()) {
     throw common::ConfigError("--resume requires --checkpoint=PATH");
   }
@@ -225,6 +253,7 @@ inline std::vector<core::RowRecord> run_survey_campaign(const common::CliArgs& a
   const campaign::SweepSpec spec = campaign::survey_sweep(paper_device_config(seed), survey);
   campaign::Campaign campaign(campaign_config(args), telem.sink());
   const campaign::CampaignResult result = campaign.run(spec);
+  telem.set_spans(campaign.spans());
   telem.write_report(label, spec, campaign, result);
   return result.flat();
 }

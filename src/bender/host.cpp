@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "resilience/crc32.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/stream.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace rh::bender {
@@ -84,6 +86,9 @@ void BenderHost::fault_detected(FaultKind kind, std::uint32_t channel,
   RH_TELEM(telemetry_, metrics().counter("resilience.detected").add());
   RH_TELEM(telemetry_, on_command(telemetry::TraceCommand::kFault, now_, channel,
                                   pseudo_channel, 0, 0, static_cast<std::uint32_t>(kind)));
+  if (span_ctx_ != nullptr) {
+    span_ctx_->mark(telemetry::SpanKind::kFault, now_, static_cast<std::uint32_t>(kind));
+  }
 }
 
 void BenderHost::fault_recovered(FaultKind kind, std::uint32_t channel,
@@ -96,6 +101,9 @@ void BenderHost::fault_recovered(FaultKind kind, std::uint32_t channel,
   RH_TELEM(telemetry_, metrics().counter("resilience.recovered").add());
   RH_TELEM(telemetry_, on_command(telemetry::TraceCommand::kRecovery, now_, channel,
                                   pseudo_channel, 0, 0, static_cast<std::uint32_t>(kind)));
+  if (span_ctx_ != nullptr) {
+    span_ctx_->mark(telemetry::SpanKind::kRecovery, now_, static_cast<std::uint32_t>(kind));
+  }
 }
 
 void BenderHost::fault_aborted(FaultKind kind, std::uint32_t channel,
@@ -105,6 +113,9 @@ void BenderHost::fault_aborted(FaultKind kind, std::uint32_t channel,
   RH_TELEM(telemetry_, metrics().counter("resilience.aborted").add());
   RH_TELEM(telemetry_, on_command(telemetry::TraceCommand::kRecovery, now_, channel,
                                   pseudo_channel, 0, 0, static_cast<std::uint32_t>(kind)));
+  if (span_ctx_ != nullptr) {
+    span_ctx_->mark(telemetry::SpanKind::kRecovery, now_, static_cast<std::uint32_t>(kind));
+  }
 }
 
 void BenderHost::charge_backoff(std::uint64_t op, unsigned attempt) {
@@ -184,16 +195,22 @@ ExecutionResult BenderHost::run(const Program& program, std::uint32_t channel,
     // the execute phase reuses RunMetrics instead of a second clock pair.
     {
       const profiling::PhaseTimer timer(profile_, profiling::Phase::kUpload);
+      const telemetry::SpanScope span(span_ctx_, telemetry::SpanKind::kUpload, &now_);
       link_.record_upload(upload);
     }
+    std::uint64_t exec_span = 0;
+    if (span_ctx_ != nullptr) exec_span = span_ctx_->open(telemetry::SpanKind::kExecute, now_);
     ExecutionResult result = executor_.run(program, channel, pseudo_channel, now_);
     now_ = result.end_cycle;
+    if (span_ctx_ != nullptr) span_ctx_->close(exec_span, now_);
     profile_.record(profiling::Phase::kExecute, result.cycles(),
                     result.metrics.host_seconds * 1e3);
     if (!result.readback.empty()) {
       const profiling::PhaseTimer timer(profile_, profiling::Phase::kDrain);
+      const telemetry::SpanScope span(span_ctx_, telemetry::SpanKind::kDrain, &now_);
       link_.record_download(result.readback.size());
     }
+    if (sampler_ != nullptr) sampler_->sample_if_due(now_);
     return result;
   }
 
@@ -204,6 +221,7 @@ ExecutionResult BenderHost::run(const Program& program, std::uint32_t channel,
   for (unsigned run_attempt = 1;; ++run_attempt) {
     {
       const profiling::PhaseTimer timer(profile_, profiling::Phase::kUpload);
+      const telemetry::SpanScope span(span_ctx_, telemetry::SpanKind::kUpload, &now_);
       upload_with_retry(upload, op, channel, pseudo_channel);
     }
 
@@ -228,20 +246,30 @@ ExecutionResult BenderHost::run(const Program& program, std::uint32_t channel,
       continue;
     }
 
+    std::uint64_t exec_span = 0;
+    if (span_ctx_ != nullptr) exec_span = span_ctx_->open(telemetry::SpanKind::kExecute, now_);
     ExecutionResult result = executor_.run(program, channel, pseudo_channel, now_);
     now_ = result.end_cycle;
+    if (span_ctx_ != nullptr) span_ctx_->close(exec_span, now_);
     profile_.record(profiling::Phase::kExecute, result.cycles(),
                     result.metrics.host_seconds * 1e3);
-    if (result.readback.empty()) return result;
+    if (result.readback.empty()) {
+      if (sampler_ != nullptr) sampler_->sample_if_due(now_);
+      return result;
+    }
 
     // The executor's FIFO copy is authoritative; what faults is the wire
     // copy. A verified drain therefore returns the pristine readback.
     bool drained = false;
     {
       const profiling::PhaseTimer timer(profile_, profiling::Phase::kDrain);
+      const telemetry::SpanScope span(span_ctx_, telemetry::SpanKind::kDrain, &now_);
       drained = download_with_verify(result.readback, op, channel, pseudo_channel);
     }
-    if (drained) return result;
+    if (drained) {
+      if (sampler_ != nullptr) sampler_->sample_if_due(now_);
+      return result;
+    }
 
     // Drain budget exhausted. The last resort is a full re-run, and only
     // for programs that cannot change stored DRAM or mode state —
@@ -276,6 +304,7 @@ void BenderHost::enforce_temperature_guard(std::uint32_t channel,
   // Any re-settle consumes simulated time, so the thermal phase samples the
   // device clock alongside the wall clock.
   const profiling::PhaseTimer timer(profile_, profiling::Phase::kThermal, &now_);
+  const telemetry::SpanScope span(span_ctx_, telemetry::SpanKind::kThermal, &now_);
   // One thermal-fault opportunity per program launch.
   bool excursion = false;
   if (injector_->should_fire(FaultKind::kThermalExcursion)) {

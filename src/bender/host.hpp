@@ -33,6 +33,11 @@
 #include "resilience/fault.hpp"
 #include "resilience/retry.hpp"
 
+namespace rh::telemetry {
+class TraceContext;   // span.hpp — causal span tracing
+class MetricsSampler;  // stream.hpp — cycles-cadence metrics sampling
+}  // namespace rh::telemetry
+
 namespace rh::bender {
 
 /// Host-side recovery bookkeeping, one struct per host. All counts are
@@ -108,6 +113,19 @@ public:
     telemetry_ = sink;
   }
 
+  /// Attaches a causal span context (nullptr detaches): every program's
+  /// upload/execute/drain (and any thermal-guard settle) becomes a child
+  /// span of the context's innermost open span, and fault detections/
+  /// recoveries become marks. The campaign attaches a per-shard context
+  /// around each attempt; detached hosts pay one pointer test per phase.
+  void set_trace_context(telemetry::TraceContext* ctx) { span_ctx_ = ctx; }
+  [[nodiscard]] telemetry::TraceContext* trace_context() const { return span_ctx_; }
+
+  /// Attaches a cycles-cadence metrics sampler (nullptr detaches). The host
+  /// offers it a sampling opportunity after every program — the
+  /// deterministic sites the rh-metrics-stream cycles series is built from.
+  void set_cycle_sampler(telemetry::MetricsSampler* sampler) { sampler_ = sampler; }
+
   [[nodiscard]] const HostResilienceStats& resilience_stats() const { return stats_; }
 
   /// Host-level phase profile: upload / execute / drain / recover / thermal
@@ -167,6 +185,8 @@ private:
   resilience::RetryPolicy policy_;
   profiling::Profile profile_;
   telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::TraceContext* span_ctx_ = nullptr;
+  telemetry::MetricsSampler* sampler_ = nullptr;
   TemperatureGuard guard_;
   double guard_band_c_ = 1.0;
   HostResilienceStats stats_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <iostream>
 #include <mutex>
 #include <thread>
@@ -13,6 +14,7 @@
 #include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "core/row_map.hpp"
+#include "telemetry/stream.hpp"
 
 namespace rh::campaign {
 
@@ -84,6 +86,15 @@ double ms_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Live status of one worker slot, mutated under the campaign mutex; the
+/// wall-cadence monitor folds it into each wall sample's `workers` array.
+struct WorkerStatus {
+  double busy_ms = 0.0;    ///< completed-shard wall time (in-flight added at read)
+  std::uint64_t done = 0;  ///< shards this worker finished
+  std::int64_t shard = -1; ///< shard in flight, -1 when idle
+  std::chrono::steady_clock::time_point claim;  ///< when `shard` was claimed
+};
+
 }  // namespace
 
 Campaign::Campaign(CampaignConfig config, telemetry::Telemetry* aggregate)
@@ -101,6 +112,7 @@ Campaign::Campaign(CampaignConfig config, telemetry::Telemetry* aggregate)
 
 CampaignResult Campaign::run(const SweepSpec& spec) {
   const auto run_start = std::chrono::steady_clock::now();
+  spans_.clear();  // spans describe one run; metrics/profile accumulate
   const std::size_t n = spec.shards.size();
   for (std::size_t i = 0; i < n; ++i) {
     RH_EXPECTS(spec.shards[i].index == i);  // merge order is index order
@@ -152,6 +164,19 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
   unsigned jobs = std::max(1u, config_.jobs);
   jobs = static_cast<unsigned>(std::min<std::size_t>(jobs, std::max<std::size_t>(pending, 1)));
 
+  // Live metrics stream: header first (fsync'd, like the journal), then
+  // per-worker cycles samples during shards, wall samples from the monitor
+  // thread, and exactly one final sample after the pool drains.
+  const std::uint64_t cycle_cadence = std::max<std::uint64_t>(1, config_.stream_cycle_cadence);
+  std::unique_ptr<telemetry::MetricsStreamWriter> stream;
+  if (!config_.metrics_stream_path.empty()) {
+    stream = std::make_unique<telemetry::MetricsStreamWriter>(
+        config_.metrics_stream_path,
+        telemetry::MetricsStreamHeader{spec.device.fault.seed, header.config_hash,
+                                       static_cast<std::uint64_t>(n), jobs, cycle_cadence,
+                                       config_.stream_wall_cadence_ms});
+  }
+
   std::ostream* progress_stream =
       config_.progress ? (config_.progress_stream != nullptr ? config_.progress_stream
                                                              : &std::cerr)
@@ -161,7 +186,9 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
 
   std::atomic<std::size_t> next{0};
   std::atomic<std::uint64_t> rig_serial{0};
-  std::mutex mutex;  // guards result, journal, counters, progress, aggregate_
+  std::mutex mutex;  // guards result, journal, counters, progress, aggregate_,
+                     // wstatus, spans_ — and the monitor's wait
+  std::vector<WorkerStatus> wstatus(jobs);
 
   auto retire_rig = [&](WorkerRig& rig) {
     if (rig.host != nullptr || (rig.sink != nullptr && aggregate_ != nullptr) ||
@@ -188,6 +215,17 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
     if (aggregate_ != nullptr) {
       rig.sink = std::make_unique<telemetry::Telemetry>(aggregate_->config());
       rig.host->set_telemetry(rig.sink.get());
+    } else if (stream != nullptr) {
+      // Streaming without an aggregate still needs a per-worker sink: the
+      // cycles series samples its counters. Trace stays off (nothing will
+      // export it) and the heatmap matches the device geometry.
+      telemetry::TelemetryConfig tc;
+      tc.trace_enabled = false;
+      tc.channels = spec.device.geometry.channels;
+      tc.pseudo_channels = spec.device.geometry.pseudo_channels_per_channel;
+      tc.banks = spec.device.geometry.banks_per_pseudo_channel;
+      rig.sink = std::make_unique<telemetry::Telemetry>(tc);
+      rig.host->set_telemetry(rig.sink.get());
     }
     if (config_.fault_plan.enabled()) {
       // Each rig draws an independent, reproducible fault stream: the plan
@@ -203,17 +241,31 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
         *rig.host, core::RowMap::from_device(rig.host->device()), spec.characterizer);
   };
 
-  auto worker = [&]() {
+  auto worker = [&](unsigned widx) {
     WorkerRig rig;
     // Each worker accounts its campaign-level phases into a private profile
-    // (merged under the completion lock at thread exit); its hosts' phases
-    // travel with retire_rig. Mirrors the per-worker telemetry sinks.
+    // and its spans into a private sheet (both merged under the completion
+    // lock at thread exit); its hosts' phases travel with retire_rig.
+    // Mirrors the per-worker telemetry sinks.
     profiling::Profile wprof;
+    telemetry::SpanSheet wsheet;
     const auto worker_start = std::chrono::steady_clock::now();
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= n) break;
       if (done[i] != 0) continue;
+      if (stream != nullptr) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        wstatus[widx].shard = static_cast<std::int64_t>(i);
+        wstatus[widx].claim = std::chrono::steady_clock::now();
+      }
+
+      // The shard's span subtree: shard -> attempt(s) -> host phases. The
+      // campaign-level spans carry 0..cycles-consumed cycle stamps; host
+      // phases (opened through the context by the host) carry the absolute
+      // host clock. Either way end - begin is cycles consumed.
+      telemetry::TraceContext ctx(wsheet, i, run_start);
+      const std::uint64_t shard_span = ctx.open(telemetry::SpanKind::kShard, 0);
 
       std::vector<core::RowRecord> records;
       std::string error;
@@ -229,10 +281,13 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
           ++result.shards_retried;
         }
         ++attempts_used;
+        ctx.set_attempt(attempt + 1);
+        const std::uint64_t attempt_span = ctx.open(telemetry::SpanKind::kAttempt, 0);
         const auto attempt_start = std::chrono::steady_clock::now();
         double build_ms = 0.0;
         hbm::Cycle run_from = 0;
         bool running = false;
+        std::unique_ptr<telemetry::MetricsSampler> sampler;
         try {
           if (rig.host == nullptr) {
             build_rig(rig);
@@ -240,7 +295,16 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
             // Bring-up cycles = the fresh host's clock (thermal settle).
             wprof.record(profiling::Phase::kRigBuild, rig.host->now(), build_ms);
           }
+          rig.host->set_trace_context(&ctx);
           run_from = rig.host->now();
+          if (stream != nullptr && rig.sink != nullptr) {
+            // The cycles series is attempt-scoped: cycle stamps relative to
+            // run_from, deltas relative to the previous sample, so the
+            // series is a pure function of the shard, not of scheduling.
+            sampler = std::make_unique<telemetry::MetricsSampler>(
+                *stream, rig.sink->metrics(), cycle_cadence, i, attempt + 1, run_from);
+            rig.host->set_cycle_sampler(sampler.get());
+          }
           running = true;
           records = core::run_shard(*rig.characterizer, spec.shards[i]);
           ok = true;
@@ -256,6 +320,12 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
         }
         const std::uint64_t run_cycles =
             (running && rig.host != nullptr) ? rig.host->now() - run_from : 0;
+        if (rig.host != nullptr) {
+          if (sampler != nullptr) sampler->finish(rig.host->now());
+          rig.host->set_cycle_sampler(nullptr);
+          rig.host->set_trace_context(nullptr);
+        }
+        ctx.close(attempt_span, run_cycles);
         const double attempt_ms = ms_since(attempt_start);
         wprof.record(profiling::Phase::kShardRun, run_cycles,
                      std::max(0.0, attempt_ms - build_ms));
@@ -263,6 +333,8 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
         shard_cycles += run_cycles;
         if (!ok) retire_rig(rig);  // the host's state is suspect after a throw
       }
+
+      ctx.close(shard_span, shard_cycles);
 
       const std::lock_guard<std::mutex> lock(mutex);
       if (fatal) fatal_counter.add();
@@ -273,7 +345,8 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
         }
         record_counter.add(records.size());
         result.per_shard[i] = std::move(records);
-        result.timings.push_back({i, shard_cycles, shard_wall_ms, attempts_used});
+        result.timings.push_back({i, shard_cycles, shard_wall_ms, attempts_used,
+                                  telemetry::span_id(i, 0, 0)});
         shard_wall_hist.observe(shard_wall_ms);
         ++result.shards_run;
         done_counter.add();
@@ -281,6 +354,11 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
         if (journal != nullptr) journal->append_failure(i, attempts_used, error);
         result.failures.push_back({i, error});
         failed_counter.add();
+      }
+      if (stream != nullptr) {
+        wstatus[widx].busy_ms += ms_since(wstatus[widx].claim);
+        ++wstatus[widx].done;
+        wstatus[widx].shard = -1;
       }
       progress.update();
     }
@@ -293,13 +371,66 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
     wprof.record(profiling::Phase::kIdle, 0, std::max(0.0, lifetime_ms - busy_ms));
     const std::lock_guard<std::mutex> lock(mutex);
     profile_.merge_from(wprof);
+    spans_.merge_from(wsheet);
   };
 
   if (pending > 0) {
+    // Wall-cadence monitor: samples campaign counter deltas and per-worker
+    // utilization under the campaign mutex, appends outside it (fsync is
+    // slow; workers must not block on it).
+    std::condition_variable monitor_cv;
+    bool monitor_stop = false;
+    std::thread monitor;
+    if (stream != nullptr) {
+      monitor = std::thread([&]() {
+        telemetry::CounterValues last;
+        std::unique_lock<std::mutex> lock(mutex);
+        while (!monitor_stop) {
+          monitor_cv.wait_for(
+              lock, std::chrono::duration<double, std::milli>(config_.stream_wall_cadence_ms),
+              [&] { return monitor_stop; });
+          if (monitor_stop) break;
+          const telemetry::CounterValues now_values = telemetry::counter_values(metrics_);
+          telemetry::CounterValues deltas;
+          for (const auto& [name, value] : now_values) {
+            const auto it = last.find(name);
+            const std::uint64_t before = it != last.end() ? it->second : 0;
+            if (value > before) deltas[name] = value - before;
+          }
+          last = now_values;
+          std::vector<telemetry::StreamWorkerStatus> workers;
+          workers.reserve(wstatus.size());
+          const auto snap_now = std::chrono::steady_clock::now();
+          for (const auto& s : wstatus) {
+            telemetry::StreamWorkerStatus w;
+            w.busy_ms = s.busy_ms;
+            if (s.shard >= 0) {
+              w.busy_ms += std::chrono::duration<double, std::milli>(snap_now - s.claim).count();
+            }
+            w.done = s.done;
+            w.shard = s.shard;
+            workers.push_back(w);
+          }
+          const std::string line =
+              telemetry::format_wall_sample(ms_since(run_start), deltas, workers);
+          lock.unlock();
+          stream->append(line);
+          lock.lock();
+        }
+      });
+    }
     std::vector<std::thread> pool;
     pool.reserve(jobs);
-    for (unsigned w = 0; w < jobs; ++w) pool.emplace_back(worker);
+    for (unsigned w = 0; w < jobs; ++w) pool.emplace_back(worker, w);
     for (auto& t : pool) t.join();
+    if (monitor.joinable()) {
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        monitor_stop = true;
+      }
+      monitor_cv.notify_all();
+      monitor.join();
+    }
   }
 
   std::sort(result.failures.begin(), result.failures.end(),
@@ -312,6 +443,26 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
             });
   result.elapsed_wall_ms = ms_since(run_start);
   result.jobs = jobs;
+
+  // Root the span forest and settle it into canonical order: the campaign
+  // span's cycle extent is the fleet's total measurement cycles.
+  {
+    telemetry::Span root;
+    root.id = telemetry::kCampaignSpanId;
+    root.parent = 0;
+    root.kind = telemetry::SpanKind::kCampaign;
+    for (const auto& t : result.timings) root.end_cycle += t.device_cycles;
+    root.end_wall_ms = result.elapsed_wall_ms;
+    spans_.add(root);
+    spans_.sort_canonical();
+  }
+
+  if (stream != nullptr) {
+    stream->append(telemetry::format_final_sample(
+        ms_since(run_start), telemetry::counter_values(metrics_), done_counter.value(),
+        failed_counter.value(), skipped_counter.value(), total_counter.value()));
+  }
+
   progress.finish();
   if (aggregate_ != nullptr) aggregate_->metrics().merge_from(metrics_);
 
@@ -349,13 +500,16 @@ profiling::RunReport build_report(const std::string& label, const SweepSpec& spe
   report.profile = campaign.profile();
   report.timings = result.timings;
   for (const auto& shard : result.per_shard) report.records += shard.size();
+  report.spans_total = campaign.spans().spans().size();
+  report.spans_dropped = campaign.spans().dropped();
   if (sink != nullptr) {
     // The aggregate sink already holds the campaign.* counters (run() merges
-    // them in) plus every worker's cmd.*/trr.*/flip.* observations.
-    report.metrics = sink->metrics().snapshot();
+    // them in) plus every worker's cmd.*/trr.*/flip.* observations; its
+    // snapshot() also synthesizes telemetry.trace_dropped.
+    report.metrics = sink->snapshot();
     report.trace = {sink->trace().total_recorded(),
                     static_cast<std::uint64_t>(sink->trace().size()),
-                    sink->trace().dropped()};
+                    sink->trace_dropped_total()};
   } else {
     report.metrics = campaign.metrics().snapshot();
   }

@@ -47,6 +47,7 @@
 #include "resilience/fault.hpp"
 #include "resilience/retry.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace rh::campaign {
@@ -83,6 +84,16 @@ struct CampaignConfig {
   resilience::FaultPlan fault_plan;
   /// Per-host transport retry/backoff policy, applied to every worker rig.
   resilience::RetryPolicy retry_policy;
+  /// Live metrics time-series (rh-metrics-stream/v1 JSONL, see
+  /// telemetry/stream.hpp); empty disables streaming. Written alongside the
+  /// checkpoint journal so tools/rh_tail can follow a running campaign.
+  std::string metrics_stream_path;
+  /// Device cycles between cycles-cadence samples within one shard attempt
+  /// (the deterministic per-worker series). ~28 ms of device time.
+  std::uint64_t stream_cycle_cadence = 1ull << 24;
+  /// Wall milliseconds between campaign-aggregate samples (the monitor
+  /// thread's cadence; not deterministic).
+  double stream_wall_cadence_ms = 200.0;
 };
 
 /// Everything that defines the physics of one sweep: the device (fault seed
@@ -168,12 +179,18 @@ public:
   /// calls on the same Campaign.
   [[nodiscard]] const profiling::Profile& profile() const { return profile_; }
 
+  /// The last run's span forest (campaign -> shard -> attempt -> host
+  /// phase -> fault/recovery marks), already merged across workers and in
+  /// canonical order. Cleared at the start of each run().
+  [[nodiscard]] const telemetry::SpanSheet& spans() const { return spans_; }
+
 private:
   CampaignConfig config_;
   telemetry::Telemetry* aggregate_;
   HostFactory factory_;
   telemetry::MetricsRegistry metrics_;
   profiling::Profile profile_;
+  telemetry::SpanSheet spans_;
 };
 
 /// Joins a finished campaign into one RunReport: the fleet profile, the

@@ -1,5 +1,6 @@
 #include "campaign/progress.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <ostream>
@@ -12,9 +13,7 @@
 
 namespace rh::campaign {
 
-namespace {
-
-std::string fmt_seconds(double s) {
+std::string format_seconds(double s) {
   char buf[32];
   if (s >= 90.0) {
     std::snprintf(buf, sizeof buf, "%dm%02ds", static_cast<int>(s) / 60,
@@ -25,7 +24,15 @@ std::string fmt_seconds(double s) {
   return buf;
 }
 
-}  // namespace
+std::string eta_text(double elapsed_s, std::uint64_t executed, std::uint64_t remaining) {
+  // No executed shards (everything so far was resumed from the journal) or
+  // an instant/zero clock: a projection would be 0/0 or inf — render the
+  // explicit "no signal yet" form instead of a garbage number.
+  if (executed == 0 || !(elapsed_s > 1e-9)) return "eta --";
+  const double eta = elapsed_s / static_cast<double>(executed) * static_cast<double>(remaining);
+  if (!std::isfinite(eta)) return "eta --";
+  return "eta " + format_seconds(eta);
+}
 
 ProgressMeter::ProgressMeter(std::ostream* os, const telemetry::Counter& total,
                              const telemetry::Counter& done, const telemetry::Counter& skipped,
@@ -70,11 +77,8 @@ void ProgressMeter::update() {
   if (skipped > 0) line << " | " << skipped << " resumed from checkpoint";
   if (failed > 0) line << " | " << failed << " FAILED";
   line << " | " << jobs_ << (jobs_ == 1 ? " worker" : " workers") << " | elapsed "
-       << fmt_seconds(elapsed);
-  if (executed > 0 && remaining > 0) {
-    line << " | eta " << fmt_seconds(elapsed / static_cast<double>(executed) *
-                                     static_cast<double>(remaining));
-  }
+       << format_seconds(elapsed);
+  if (remaining > 0) line << " | " << eta_text(elapsed, executed, remaining);
   if (tty_) {
     *os_ << '\r' << line.str() << "\x1b[K" << std::flush;
   } else {
@@ -91,7 +95,7 @@ void ProgressMeter::finish() {
   if (tty_) *os_ << '\r' << "\x1b[K";
   *os_ << "[campaign] finished: " << done << " shards run, " << skipped
        << " resumed from checkpoint, " << failed << " failed (of " << total << ") in "
-       << fmt_seconds(elapsed_s()) << '\n';
+       << format_seconds(elapsed_s()) << '\n';
 }
 
 }  // namespace rh::campaign

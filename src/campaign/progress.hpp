@@ -10,11 +10,24 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
+#include <string>
 
 #include "telemetry/metrics.hpp"
 
 namespace rh::campaign {
+
+/// ETA text for `remaining` items after `executed` finished in `elapsed_s`
+/// seconds: "eta 12.3s" / "eta 2m05s", or "eta --" when there is no rate
+/// signal yet — nothing executed, (near-)zero elapsed (instant shards), or
+/// a non-finite projection. Shared by the progress meter and rh_tail.
+[[nodiscard]] std::string eta_text(double elapsed_s, std::uint64_t executed,
+                                   std::uint64_t remaining);
+
+/// "12.3s" / "2m05s" duration rendering shared by the progress line,
+/// eta_text, and rh_tail.
+[[nodiscard]] std::string format_seconds(double s);
 
 class ProgressMeter {
 public:

@@ -49,6 +49,9 @@ telemetry::MetricsSnapshot deterministic_metrics(const telemetry::MetricsSnapsho
   for (const auto& e : full.entries) {
     if (e.kind == telemetry::MetricKind::kGauge) continue;
     if (e.name.find("wall_ms") != std::string::npos) continue;
+    // Ring-drop accounting depends on trace capacity and absorb order, not
+    // on the physics of the sweep.
+    if (e.name.rfind("telemetry.trace_", 0) == 0) continue;
     out.entries.push_back(e);
   }
   return out;
@@ -64,6 +67,14 @@ std::vector<double> wall_samples(const std::vector<ShardTiming>& timings) {
 std::string fmt_cycles(std::uint64_t cycles) {
   if (cycles >= 10'000'000) return common::fmt_double(static_cast<double>(cycles) * 1e-6, 1) + "M";
   return std::to_string(cycles);
+}
+
+/// Span ids render as hex strings, matching the Chrome span export's id/
+/// parent args, so report rows grep straight into the trace file.
+std::string span_hex(std::uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(id));
+  return buf;
 }
 
 }  // namespace
@@ -171,16 +182,19 @@ void write_report_json(std::ostream& os, const RunReport& report, bool include_w
     for (std::size_t i = 0; i < slowest.size(); ++i) {
       if (i != 0) os << ',';
       os << "{\"attempts\":" << slowest[i].attempts << ",\"shard\":" << slowest[i].shard
-         << ",\"wall_ms\":" << wall_text(slowest[i].wall_ms) << '}';
+         << ",\"span\":\"" << span_hex(slowest[i].span)
+         << "\",\"wall_ms\":" << wall_text(slowest[i].wall_ms) << '}';
     }
     os << ']';
   }
+  os << ",\"spans\":{\"dropped\":" << report.spans_dropped
+     << ",\"total\":" << report.spans_total << '}';
   os << ",\"timings\":[";
   for (std::size_t i = 0; i < report.timings.size(); ++i) {
     const ShardTiming& t = report.timings[i];
     if (i != 0) os << ',';
     os << "{\"attempts\":" << t.attempts << ",\"device_cycles\":" << t.device_cycles
-       << ",\"shard\":" << t.shard;
+       << ",\"shard\":" << t.shard << ",\"span\":\"" << span_hex(t.span) << '"';
     if (include_wall) os << ",\"wall_ms\":" << wall_text(t.wall_ms);
     os << '}';
   }
@@ -271,10 +285,10 @@ void render_report_text(std::ostream& os, const RunReport& report) {
       return a.wall_ms != b.wall_ms ? a.wall_ms > b.wall_ms : a.shard < b.shard;
     });
     if (slowest.size() > 5) slowest.resize(5);
-    common::Table slow({"slowest shard", "wall ms", "device cycles", "attempts"});
+    common::Table slow({"slowest shard", "wall ms", "device cycles", "attempts", "span"});
     for (const auto& t : slowest) {
       slow.add_row({std::to_string(t.shard), common::fmt_double(t.wall_ms, 1),
-                    fmt_cycles(t.device_cycles), std::to_string(t.attempts)});
+                    fmt_cycles(t.device_cycles), std::to_string(t.attempts), span_hex(t.span)});
     }
     os << '\n';
     slow.print(os);

@@ -32,6 +32,10 @@ struct ShardTiming {
   std::uint64_t device_cycles = 0;
   double wall_ms = 0.0;
   unsigned attempts = 1;
+  /// The shard's span-tree root (telemetry::span_id(shard, 0, 0)); links
+  /// this row to its attempts/phases in the Chrome span export. 0 when the
+  /// run predates span tracing.
+  std::uint64_t span = 0;
 };
 
 /// Exact (sample-level, not bucketed) latency percentiles of a wall-ms set.
@@ -73,6 +77,9 @@ struct RunReport {
   std::vector<ShardTiming> timings;    ///< executed shards, in shard order
   telemetry::MetricsSnapshot metrics;  ///< aggregated fleet registry
   TraceStats trace;
+  /// Span-forest accounting (campaign -> shard -> attempt -> phase spans).
+  std::uint64_t spans_total = 0;
+  std::uint64_t spans_dropped = 0;  ///< phase spans lost to per-attempt budgets
 
   /// Total interface commands issued, summed from the cmd.* counters (0
   /// when the run had no telemetry sink attached).

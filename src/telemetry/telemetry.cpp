@@ -6,6 +6,7 @@
 
 #include "common/ascii_plot.hpp"
 #include "common/assert.hpp"
+#include "telemetry/span.hpp"
 
 namespace rh::telemetry {
 
@@ -133,9 +134,25 @@ std::uint64_t Telemetry::total_acts() const {
   return sum;
 }
 
+MetricsSnapshot Telemetry::snapshot() const {
+  MetricsSnapshot snap = registry_.snapshot();
+  // Synthesize the drop counter into its sorted position: the registry
+  // itself stays untouched (snapshot() is const and hot paths must not
+  // allocate a counter per export).
+  SnapshotEntry entry;
+  entry.name = "telemetry.trace_dropped";
+  entry.kind = MetricKind::kCounter;
+  entry.value = static_cast<double>(trace_dropped_total());
+  const auto pos = std::lower_bound(
+      snap.entries.begin(), snap.entries.end(), entry,
+      [](const SnapshotEntry& a, const SnapshotEntry& b) { return a.name < b.name; });
+  snap.entries.insert(pos, std::move(entry));
+  return snap;
+}
+
 void Telemetry::write_metrics_json(std::ostream& os) const {
   os << "{\"metrics\":";
-  registry_.snapshot().write_json(os);
+  snapshot().write_json(os);
   os << ",\"bank_act_heatmap\":{\"channels\":" << config_.channels
      << ",\"pseudo_channels\":" << config_.pseudo_channels << ",\"banks\":" << config_.banks
      << ",\"counts\":[";
@@ -144,13 +161,17 @@ void Telemetry::write_metrics_json(std::ostream& os) const {
     os << bank_acts_[i];
   }
   os << "]},\"trace\":{\"recorded\":" << trace_.total_recorded()
-     << ",\"retained\":" << trace_.size() << ",\"dropped\":" << trace_.dropped()
+     << ",\"retained\":" << trace_.size() << ",\"dropped\":" << trace_dropped_total()
      << "},\"events\":{\"trr\":" << trr_events_.size() << ",\"flip\":" << flip_events_.size()
      << "}}";
 }
 
-void Telemetry::write_chrome_trace(std::ostream& os) const {
-  telemetry::write_chrome_trace(os, trace_.in_order(), config_.ns_per_cycle);
+void Telemetry::write_chrome_trace(std::ostream& os, const SpanSheet* spans) const {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  write_chrome_trace_events(os, trace_.in_order(), config_.ns_per_cycle, first);
+  if (spans != nullptr) write_chrome_span_events(os, spans->spans(), first);
+  os << "]}";
 }
 
 void Telemetry::render_act_heatmap(std::ostream& os) const {
@@ -187,11 +208,15 @@ void Telemetry::absorb(const Telemetry& other) {
   if (config_.trace_enabled) {
     for (const auto& e : other.trace_.in_order()) trace_.push(e);
   }
+  // Events the absorbed sink had already lost stay lost; carry the count so
+  // the aggregate's trace accounting covers the whole fleet.
+  absorbed_dropped_ += other.trace_dropped_total();
 }
 
 void Telemetry::reset() {
   registry_.reset();
   trace_.clear();
+  absorbed_dropped_ = 0;
   trr_events_.clear();
   flip_events_.clear();
   std::fill(bank_acts_.begin(), bank_acts_.end(), 0);

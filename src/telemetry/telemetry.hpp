@@ -41,6 +41,8 @@
 
 namespace rh::telemetry {
 
+class SpanSheet;  // span.hpp — only the chrome export path touches it
+
 struct TelemetryConfig {
   /// Command-trace ring capacity (events retained for export).
   std::size_t trace_capacity = 1 << 16;
@@ -127,14 +129,24 @@ public:
   /// Sum over all heatmap cells (== total ACTs recorded).
   [[nodiscard]] std::uint64_t total_acts() const;
 
+  /// Trace events dropped by ring overwrite, including every absorbed
+  /// sink's drops — what the `telemetry.trace_dropped` counter reports.
+  [[nodiscard]] std::uint64_t trace_dropped_total() const {
+    return trace_.dropped() + absorbed_dropped_;
+  }
+
   // --- export ------------------------------------------------------------
-  /// Registry snapshot (counters/gauges/histograms).
-  [[nodiscard]] MetricsSnapshot snapshot() const { return registry_.snapshot(); }
+  /// Registry snapshot (counters/gauges/histograms), plus a synthesized
+  /// `telemetry.trace_dropped` counter so truncated Chrome traces surface
+  /// in every metrics document instead of failing silently.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
   /// Full metrics document: registry snapshot + per-bank ACT heatmap +
   /// trace/event-stream accounting, as one JSON object.
   void write_metrics_json(std::ostream& os) const;
-  /// The retained command trace as Chrome trace-event JSON.
-  void write_chrome_trace(std::ostream& os) const;
+  /// The retained command trace as Chrome trace-event JSON. With `spans`
+  /// attached, the campaign span tree rides in the same traceEvents array
+  /// as async events (its own "campaign spans" process).
+  void write_chrome_trace(std::ostream& os, const SpanSheet* spans = nullptr) const;
   /// Per-bank ACT heatmap as an ASCII intensity grid (one row per
   /// channel/pseudo-channel lane, one column per bank).
   void render_act_heatmap(std::ostream& os) const;
@@ -155,6 +167,7 @@ private:
   TelemetryConfig config_;
   MetricsRegistry registry_;
   TraceRing trace_;
+  std::uint64_t absorbed_dropped_ = 0;  ///< drops carried in from absorb()
   std::vector<TrrEvent> trr_events_;
   std::vector<FlipEvent> flip_events_;
   std::vector<std::uint64_t> bank_acts_;

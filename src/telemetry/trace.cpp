@@ -48,7 +48,12 @@ void write_chrome_trace(std::ostream& os, const std::vector<CommandEvent>& event
                         double ns_per_cycle) {
   os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   bool first = true;
+  write_chrome_trace_events(os, events, ns_per_cycle, first);
+  os << "]}";
+}
 
+void write_chrome_trace_events(std::ostream& os, const std::vector<CommandEvent>& events,
+                               double ns_per_cycle, bool& first) {
   // Label the lanes: one "process" per channel, one "thread" per pseudo
   // channel, so Perfetto shows "channel 3 / pc 1" instead of bare ids.
   std::set<std::pair<std::uint8_t, std::uint8_t>> lanes;
@@ -78,7 +83,6 @@ void write_chrome_trace(std::ostream& os, const std::vector<CommandEvent>& event
        << ",\"tid\":" << static_cast<unsigned>(e.pseudo_channel) << ",\"args\":{\"bank\":"
        << static_cast<unsigned>(e.bank) << ",\"row\":" << e.row << ",\"arg\":" << e.arg << "}}";
   }
-  os << "]}";
 }
 
 }  // namespace rh::telemetry

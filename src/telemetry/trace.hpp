@@ -102,4 +102,10 @@ private:
 void write_chrome_trace(std::ostream& os, const std::vector<CommandEvent>& events,
                         double ns_per_cycle);
 
+/// Writes the command slices (with their lane metadata) into an
+/// already-open traceEvents array; `first` tracks comma state so further
+/// writers (e.g. span events) can append to the same array.
+void write_chrome_trace_events(std::ostream& os, const std::vector<CommandEvent>& events,
+                               double ns_per_cycle, bool& first);
+
 }  // namespace rh::telemetry

@@ -4,13 +4,18 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "campaign/journal.hpp"
+#include "campaign/progress.hpp"
 #include "campaign/record_io.hpp"
+#include "campaign/tail.hpp"
 #include "core/spatial.hpp"
+#include "resilience/fault.hpp"
+#include "telemetry/span.hpp"
 
 namespace rh::campaign {
 namespace {
@@ -221,6 +226,155 @@ TEST(CampaignTest, WorkerTelemetryIsAbsorbedIntoAggregate) {
   EXPECT_EQ(snap.value_or("campaign.shards_done", -1.0),
             static_cast<double>(spec.shards.size()));
   EXPECT_EQ(result.failures.size(), 0u);
+}
+
+TEST(ProgressTest, EtaTextGuardsZeroThroughput) {
+  // No executed shards (all resumed) or a zero/garbage clock must render
+  // the explicit no-signal form, never inf/nan seconds.
+  EXPECT_EQ(eta_text(10.0, 0, 5), "eta --");
+  EXPECT_EQ(eta_text(0.0, 3, 5), "eta --");
+  EXPECT_EQ(eta_text(-1.0, 3, 5), "eta --");
+  // 3 shards in 6 s -> 2 s each -> 4 s for the remaining 2.
+  EXPECT_EQ(eta_text(6.0, 3, 2), "eta 4.0s");
+  EXPECT_EQ(eta_text(90.0, 1, 2), "eta 3m00s");
+  EXPECT_EQ(eta_text(10.0, 5, 0), "eta 0.0s");
+}
+
+TEST(ProgressTest, FormatSecondsSwitchesToMinutesAt90s) {
+  EXPECT_EQ(format_seconds(0.0), "0.0s");
+  EXPECT_EQ(format_seconds(89.94), "89.9s");
+  EXPECT_EQ(format_seconds(90.0), "1m30s");
+  EXPECT_EQ(format_seconds(3601.0), "60m01s");
+}
+
+TEST(CampaignTest, MetricsStreamRecordsTheRunAndFinishes) {
+  const SweepSpec spec = quick_sweep();
+  const TempPath stream("campaign_test_stream.jsonl");
+
+  CampaignConfig config = quiet_config();
+  config.jobs = 4;
+  config.metrics_stream_path = stream.str();
+  config.stream_cycle_cadence = 1 << 20;  // fine cadence: mid-attempt samples too
+  Campaign campaign(config);
+  const auto result = campaign.run(spec);
+  EXPECT_TRUE(result.failures.empty());
+
+  const MetricsStreamData data = read_metrics_stream(stream.str());
+  EXPECT_TRUE(data.has_header);
+  EXPECT_EQ(data.seed, spec.device.fault.seed);
+  EXPECT_EQ(data.config_hash, sweep_config_hash(spec));
+  EXPECT_EQ(data.shards, spec.shards.size());
+  EXPECT_EQ(data.jobs, 4u);
+  EXPECT_EQ(data.cycle_cadence, std::uint64_t{1} << 20);
+  EXPECT_FALSE(data.torn);
+  // Every attempt closes with a cycles sample, and the stream ends with the
+  // final sample carrying the shard totals.
+  EXPECT_GE(data.cycles_samples, spec.shards.size());
+  EXPECT_GT(data.device_counters.at("cmd.ACT"), 0u);
+  EXPECT_TRUE(data.finished);
+  EXPECT_EQ(data.final_done, spec.shards.size());
+  EXPECT_EQ(data.final_failed, 0u);
+  EXPECT_EQ(data.final_total, spec.shards.size());
+}
+
+TEST(CampaignTest, SpanForestLinksARetriedFaultInjectedShardCausally) {
+  SweepSpec spec = quick_sweep();
+  spec.shards.resize(4);
+
+  CampaignConfig config = quiet_config();
+  config.jobs = 1;
+  config.retries = 2;
+  config.retry_policy.max_attempts = 2;
+  Campaign campaign(config);
+
+  // Only the FIRST host built gets an injector whose script times out both
+  // upload attempts: shard 0's first attempt aborts (TransportError), the
+  // campaign retries it on a fresh, injector-free host, and every later
+  // shard runs clean — one retried, fault-marked shard in the forest.
+  std::unique_ptr<resilience::FaultInjector> injector;
+  campaign.set_host_factory([&](const SweepSpec& s) {
+    auto host = std::make_unique<bender::BenderHost>(s.device);
+    host->device().set_temperature(s.temperature_c);
+    if (injector == nullptr) {
+      resilience::FaultPlan plan;
+      plan.script = {{resilience::FaultKind::kUploadTimeout, 0},
+                     {resilience::FaultKind::kUploadTimeout, 1}};
+      injector = std::make_unique<resilience::FaultInjector>(plan);
+      host->set_fault_injector(injector.get());
+    }
+    return host;
+  });
+  const auto result = campaign.run(spec);
+  EXPECT_TRUE(result.failures.empty());
+  EXPECT_EQ(result.shards_retried, 1u);
+  ASSERT_FALSE(result.timings.empty());
+  EXPECT_EQ(result.timings[0].attempts, 2u);
+  EXPECT_EQ(result.timings[0].span, telemetry::span_id(0, 0, 0))
+      << "the timing row must link into the span forest";
+
+  const telemetry::SpanSheet& spans = campaign.spans();
+  EXPECT_EQ(spans.dropped(), 0u);
+  const auto find = [&](std::uint64_t id) -> const telemetry::Span* {
+    for (const auto& s : spans.spans()) {
+      if (s.id == id) return &s;
+    }
+    return nullptr;
+  };
+  // Root -> shard 0 -> two attempts; the fault marks hang inside attempt 1.
+  ASSERT_NE(find(telemetry::kCampaignSpanId), nullptr);
+  EXPECT_EQ(find(telemetry::kCampaignSpanId)->kind, telemetry::SpanKind::kCampaign);
+  const telemetry::Span* shard0 = find(telemetry::span_id(0, 0, 0));
+  ASSERT_NE(shard0, nullptr);
+  EXPECT_EQ(shard0->parent, telemetry::kCampaignSpanId);
+  const telemetry::Span* attempt1 = find(telemetry::span_id(0, 1, 0));
+  const telemetry::Span* attempt2 = find(telemetry::span_id(0, 2, 0));
+  ASSERT_NE(attempt1, nullptr);
+  ASSERT_NE(attempt2, nullptr);
+  EXPECT_EQ(attempt1->parent, shard0->id);
+  EXPECT_EQ(attempt2->parent, shard0->id);
+  std::size_t faults = 0;
+  std::size_t recoveries = 0;
+  for (const auto& s : spans.spans()) {
+    if (s.kind == telemetry::SpanKind::kFault) {
+      ++faults;
+      EXPECT_EQ(s.shard, 0u);
+      EXPECT_EQ(s.attempt, 1u) << "faults were scripted for the first attempt only";
+      EXPECT_EQ(s.arg, static_cast<std::uint32_t>(resilience::FaultKind::kUploadTimeout));
+    }
+    if (s.kind == telemetry::SpanKind::kRecovery) ++recoveries;
+    EXPECT_FALSE(s.open) << "a finished campaign leaves no span open";
+  }
+  EXPECT_EQ(faults, 2u) << "both scripted timeouts must be marked";
+  EXPECT_GE(recoveries, 1u) << "the abort resolution must be marked";
+  // Canonical order places every parent before its children.
+  for (const auto& s : spans.spans()) {
+    if (s.parent == 0) continue;
+    const telemetry::Span* parent = find(s.parent);
+    ASSERT_NE(parent, nullptr) << "dangling parent 0x" << std::hex << s.parent;
+    EXPECT_LE(parent - spans.spans().data(), &s - spans.spans().data());
+  }
+
+  // The Chrome export round-trips the tree: one "b"/"e" pair per interval
+  // span, one instant "n" per mark, parents rendered as hex ids.
+  std::ostringstream os;
+  telemetry::write_chrome_spans(os, spans);
+  const std::string json = os.str();
+  const auto count = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t at = json.find(needle); at != std::string::npos;
+         at = json.find(needle, at + needle.size())) {
+      ++n;
+    }
+    return n;
+  };
+  const std::size_t marks = faults + recoveries;
+  EXPECT_EQ(count("\"ph\":\"b\""), spans.spans().size() - marks);
+  EXPECT_EQ(count("\"ph\":\"b\""), count("\"ph\":\"e\""));
+  EXPECT_EQ(count("\"ph\":\"n\""), marks);
+  char shard_hex[32];
+  std::snprintf(shard_hex, sizeof shard_hex, "\"parent\":\"0x%llx\"",
+                static_cast<unsigned long long>(shard0->id));
+  EXPECT_NE(json.find(shard_hex), std::string::npos);
 }
 
 TEST(RecordIoTest, RowRecordRoundTripsExactly) {

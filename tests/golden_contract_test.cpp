@@ -16,6 +16,8 @@
 #include "campaign/journal.hpp"
 #include "profiling/report.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/stream.hpp"
 
 #ifndef RH_GOLDEN_DIR
 #error "RH_GOLDEN_DIR must point at the committed golden shape files"
@@ -42,8 +44,10 @@ profiling::RunReport canonical_report() {
   report.elapsed_wall_ms = 1234.5;
   report.profile.record(profiling::Phase::kExecute, 50000, 800.0, 3);
   report.profile.record(profiling::Phase::kShardRun, 48000, 700.0, 3);
-  report.timings.push_back({0, 16000, 250.0, 1});
-  report.timings.push_back({2, 16000, 300.0, 2});
+  report.timings.push_back({0, 16000, 250.0, 1, telemetry::span_id(0, 0, 0)});
+  report.timings.push_back({2, 16000, 300.0, 2, telemetry::span_id(2, 0, 0)});
+  report.spans_total = 12;
+  report.spans_dropped = 1;
   telemetry::MetricsRegistry registry;
   registry.counter("cmd.act").add(100);
   registry.gauge("thermal.temp_c").set(85.0);
@@ -114,6 +118,40 @@ TEST(GoldenContract, CheckpointJournalV1) {
   }
   std::remove(path.c_str());
   const auto diff = check_golden(golden("checkpoint_journal_v1.shape"), actual);
+  EXPECT_FALSE(diff.has_value()) << *diff;
+}
+
+TEST(GoldenContract, MetricsStreamV1) {
+  // The live stream is JSONL like the journal: pin each line kind — header,
+  // cycles sample, wall sample, final sample — as one document each.
+  const std::string path = "golden_contract_stream.jsonl";
+  std::remove(path.c_str());
+  {
+    telemetry::MetricsStreamHeader header;
+    header.seed = 7;
+    header.config_hash = 0xabcdefu;
+    header.shards = 4;
+    header.jobs = 2;
+    header.cycle_cadence = 1 << 24;
+    header.wall_cadence_ms = 200.0;
+    telemetry::MetricsStreamWriter writer(path, header);
+    writer.append(telemetry::format_cycles_sample(0, 1, 0, 1 << 24, {{"cmd.ACT", 96}}));
+    writer.append(telemetry::format_wall_sample(210.5, {{"campaign.shards_done", 1}},
+                                                {{180.0, 1, 2}, {0.0, 0, -1}}));
+    writer.append(telemetry::format_final_sample(900.0, {{"campaign.shards_done", 4}}, 3, 0, 1,
+                                                 4));
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  const char* kLabels[] = {"header", "cycles", "wall", "final"};
+  std::string actual;
+  std::string line;
+  for (const char* label : kLabels) {
+    ASSERT_TRUE(std::getline(in, line)) << "stream is missing its " << label << " line";
+    actual += std::string("== ") + label + "\n" + shape_text(line, label);
+  }
+  std::remove(path.c_str());
+  const auto diff = check_golden(golden("metrics_stream_v1.shape"), actual);
   EXPECT_FALSE(diff.has_value()) << *diff;
 }
 

@@ -230,6 +230,49 @@ TEST(TelemetryExportTest, HeatmapRendersOneLanePerRowAndMarksActivity) {
   EXPECT_NE(text.find('@'), std::string::npos);
 }
 
+TEST(TelemetryTest, TraceDropsSurfaceAsACounterAndSurviveAbsorb) {
+  // Overflowing the ring must be *visible*: the synthesized
+  // telemetry.trace_dropped counter carries the loss into every snapshot,
+  // metrics export, and run report, and absorb() accumulates the worker
+  // fleet's drops even though the absorbed rings themselves are gone.
+  TelemetryConfig config;
+  config.trace_capacity = 4;
+  Telemetry telem(config);
+  for (std::uint64_t i = 0; i < 6; ++i) telem.on_command(TraceCommand::kAct, i, 0, 0, 0, 1);
+  EXPECT_EQ(telem.trace().dropped(), 2u);
+  EXPECT_EQ(telem.trace_dropped_total(), 2u);
+  EXPECT_DOUBLE_EQ(telem.snapshot().value_or("telemetry.trace_dropped", -1.0), 2.0);
+  std::ostringstream os;
+  telem.write_metrics_json(os);
+  EXPECT_NE(os.str().find("\"telemetry.trace_dropped\":2"), std::string::npos) << os.str();
+
+  // An aggregate with headroom absorbs the overflowed worker: the worker's
+  // 4 retained events fit, but its 2 lost ones stay lost — the aggregate's
+  // total must still account for them.
+  TelemetryConfig roomy;
+  roomy.trace_capacity = 16;
+  Telemetry aggregate(roomy);
+  aggregate.absorb(telem);
+  EXPECT_EQ(aggregate.trace().dropped(), 0u);
+  EXPECT_EQ(aggregate.trace_dropped_total(), 2u);
+  EXPECT_DOUBLE_EQ(aggregate.snapshot().value_or("telemetry.trace_dropped", -1.0), 2.0);
+
+  telem.reset();
+  EXPECT_EQ(telem.trace_dropped_total(), 0u);
+  EXPECT_DOUBLE_EQ(telem.snapshot().value_or("telemetry.trace_dropped", -1.0), 0.0);
+}
+
+TEST(TelemetryTest, UndroppedTraceStillReportsTheCounterAtZero) {
+  // The counter is always present (dashboards key on it), just zero.
+  Telemetry telem;
+  telem.on_command(TraceCommand::kAct, 1, 0, 0, 0, 1);
+  const MetricsSnapshot snap = telem.snapshot();
+  const auto* entry = snap.find("telemetry.trace_dropped");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->kind, MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(entry->value, 0.0);
+}
+
 TEST(TelemetryTest, ResetClearsEverything) {
   Telemetry telem;
   telem.on_command(TraceCommand::kAct, 1, 0, 0, 0, 0);

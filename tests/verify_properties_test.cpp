@@ -9,7 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
+#include <cstdio>
+#include <fstream>
 #include <optional>
 #include <span>
 #include <sstream>
@@ -116,6 +119,55 @@ TEST(VerifyProperties, FaultStormCampaignMatchesBaseline) {
                                   " changed the results";
                          }),
                 /*seed=*/23, /*cases=*/2);
+}
+
+/// Runs `spec` with a metrics stream and returns the canonical cycles
+/// series: the {"sample":"cycles"} lines sorted by their (shard, attempt,
+/// seq) content — the rh-metrics-stream/v1 canonicalization rule. Workers
+/// interleave lines arbitrarily; the sorted bytes must not depend on --jobs.
+std::string canonical_cycles_series(const campaign::SweepSpec& spec, unsigned jobs) {
+  const std::string path =
+      "verify_properties_stream_" + std::to_string(jobs) + ".jsonl";
+  campaign::CampaignConfig config;
+  config.jobs = jobs;
+  config.progress = false;
+  config.metrics_stream_path = path;
+  config.stream_cycle_cadence = 1 << 22;
+  campaign::Campaign campaign(config);
+  (void)campaign.run(spec);
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("{\"sample\":\"cycles\"", 0) == 0) lines.push_back(line);
+    }
+  }
+  std::remove(path.c_str());
+  std::sort(lines.begin(), lines.end());
+  std::string joined;
+  for (const auto& line : lines) {
+    joined += line;
+    joined += '\n';
+  }
+  return joined;
+}
+
+TEST(VerifyProperties, MetricsStreamCyclesSeriesIsJobsInvariant) {
+  const campaign::SweepSpec spec = tiny_sweep();
+  const std::string serial = canonical_cycles_series(spec, 1);
+  ASSERT_FALSE(serial.empty()) << "every attempt must close with a cycles sample";
+  expect_passes(Property("cycles series is --jobs invariant",
+                         [&spec, &serial](common::Xoshiro256& rng) -> std::optional<std::string> {
+                           const unsigned jobs = 2 + static_cast<unsigned>(rng.below(3));
+                           const std::string sharded = canonical_cycles_series(spec, jobs);
+                           if (sharded == serial) return std::nullopt;
+                           return "jobs=" + std::to_string(jobs) + ": " +
+                                  std::to_string(serial.size()) + " vs " +
+                                  std::to_string(sharded.size()) +
+                                  " canonical series bytes differ";
+                         }),
+                /*seed=*/17, /*cases=*/2);
 }
 
 TEST(VerifyProperties, ScramblersRoundTripAndAreInvolutions) {
