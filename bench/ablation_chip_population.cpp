@@ -18,8 +18,8 @@ using namespace rh;
 
 int main(int argc, char** argv) {
   const common::CliArgs args(argc, argv);
-  const auto chips = static_cast<std::uint32_t>(args.get_int("chips", 6));
-  const auto rows = static_cast<std::uint32_t>(args.get_int("rows", 16));
+  const auto chips = static_cast<std::uint32_t>(args.get_positive_int("chips", 6));
+  const auto rows = static_cast<std::uint32_t>(args.get_positive_int("rows", 16));
 
   benchutil::banner("Ablation A8 (chip population)",
                     "headline metrics across simulated chips (seeds)");

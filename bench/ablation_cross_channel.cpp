@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   const core::RowMap map = core::RowMap::from_device(host.device());
   const auto& geometry = host.device().geometry();
   const std::uint32_t victim = 2048;
-  const auto hammers = static_cast<std::uint64_t>(args.get_int("hammers", 262144));
+  const auto hammers = static_cast<std::uint64_t>(args.get_positive_int("hammers", 262144));
   benchutil::warn_unqueried(args);
 
   common::Table table({"victim channel", "aggressor channel", "victim flips"});

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   const common::CliArgs args(argc, argv);
   const auto seed = static_cast<std::uint64_t>(
       args.get_int("seed", static_cast<std::int64_t>(benchutil::kDefaultSeed)));
-  const auto hammers = static_cast<std::uint64_t>(args.get_int("hammers", 262144));
+  const auto hammers = static_cast<std::uint64_t>(args.get_positive_int("hammers", 262144));
 
   benchutil::banner("Ablation A10 (defenses)",
                     "PARA / Graphene vs a 256K double-sided attack");

@@ -40,12 +40,12 @@ int main(int argc, char** argv) {
   benchutil::TelemetrySession telem(args);
 
   core::SurveyConfig survey;
-  survey.row_stride = static_cast<std::uint32_t>(args.get_int("stride", 2048));
+  survey.row_stride = static_cast<std::uint32_t>(args.get_positive_int("stride", 2048));
   survey.characterizer.max_hammers =
-      static_cast<std::uint64_t>(args.get_int("hammers", 262144));
+      static_cast<std::uint64_t>(args.get_positive_int("hammers", 262144));
   survey.characterizer.ber_hammers = survey.characterizer.max_hammers;
   survey.characterizer.wcdp_tolerance =
-      static_cast<std::uint64_t>(args.get_int("tolerance", 512));
+      static_cast<std::uint64_t>(args.get_positive_int("tolerance", 512));
   const campaign::SweepSpec spec =
       campaign::survey_sweep(benchutil::paper_device_config(seed), survey);
 

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   const common::CliArgs args(argc, argv);
   const auto seed = static_cast<std::uint64_t>(
       args.get_int("seed", static_cast<std::int64_t>(benchutil::kDefaultSeed)));
-  const auto rows = static_cast<std::uint32_t>(args.get_int("rows", 10));
+  const auto rows = static_cast<std::uint32_t>(args.get_positive_int("rows", 10));
 
   benchutil::banner("Ablation A12 (onset curve)", "BER vs hammer count, ch0 vs ch7");
 

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   const auto& timings = host.device().timings();
 
   const core::Site site{0, 0, 0};
-  const auto rows = static_cast<std::uint32_t>(args.get_int("rows", 8));
+  const auto rows = static_cast<std::uint32_t>(args.get_positive_int("rows", 8));
   const auto base_row = static_cast<std::uint32_t>(args.get_int("base-row", 1024));
   benchutil::warn_unqueried(args);
 

@@ -69,8 +69,8 @@ int main(int argc, char** argv) {
   host.set_chip_temperature(85.0);
   const core::RowMap map = core::RowMap::from_device(host.device());
   const core::Site site{7, 0, 0};  // most vulnerable channel
-  const auto hammers = static_cast<std::uint64_t>(args.get_int("hammers", 262144));
-  const auto rows = static_cast<std::uint32_t>(args.get_int("rows", 6));
+  const auto hammers = static_cast<std::uint64_t>(args.get_positive_int("hammers", 262144));
+  const auto rows = static_cast<std::uint32_t>(args.get_positive_int("rows", 6));
   benchutil::warn_unqueried(args);
 
   common::Table table({"victim row", "flips, REF off", "flips, 64 REFs", "flips, 512 REFs"});

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   const core::RowMap map = core::RowMap::from_device(host.device());
   core::AttackRunner attacker(host, map);
   const core::Site site{7, 0, 0};
-  const auto rows = static_cast<std::uint32_t>(args.get_int("rows", 6));
+  const auto rows = static_cast<std::uint32_t>(args.get_positive_int("rows", 6));
   benchutil::warn_unqueried(args);
 
   core::AttackConfig no_ref;

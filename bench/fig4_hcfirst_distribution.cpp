@@ -27,12 +27,12 @@ int main(int argc, char** argv) {
   benchutil::TelemetrySession telem(args);
 
   core::SurveyConfig config;
-  config.row_stride = static_cast<std::uint32_t>(args.get_int("stride", 256));
+  config.row_stride = static_cast<std::uint32_t>(args.get_positive_int("stride", 256));
   config.characterizer.max_hammers =
-      static_cast<std::uint64_t>(args.get_int("hammers", 262144));
+      static_cast<std::uint64_t>(args.get_positive_int("hammers", 262144));
   config.characterizer.ber_hammers = config.characterizer.max_hammers;
   config.characterizer.wcdp_tolerance =
-      static_cast<std::uint64_t>(args.get_int("tolerance", 512));
+      static_cast<std::uint64_t>(args.get_positive_int("tolerance", 512));
   const auto records = benchutil::run_survey_campaign(args, seed, config, telem, "fig4");
   benchutil::warn_unqueried(args);
   const auto stats = core::aggregate_hc_first(records);

@@ -31,12 +31,12 @@ int main(int argc, char** argv) {
   host.set_chip_temperature(85.0);
 
   core::SurveyConfig config;
-  config.row_stride = static_cast<std::uint32_t>(args.get_int("stride", 16));
+  config.row_stride = static_cast<std::uint32_t>(args.get_positive_int("stride", 16));
   config.wcdp_by_ber = true;  // Fig. 5 only needs the per-row WCDP BER
   config.channels = {0, 7};   // default: best and worst channel
   if (args.has("all-channels")) config.channels = {0, 1, 2, 3, 4, 5, 6, 7};
   config.characterizer.ber_hammers =
-      static_cast<std::uint64_t>(args.get_int("hammers", 262144));
+      static_cast<std::uint64_t>(args.get_positive_int("hammers", 262144));
   config.characterizer.max_hammers = config.characterizer.ber_hammers;
 
   // The survey itself runs as a sharded campaign (--jobs/--checkpoint/

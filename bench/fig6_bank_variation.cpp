@@ -32,11 +32,11 @@ int main(int argc, char** argv) {
   core::SurveyConfig config;
   config.wcdp_by_ber = true;
   config.characterizer.ber_hammers =
-      static_cast<std::uint64_t>(args.get_int("hammers", 262144));
+      static_cast<std::uint64_t>(args.get_positive_int("hammers", 262144));
   config.characterizer.max_hammers = config.characterizer.ber_hammers;
   const auto rows_per_region =
-      static_cast<std::uint32_t>(args.get_int("rows-per-region", 100));
-  const auto stride = static_cast<std::uint32_t>(args.get_int("row-stride", 8));
+      static_cast<std::uint32_t>(args.get_positive_int("rows-per-region", 100));
+  const auto stride = static_cast<std::uint32_t>(args.get_positive_int("row-stride", 8));
   benchutil::warn_unqueried(args);
 
   core::SpatialSurvey survey(host, config);

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
     const common::CliArgs args(argc, argv);
     const auto seed = static_cast<std::uint64_t>(
         args.get_int("seed", static_cast<std::int64_t>(benchutil::kDefaultSeed)));
-    const auto stride = static_cast<std::uint32_t>(args.get_int("stride", 2048));
+    const auto stride = static_cast<std::uint32_t>(args.get_positive_int("stride", 2048));
     const std::string out_path = args.get("out", "BENCH_campaign.json");
 
     benchutil::banner("perf baseline", "campaign throughput (fig4-style sweep)");
@@ -37,10 +37,10 @@ int main(int argc, char** argv) {
     core::SurveyConfig config;
     config.row_stride = stride;
     config.characterizer.max_hammers =
-        static_cast<std::uint64_t>(args.get_int("hammers", 262144));
+        static_cast<std::uint64_t>(args.get_positive_int("hammers", 262144));
     config.characterizer.ber_hammers = config.characterizer.max_hammers;
     config.characterizer.wcdp_tolerance =
-        static_cast<std::uint64_t>(args.get_int("tolerance", 512));
+        static_cast<std::uint64_t>(args.get_positive_int("tolerance", 512));
 
     campaign::CampaignConfig run_config;
     run_config.jobs = static_cast<unsigned>(args.get_positive_int("jobs", 2));

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   // Pick a probe row away from the REF-pointer sweep (2 rows advance per
   // REF; 100 iterations sweep rows 0..199).
   const auto probe_row = static_cast<std::uint32_t>(args.get_int("row", 4096));
-  const auto iterations = static_cast<std::uint32_t>(args.get_int("iterations", 100));
+  const auto iterations = static_cast<std::uint32_t>(args.get_positive_int("iterations", 100));
   benchutil::warn_unqueried(args);
 
   const core::RowMap map = core::RowMap::from_device(host.device());

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
 
   core::SurveyConfig config;
   config.channels = {0, 6, 7};
-  config.row_stride = static_cast<std::uint32_t>(args.get_int("stride", 384));
+  config.row_stride = static_cast<std::uint32_t>(args.get_positive_int("stride", 384));
   config.characterizer.wcdp_tolerance = 4096;
 
   core::SpatialSurvey survey(host, config);

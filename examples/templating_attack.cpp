@@ -55,7 +55,7 @@ TemplatingRun scan_channel(bender::BenderHost& host, const core::RowMap& map,
 
 int main(int argc, char** argv) {
   const common::CliArgs args(argc, argv);
-  const auto targets = static_cast<std::uint64_t>(args.get_int("targets", 2000));
+  const auto targets = static_cast<std::uint64_t>(args.get_positive_int("targets", 2000));
 
   std::cout << "== memory templating: naive vs vulnerability-aware channel choice ==\n\n";
 

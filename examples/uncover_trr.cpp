@@ -20,7 +20,7 @@ using namespace rh;
 
 int main(int argc, char** argv) {
   const common::CliArgs args(argc, argv);
-  const auto iterations = static_cast<std::uint32_t>(args.get_int("iterations", 100));
+  const auto iterations = static_cast<std::uint32_t>(args.get_positive_int("iterations", 100));
 
   std::cout << "== uncovering the proprietary TRR (paper §5) ==\n\n";
 

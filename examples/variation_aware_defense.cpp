@@ -25,7 +25,7 @@ using namespace rh;
 
 int main(int argc, char** argv) {
   const common::CliArgs args(argc, argv);
-  const auto rows = static_cast<std::uint32_t>(args.get_int("rows", 16));
+  const auto rows = static_cast<std::uint32_t>(args.get_positive_int("rows", 16));
 
   std::cout << "== variation-aware RowHammer defense sizing ==\n\n";
 

@@ -487,6 +487,16 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
 profiling::RunReport build_report(const std::string& label, const SweepSpec& spec,
                                   const Campaign& campaign, const CampaignResult& result,
                                   const telemetry::Telemetry* sink) {
+  return build_report(label, spec, campaign.profile(), campaign.spans(), campaign.metrics(),
+                      result, sink);
+}
+
+profiling::RunReport build_report(const std::string& label, const SweepSpec& spec,
+                                  const profiling::Profile& profile,
+                                  const telemetry::SpanSheet& spans,
+                                  const telemetry::MetricsRegistry& metrics,
+                                  const CampaignResult& result,
+                                  const telemetry::Telemetry* sink) {
   profiling::RunReport report;
   report.campaign = label;
   report.seed = spec.device.fault.seed;
@@ -497,11 +507,11 @@ profiling::RunReport build_report(const std::string& label, const SweepSpec& spe
   report.shards_failed = result.failures.size();
   report.shards_retried = result.shards_retried;
   report.elapsed_wall_ms = result.elapsed_wall_ms;
-  report.profile = campaign.profile();
+  report.profile = profile;
   report.timings = result.timings;
   for (const auto& shard : result.per_shard) report.records += shard.size();
-  report.spans_total = campaign.spans().spans().size();
-  report.spans_dropped = campaign.spans().dropped();
+  report.spans_total = spans.spans().size();
+  report.spans_dropped = spans.dropped();
   if (sink != nullptr) {
     // The aggregate sink already holds the campaign.* counters (run() merges
     // them in) plus every worker's cmd.*/trr.*/flip.* observations; its
@@ -511,7 +521,7 @@ profiling::RunReport build_report(const std::string& label, const SweepSpec& spe
                     static_cast<std::uint64_t>(sink->trace().size()),
                     sink->trace_dropped_total()};
   } else {
-    report.metrics = campaign.metrics().snapshot();
+    report.metrics = metrics.snapshot();
   }
   report.shards_fatal =
       static_cast<std::uint64_t>(report.metrics.value_or("campaign.shards_fatal", 0.0));

@@ -204,4 +204,16 @@ private:
                                                 const CampaignResult& result,
                                                 const telemetry::Telemetry* sink = nullptr);
 
+/// Same join, from loose parts instead of a Campaign. For runners that
+/// schedule shards themselves (the campaign service's shared rig pool) but
+/// must produce reports byte-identical to the Campaign path: pass the
+/// merged fleet profile, the run's span sheet, and the registry holding the
+/// campaign.*/resilience.* counters.
+[[nodiscard]] profiling::RunReport build_report(const std::string& label, const SweepSpec& spec,
+                                                const profiling::Profile& profile,
+                                                const telemetry::SpanSheet& spans,
+                                                const telemetry::MetricsRegistry& metrics,
+                                                const CampaignResult& result,
+                                                const telemetry::Telemetry* sink = nullptr);
+
 }  // namespace rh::campaign

@@ -1,0 +1,57 @@
+#include "serve/cache.hpp"
+
+#include "campaign/journal.hpp"
+
+namespace rh::serve {
+
+std::string sweep_cache_prefix(const campaign::SweepSpec& spec) {
+  campaign::SweepSpec stripped = spec;
+  stripped.shards.clear();
+  return campaign::sweep_fingerprint(stripped);
+}
+
+std::uint64_t shard_cache_key(const std::string& prefix, const core::ShardSpec& shard) {
+  // Same shape as the shard clause of sweep_fingerprint, minus the plan
+  // index: where the shard sits in a particular job's plan is scheduling,
+  // not content.
+  std::string key = prefix;
+  key += "|shard:" + shard.site.to_string() + ":" + std::to_string(shard.row_begin) + "-" +
+         std::to_string(shard.row_end) + ":" + std::to_string(shard.row_stride) + ":m" +
+         std::to_string(static_cast<int>(shard.mode)) + ":p" + std::to_string(shard.pattern) +
+         ":h" + std::to_string(shard.hammers);
+  return campaign::fnv1a(key);
+}
+
+bool ResultCache::lookup(std::uint64_t key, std::vector<core::RowRecord>& records) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  records = it->second;
+  return true;
+}
+
+void ResultCache::insert(std::uint64_t key, const std::vector<core::RowRecord>& records) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  map_.emplace(key, records);
+}
+
+std::size_t ResultCache::entries() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+std::uint64_t ResultCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+}  // namespace rh::serve

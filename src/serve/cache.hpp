@@ -1,0 +1,64 @@
+// The content-addressed result cache: measured RowRecords keyed by what was
+// measured, not by which job asked.
+//
+// Keying is per *shard*, not per job: a shard's key is the FNV-1a hash of
+// the sweep's physics prefix (campaign::sweep_fingerprint with the shard
+// plan stripped — device, temperature, characterizer) concatenated with the
+// shard's own content (site, row range, stride, mode, pattern, hammers) —
+// deliberately *excluding* the shard's plan index. Two consequences:
+//   * an identical resubmission (same config hash) hits on every shard and
+//     is answered with zero simulation,
+//   * a superset job (say, the same survey at half the stride, or more
+//     channels) hits on exactly the shards whose work it shares with any
+//     earlier job and only simulates the genuinely new ones, regardless of
+//     where those shards landed in either plan.
+//
+// Safety rests on the same determinism contract as the journal: a shard's
+// records are a pure function of (physics prefix, shard content), so serving
+// cached bytes is indistinguishable from re-simulating.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "core/characterizer.hpp"
+#include "core/shard.hpp"
+
+namespace rh::serve {
+
+/// The sweep's physics prefix: its canonical fingerprint with the shard
+/// plan stripped. Compute once per job, feed to shard_cache_key per shard.
+[[nodiscard]] std::string sweep_cache_prefix(const campaign::SweepSpec& spec);
+
+/// Content key of one shard under a physics prefix (plan index excluded).
+[[nodiscard]] std::uint64_t shard_cache_key(const std::string& prefix,
+                                            const core::ShardSpec& shard);
+
+/// Thread-safe map from shard content key to measured records. Grows
+/// monotonically for the server's lifetime (a few KB per shard at survey
+/// granularity); restart warm-up refills it from the journals on disk.
+class ResultCache {
+public:
+  /// True and fills `records` on a hit; counts the lookup either way.
+  bool lookup(std::uint64_t key, std::vector<core::RowRecord>& records);
+  /// Stores a completed shard's records (first write wins; a duplicate
+  /// insert of the same key is a no-op because the bytes are equal by the
+  /// determinism contract).
+  void insert(std::uint64_t key, const std::vector<core::RowRecord>& records);
+
+  [[nodiscard]] std::size_t entries() const;
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+
+private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::vector<core::RowRecord>> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace rh::serve

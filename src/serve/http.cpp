@@ -1,0 +1,282 @@
+#include "serve/http.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace rh::serve {
+
+namespace {
+
+constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+constexpr std::size_t kMaxBodyBytes = 8 * 1024 * 1024;
+constexpr int kIoTimeoutSeconds = 10;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw common::ConfigError(what + ": " + std::strerror(errno));
+}
+
+void set_io_timeout(int fd) {
+  timeval tv{};
+  tv.tv_sec = kIoTimeoutSeconds;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+std::string reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 429: return "Too Many Requests";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+void send_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("http: send failed");
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+std::string lowercase(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("http: cannot create listening socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string msg = "http: cannot bind 127.0.0.1:" + std::to_string(port);
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno(msg);
+  }
+  if (::listen(fd_, 64) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("http: listen failed");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("http: getsockname failed");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+int TcpListener::accept_connection(int timeout_ms) {
+  if (fd_ < 0) return -1;
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0) return -1;  // timeout, or EINTR — the caller re-polls
+  const int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn < 0) return -1;
+  set_io_timeout(conn);
+  const int one = 1;
+  ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return conn;
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+HttpRequest read_http_request(int fd) {
+  // Read until the blank line that ends the header block, then exactly
+  // Content-Length body bytes (whatever spilled past the blank line counts).
+  std::string buffer;
+  std::size_t header_end = std::string::npos;
+  char chunk[4096];
+  while (header_end == std::string::npos) {
+    if (buffer.size() > kMaxHeaderBytes) {
+      throw HttpError("http: request headers exceed " + std::to_string(kMaxHeaderBytes) +
+                      " bytes");
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("http: recv failed");
+    }
+    if (n == 0) throw HttpError("http: connection closed mid-request");
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    header_end = buffer.find("\r\n\r\n");
+  }
+
+  HttpRequest req;
+  std::size_t pos = 0;
+  const auto next_line = [&](std::size_t limit) {
+    const std::size_t eol = buffer.find("\r\n", pos);
+    const std::size_t end = (eol == std::string::npos || eol > limit) ? limit : eol;
+    std::string line = buffer.substr(pos, end - pos);
+    pos = end + 2;
+    return line;
+  };
+
+  const std::string request_line = next_line(header_end);
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 = request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    throw HttpError("http: malformed request line: " + request_line);
+  }
+  req.method = request_line.substr(0, sp1);
+  req.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = request_line.substr(sp2 + 1);
+  if (version.rfind("HTTP/1.", 0) != 0) {
+    throw HttpError("http: unsupported protocol version: " + version);
+  }
+
+  while (pos < header_end) {
+    const std::string line = next_line(header_end);
+    if (line.empty()) break;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) throw HttpError("http: malformed header line: " + line);
+    req.headers[lowercase(trim(line.substr(0, colon)))] = trim(line.substr(colon + 1));
+  }
+
+  std::size_t content_length = 0;
+  if (const auto it = req.headers.find("content-length"); it != req.headers.end()) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') {
+      throw HttpError("http: malformed Content-Length: " + it->second);
+    }
+    content_length = static_cast<std::size_t>(parsed);
+    if (content_length > kMaxBodyBytes) {
+      throw HttpError("http: request body exceeds " + std::to_string(kMaxBodyBytes) + " bytes");
+    }
+  }
+
+  req.body = buffer.substr(header_end + 4);
+  while (req.body.size() < content_length) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("http: recv failed");
+    }
+    if (n == 0) throw HttpError("http: connection closed mid-body");
+    req.body.append(chunk, static_cast<std::size_t>(n));
+  }
+  req.body.resize(content_length);
+  return req;
+}
+
+void write_http_response(int fd, const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    reason_phrase(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  send_all(fd, out.data(), out.size());
+}
+
+HttpResponse http_request(std::uint16_t port, const std::string& method,
+                          const std::string& target, const std::string& body,
+                          const std::map<std::string, std::string>& headers) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("http: cannot create client socket");
+  set_io_timeout(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string msg = "http: cannot connect to 127.0.0.1:" + std::to_string(port);
+    ::close(fd);
+    throw_errno(msg);
+  }
+
+  int owned_fd = fd;  // -1 once closed, so the catch never double-closes
+  try {
+    std::string out = method + " " + target + " HTTP/1.1\r\n";
+    out += "Host: 127.0.0.1:" + std::to_string(port) + "\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    for (const auto& [name, value] : headers) out += name + ": " + value + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += body;
+    send_all(fd, out.data(), out.size());
+
+    // Connection: close framing — the response is everything until EOF.
+    std::string in;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("http: recv failed");
+      }
+      if (n == 0) break;
+      in.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(owned_fd);
+    owned_fd = -1;
+
+    const std::size_t header_end = in.find("\r\n\r\n");
+    if (header_end == std::string::npos || in.rfind("HTTP/1.", 0) != 0) {
+      throw HttpError("http: malformed response");
+    }
+    HttpResponse resp;
+    resp.status = std::atoi(in.c_str() + in.find(' ') + 1);
+    const std::size_t ct = lowercase(in.substr(0, header_end)).find("content-type:");
+    if (ct != std::string::npos) {
+      const std::size_t eol = in.find("\r\n", ct);
+      resp.content_type = trim(in.substr(ct + 13, eol - ct - 13));
+    }
+    resp.body = in.substr(header_end + 4);
+    return resp;
+  } catch (...) {
+    if (owned_fd >= 0) ::close(owned_fd);
+    throw;
+  }
+}
+
+}  // namespace rh::serve

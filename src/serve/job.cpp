@@ -1,0 +1,181 @@
+#include "serve/job.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "profiling/report.hpp"
+
+namespace rh::serve {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::string hash_hex(std::uint64_t h) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+void write_text_file(const std::string& path, const std::string& text, const char* what) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw common::ConfigError(std::string("cannot open ") + what + " file: " + path);
+  out << text;
+  if (!out) throw common::ConfigError(std::string("cannot write ") + what + " file: " + path);
+}
+
+}  // namespace
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+JobState job_state_from_string(const std::string& text) {
+  if (text == "queued") return JobState::kQueued;
+  if (text == "running") return JobState::kRunning;
+  if (text == "done") return JobState::kDone;
+  if (text == "failed") return JobState::kFailed;
+  if (text == "cancelled") return JobState::kCancelled;
+  throw common::ConfigError("job descriptor: unknown state \"" + text + "\"");
+}
+
+void register_job_counters(Job& job) {
+  // Mirror Campaign::run()'s registration set (and the histogram's bounds)
+  // exactly: the deterministic report projection serializes these, so a
+  // missing or extra metric would break report byte-identity with the
+  // bench CLI path.
+  job.metrics.counter("campaign.shards_total").add(job.spec.shards.size());
+  job.metrics.counter("campaign.shards_done");
+  job.metrics.counter("campaign.shards_skipped");
+  job.metrics.counter("campaign.shards_failed");
+  job.metrics.counter("campaign.shards_retried");
+  job.metrics.counter("campaign.shards_fatal");
+  job.metrics.counter("campaign.records");
+  job.metrics.counter("resilience.injected");
+  job.metrics.counter("resilience.recovered");
+  job.metrics.counter("resilience.aborted");
+  job.metrics.histogram("campaign.shard_wall_ms", 0.0, 60000.0, 120);
+}
+
+void finalize_job(Job& job) {
+  if (job.finalized) return;
+  job.finalized = true;
+
+  std::sort(job.result.failures.begin(), job.result.failures.end(),
+            [](const campaign::ShardFailure& a, const campaign::ShardFailure& b) {
+              return a.shard < b.shard;
+            });
+  std::sort(job.result.timings.begin(), job.result.timings.end(),
+            [](const profiling::ShardTiming& a, const profiling::ShardTiming& b) {
+              return a.shard < b.shard;
+            });
+  job.result.elapsed_wall_ms = ms_since(job.epoch);
+  job.result.jobs = static_cast<unsigned>(std::max<std::size_t>(1, job.wstatus.size()));
+
+  // Root the span forest exactly the way Campaign::run() does.
+  telemetry::Span root;
+  root.id = telemetry::kCampaignSpanId;
+  root.parent = 0;
+  root.kind = telemetry::SpanKind::kCampaign;
+  for (const auto& t : job.result.timings) root.end_cycle += t.device_cycles;
+  root.end_wall_ms = job.result.elapsed_wall_ms;
+  job.spans.add(root);
+  job.spans.sort_canonical();
+
+  if (job.stream != nullptr) {
+    job.stream->append(telemetry::format_final_sample(
+        ms_since(job.epoch), telemetry::counter_values(job.metrics),
+        job.metrics.counter("campaign.shards_done").value(),
+        job.metrics.counter("campaign.shards_failed").value(),
+        job.metrics.counter("campaign.shards_skipped").value(),
+        job.metrics.counter("campaign.shards_total").value()));
+  }
+
+  if (job.aggregate != nullptr) job.aggregate->metrics().merge_from(job.metrics);
+
+  const profiling::RunReport report =
+      campaign::build_report(job.config.label, job.spec, job.profile, job.spans, job.metrics,
+                             job.result, job.aggregate.get());
+  {
+    std::string text;
+    {
+      std::ostringstream os;
+      profiling::write_report_json(os, report);
+      os << '\n';
+      text = os.str();
+    }
+    write_text_file(job.report_path, text, "job report");
+    std::ostringstream os;
+    profiling::write_report_json(os, report, /*include_wall=*/false);
+    os << '\n';
+    write_text_file(job.det_report_path, os.str(), "job report");
+  }
+
+  // Close the writers: their destructors flush + fclose, so after finalize
+  // the on-disk journal/stream are complete documents.
+  job.journal.reset();
+  job.stream.reset();
+
+  if (job.result.failures.empty()) {
+    job.state = JobState::kDone;
+  } else {
+    job.state = JobState::kFailed;
+    job.error = std::to_string(job.result.failures.size()) + " of " +
+                std::to_string(job.spec.shards.size()) + " shards failed; first: shard " +
+                std::to_string(job.result.failures.front().shard) + ": " +
+                job.result.failures.front().what;
+  }
+}
+
+std::string job_status_json(Job& job) {
+  const std::uint64_t total = job.spec.shards.size();
+  const std::uint64_t completed = job.result.shards_run + job.result.shards_skipped;
+  const bool cache_hit = total > 0 && job.shards_cached == total;
+  std::string out = "{";
+  out += "\"cache_hit\":";
+  out += cache_hit ? "true" : "false";
+  out += ",\"config_hash\":\"" + hash_hex(job.hash) + "\"";
+  out += ",\"error\":\"" + telemetry::json_escape(job.error) + "\"";
+  out += ",\"id\":" + std::to_string(job.id);
+  out += ",\"kind\":\"" + job.config.kind + "\"";
+  out += ",\"label\":\"" + telemetry::json_escape(job.config.label) + "\"";
+  out += ",\"records\":" +
+         std::to_string(static_cast<std::uint64_t>(
+             job.metrics.counter("campaign.records").value()));
+  out += ",\"shards\":{\"cached\":" + std::to_string(job.shards_cached);
+  out += ",\"done\":" + std::to_string(completed);
+  out += ",\"failed\":" + std::to_string(job.result.failures.size());
+  out += ",\"remaining\":" + std::to_string(job.remaining);
+  out += ",\"total\":" + std::to_string(total) + "}";
+  out += ",\"state\":\"" + std::string(to_string(job.state)) + "\"";
+  out += ",\"tenant\":\"" + telemetry::json_escape(job.tenant) + "\"";
+  out += "}";
+  return out;
+}
+
+std::string job_meta_json(Job& job) {
+  std::string out = "{";
+  out += "\"config\":" + to_canonical_json(job.config);
+  out += ",\"config_hash\":\"" + hash_hex(job.hash) + "\"";
+  out += ",\"id\":" + std::to_string(job.id);
+  out += ",\"schema\":\"rh-serve-job/v1\"";
+  out += ",\"state\":\"" + std::string(to_string(job.state)) + "\"";
+  out += ",\"tenant\":\"" + telemetry::json_escape(job.tenant) + "\"";
+  out += "}";
+  return out;
+}
+
+}  // namespace rh::serve

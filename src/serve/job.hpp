@@ -1,0 +1,119 @@
+// One tenant-submitted campaign job and its on-disk footprint.
+//
+// A Job owns exactly the state one Campaign::run() call owns — result,
+// counters, profile, span sheet, journal, metrics stream, worker status —
+// because the service's contract is that a job's deterministic report is
+// byte-identical to running its config through the bench CLI path. The
+// scheduler (scheduler.hpp) mutates all of it under `mutex`, replicating
+// the campaign engine's accounting move for move; the job just holds it.
+//
+// On-disk footprint, all under the server's data dir and all named by id:
+//   job-<id>.json           descriptor (tenant, state, canonical config) —
+//                           what restart recovery replays
+//   job-<id>.journal.jsonl  the campaign checkpoint journal (the results)
+//   job-<id>.stream.jsonl   rh-metrics-stream/v1 (GET /jobs/<id>/stream)
+//   job-<id>.report.json    rh-run-report/v1, written at finalize
+//   job-<id>.report.det.json  the deterministic projection of the same
+//
+// The journal doubles as the job's durable result set: resume restores it,
+// the cache warms from it, and GET /jobs/<id>/results flattens it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/journal.hpp"
+#include "profiling/profile.hpp"
+#include "serve/config.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/stream.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace rh::serve {
+
+enum class JobState : std::uint8_t { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+[[nodiscard]] const char* to_string(JobState state);
+[[nodiscard]] JobState job_state_from_string(const std::string& text);
+
+/// True for states the scheduler still owes work to.
+[[nodiscard]] inline bool job_state_active(JobState s) {
+  return s == JobState::kQueued || s == JobState::kRunning;
+}
+
+/// Live status of one rig slot against this job (the wall samples' workers
+/// array). Guarded by Job::mutex.
+struct JobWorkerStatus {
+  double busy_ms = 0.0;
+  std::uint64_t done = 0;
+  std::int64_t shard = -1;
+  std::chrono::steady_clock::time_point claim;
+};
+
+struct Job {
+  // --- immutable after admission --------------------------------------
+  std::uint64_t id = 0;
+  std::string tenant = "anonymous";
+  CampaignConfig config;
+  campaign::SweepSpec spec;   ///< to_sweep_spec(config), computed once
+  std::uint64_t hash = 0;     ///< config_hash(config) == the journal header's
+  std::string cache_prefix;   ///< sweep_cache_prefix(spec)
+  std::string journal_path;
+  std::string stream_path;
+  std::string report_path;
+  std::string det_report_path;
+  std::string meta_path;
+
+  // --- mutable, guarded by `mutex` (cancel is an atomic flag so the
+  //     scheduler can observe it without the lock) -----------------------
+  std::mutex mutex;
+  JobState state = JobState::kQueued;
+  std::atomic<bool> cancel{false};
+  std::string error;  ///< first fatal failure / finalize error, for the API
+
+  std::vector<char> done;        ///< per-shard completion, plan order
+  std::size_t remaining = 0;     ///< shards not yet completed or failed
+  std::uint64_t shards_cached = 0;  ///< answered from the result cache
+  unsigned rigs_attached = 0;    ///< rigs currently holding this job's state
+  /// Fault-injector decorrelation serial (atomic: drawn during rig build,
+  /// outside the job lock — exactly Campaign::run()'s rig_serial).
+  std::atomic<std::uint64_t> rig_serial{0};
+  bool finalized = false;
+
+  campaign::CampaignResult result;
+  telemetry::MetricsRegistry metrics;   ///< campaign.*/resilience.* counters
+  profiling::Profile profile;           ///< fleet profile (rigs merge in)
+  telemetry::SpanSheet spans;
+  std::unique_ptr<telemetry::Telemetry> aggregate;  ///< fleet cmd.* sink
+  std::unique_ptr<campaign::JournalWriter> journal;
+  std::unique_ptr<telemetry::MetricsStreamWriter> stream;
+  std::vector<JobWorkerStatus> wstatus;       ///< one slot per scheduler rig
+  telemetry::CounterValues last_wall;         ///< previous wall sample's values
+  std::chrono::steady_clock::time_point epoch;  ///< run start (span clock base)
+};
+
+/// Registers the campaign counter set on a fresh job's registry in the
+/// exact order Campaign::run() does (snapshot key order is sorted, but the
+/// stream's delta series observes registration-time zero-ness).
+void register_job_counters(Job& job);
+
+/// Completes a job whose last shard has retired: sorts timings/failures,
+/// roots the span forest, emits the final stream sample, merges counters
+/// into the aggregate sink, builds the rh-run-report/v1 pair, and writes
+/// both report files. Caller holds job.mutex; state must still be active.
+void finalize_job(Job& job);
+
+/// One-line JSON descriptor for GET /jobs/<id> (and the jobs list).
+[[nodiscard]] std::string job_status_json(Job& job);
+
+/// Persisted job-<id>.json descriptor (canonical config embedded).
+[[nodiscard]] std::string job_meta_json(Job& job);
+
+}  // namespace rh::serve

@@ -1,0 +1,127 @@
+// The work-stealing rig pool: a fixed set of simulated rigs multiplexed
+// over every admitted job's shards.
+//
+// Topology: one deque of (job, shard) tasks per rig under a single pool
+// lock (a handful of rigs, millisecond-to-minute tasks — contention is
+// nil; the deques exist for placement, not for lock-freedom). enqueue()
+// deals a job's pending shards round-robin across the deques; a rig pops
+// its own deque from the front and, when empty, steals from the back of a
+// peer's, so one giant job spreads over all rigs yet a small job landing
+// later still starts immediately on whichever rig frees up first.
+//
+// Execution of one task replicates Campaign::run()'s inner worker loop
+// move for move — same counter updates, same span tree, same retry/fatal
+// split, same journal append under the job lock — because the service's
+// contract is that a job's deterministic report is byte-identical to the
+// bench CLI path. Where Campaign keeps per-worker state for the lifetime
+// of one run, a rig keeps it per *attachment*: the stretch of consecutive
+// tasks it runs for one job. Switching jobs (or going idle) retires the
+// attachment, folding the rig's host profile, telemetry sink, span sheet,
+// and fault-injector stats into the job under the job's mutex. A job
+// finalizes when its last shard has completed AND its last rig has
+// retired — so nothing is ever absorbed twice and nothing is missing.
+//
+// Drain: stop() lets in-flight tasks finish (and journal), then joins the
+// rig threads. Unfinished jobs keep their journals; restart recovery
+// re-enqueues exactly the missing shards.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "resilience/retry.hpp"
+#include "serve/cache.hpp"
+#include "serve/job.hpp"
+
+namespace rh::serve {
+
+class Scheduler {
+public:
+  struct Options {
+    unsigned rigs = 2;       ///< pool size (worker threads / simulated rigs)
+    unsigned retries = 1;    ///< per-shard transient-failure retry budget
+    resilience::RetryPolicy retry_policy;  ///< per-host transport retries
+    /// Device cycles between a job's per-rig metrics-stream samples.
+    std::uint64_t stream_cycle_cadence = 1ull << 24;
+  };
+
+  Scheduler(Options options, ResultCache& cache);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Fires (outside every lock) each time a job reaches a terminal state.
+  void set_on_finalized(std::function<void(const std::shared_ptr<Job>&)> cb);
+
+  /// Starts the rig threads. Call once, before the first enqueue.
+  void start();
+
+  /// Queues every not-yet-done shard of `job`. The job must already be
+  /// prepared (journal/stream writers open, counters registered, cached
+  /// shards marked done). A job whose shards are all done is finalized
+  /// inline, never queued.
+  void enqueue(const std::shared_ptr<Job>& job);
+
+  /// Graceful drain: finish (and journal) in-flight tasks, then stop.
+  /// Queued-but-unstarted tasks are abandoned (their jobs resume on
+  /// restart). Idempotent.
+  void stop();
+
+  /// Tasks queued but not yet claimed by a rig.
+  [[nodiscard]] std::size_t queue_depth() const;
+
+  [[nodiscard]] unsigned rigs() const { return options_.rigs; }
+  /// Shards actually simulated (cache-served shards never reach a rig).
+  [[nodiscard]] std::uint64_t shards_run() const { return shards_run_.load(); }
+  /// Shards a rig stole from a peer's deque.
+  [[nodiscard]] std::uint64_t shards_stolen() const { return shards_stolen_.load(); }
+
+private:
+  struct Task {
+    std::shared_ptr<Job> job;
+    std::uint64_t shard = 0;
+  };
+
+  /// One rig's per-attachment state (see file comment).
+  struct Rig {
+    std::shared_ptr<Job> job;  ///< current attachment, null when detached
+    std::unique_ptr<bender::BenderHost> host;
+    std::unique_ptr<telemetry::Telemetry> sink;
+    std::unique_ptr<resilience::FaultInjector> injector;
+    std::unique_ptr<core::Characterizer> characterizer;
+    profiling::Profile profile;   ///< campaign-level phases this attachment
+    telemetry::SpanSheet sheet;   ///< spans this attachment
+  };
+
+  void rig_loop(unsigned rig_index);
+  bool pop_task(unsigned rig_index, Task& task);  ///< pool lock held
+  void attach(Rig& rig, const std::shared_ptr<Job>& job);
+  void scrap_hardware(Rig& rig);  ///< absorb + destroy host/sink/injector
+  void retire(Rig& rig);          ///< end the attachment; may finalize the job
+  void run_task(unsigned rig_index, Rig& rig, const Task& task);
+  void build_rig(Rig& rig, Job& job);
+  void finalize_if_complete(const std::shared_ptr<Job>& job);
+
+  Options options_;
+  ResultCache& cache_;
+  std::atomic<std::uint64_t> shards_run_{0};
+  std::atomic<std::uint64_t> shards_stolen_{0};
+  std::function<void(const std::shared_ptr<Job>&)> on_finalized_;
+
+  mutable std::mutex mutex_;  ///< guards deques_ + stop_
+  std::condition_variable cv_;
+  std::vector<std::deque<Task>> deques_;
+  std::size_t next_deque_ = 0;  ///< round-robin dealing cursor
+  bool stop_ = false;
+  std::vector<std::thread> rigs_;
+};
+
+}  // namespace rh::serve

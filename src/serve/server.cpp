@@ -1,0 +1,598 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "campaign/journal.hpp"
+#include "campaign/record_io.hpp"
+#include "common/error.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace rh::serve {
+
+namespace {
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw common::ConfigError("cannot open file: " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_text_file(const std::string& path, const std::string& text, const char* what) {
+  // Write-then-rename so a kill mid-write never leaves a torn descriptor
+  // where recovery would read it.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) throw common::ConfigError(std::string("cannot open ") + what + " file: " + tmp);
+    out << text;
+    out.flush();
+    if (!out) throw common::ConfigError(std::string("cannot write ") + what + " file: " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw common::ConfigError(std::string("cannot replace ") + what + " file: " + path + ": " +
+                              ec.message());
+  }
+}
+
+HttpResponse json_response(int status, std::string body) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = std::move(body);
+  resp.body += '\n';
+  return resp;
+}
+
+HttpResponse error_response(int status, const std::string& message) {
+  return json_response(status, "{\"error\":\"" + telemetry::json_escape(message) + "\"}");
+}
+
+/// True iff `name` is exactly job-<digits>.json — the descriptor, not the
+/// report/journal/stream siblings that share the prefix.
+bool is_job_descriptor(const std::string& name, std::uint64_t& id) {
+  if (name.rfind("job-", 0) != 0) return false;
+  const std::string::size_type dot = name.find('.');
+  if (dot == std::string::npos || name.substr(dot) != ".json") return false;
+  const std::string digits = name.substr(4, dot - 4);
+  if (digits.empty()) return false;
+  for (const char c : digits) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  id = std::strtoull(digits.c_str(), nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+Server::Server(Options options)
+    : options_(std::move(options)),
+      scheduler_(
+          [&] {
+            Scheduler::Options so;
+            so.rigs = std::max(1u, options_.rigs);
+            so.retries = options_.retries;
+            so.retry_policy = options_.retry_policy;
+            so.stream_cycle_cadence = std::max<std::uint64_t>(1, options_.stream_cycle_cadence);
+            return so;
+          }(),
+          cache_) {
+  options_.rigs = std::max(1u, options_.rigs);
+  if (options_.data_dir.empty()) options_.data_dir = ".";
+}
+
+Server::~Server() { drain(); }
+
+std::string Server::job_path(std::uint64_t id, const char* suffix) const {
+  return options_.data_dir + "/job-" + std::to_string(id) + suffix;
+}
+
+void Server::start() {
+  std::filesystem::create_directories(options_.data_dir);
+  scheduler_.set_on_finalized([this](const std::shared_ptr<Job>& job) { on_finalized(job); });
+  recover();
+  scheduler_.start();
+  // Re-enqueue recovered active jobs only once the rigs exist.
+  std::vector<std::shared_ptr<Job>> active;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, job] : jobs_) {
+      const std::lock_guard<std::mutex> jlock(job->mutex);
+      if (job_state_active(job->state)) active.push_back(job);
+    }
+  }
+  for (const auto& job : active) scheduler_.enqueue(job);
+  listener_ = std::make_unique<TcpListener>(options_.port);
+  port_ = listener_->port();
+}
+
+void Server::drain() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) return;
+    draining_ = true;
+  }
+  scheduler_.stop();
+}
+
+void Server::serve(const std::function<bool()>& should_stop) {
+  while (listener_ != nullptr) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (draining_) break;
+    }
+    if (should_stop && should_stop()) break;
+    const int fd = listener_->accept_connection(250);
+    if (fd < 0) continue;
+    try {
+      const HttpRequest req = read_http_request(fd);
+      HttpResponse resp;
+      try {
+        resp = handle(req);
+      } catch (const HttpError& e) {
+        resp = error_response(400, e.what());
+      } catch (const std::exception& e) {
+        resp = error_response(500, e.what());
+      }
+      write_http_response(fd, resp);
+    } catch (const std::exception&) {
+      // Malformed request framing or a peer that hung up mid-read: drop
+      // the connection, keep serving.
+    }
+    close_fd(fd);
+  }
+  drain();
+}
+
+std::shared_ptr<Job> Server::find_job(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  return it != jobs_.end() ? it->second : nullptr;
+}
+
+HttpResponse Server::handle(const HttpRequest& req) {
+  std::string path = req.target;
+  std::string query;
+  if (const std::string::size_type q = path.find('?'); q != std::string::npos) {
+    query = path.substr(q + 1);
+    path.resize(q);
+  }
+
+  if (path == "/healthz") {
+    if (req.method != "GET") return error_response(405, "use GET");
+    return json_response(200, "{\"ok\":true,\"schema\":\"rh-serve-healthz/v1\"}");
+  }
+  if (path == "/statz") {
+    if (req.method != "GET") return error_response(405, "use GET");
+    return json_response(200, statz_json());
+  }
+  if (path == "/jobs") {
+    if (req.method == "POST") return submit(req);
+    if (req.method == "GET") return list_jobs();
+    return error_response(405, "use GET or POST");
+  }
+  if (path.rfind("/jobs/", 0) == 0) {
+    const std::string rest = path.substr(6);
+    const std::string::size_type slash = rest.find('/');
+    const std::string id_text = rest.substr(0, slash);
+    if (id_text.empty() ||
+        id_text.find_first_not_of("0123456789") != std::string::npos) {
+      return error_response(404, "no such job: " + id_text);
+    }
+    const std::uint64_t id = std::strtoull(id_text.c_str(), nullptr, 10);
+    const std::shared_ptr<Job> job = find_job(id);
+    if (job == nullptr) return error_response(404, "no such job: " + id_text);
+    const std::string sub = slash == std::string::npos ? "" : rest.substr(slash);
+
+    if (sub.empty()) {
+      if (req.method == "DELETE") return cancel_job(id);
+      if (req.method != "GET") return error_response(405, "use GET or DELETE");
+      const std::lock_guard<std::mutex> lock(job->mutex);
+      return json_response(200, job_status_json(*job));
+    }
+    if (req.method != "GET") return error_response(405, "use GET");
+    if (sub == "/report") {
+      {
+        const std::lock_guard<std::mutex> lock(job->mutex);
+        if (!job->finalized) {
+          return error_response(404, "job " + id_text + " has no report yet (state " +
+                                         to_string(job->state) + ")");
+        }
+      }
+      const bool det = query == "det=1";
+      return file_response(det ? job->det_report_path : job->report_path, "application/json");
+    }
+    if (sub == "/results") return results_response(job);
+    if (sub == "/stream") return file_response(job->stream_path, "application/x-ndjson");
+    return error_response(404, "no such endpoint: " + path);
+  }
+  return error_response(404, "no such endpoint: " + path);
+}
+
+HttpResponse Server::submit(const HttpRequest& req) {
+  CampaignConfig config;
+  try {
+    config = config_from_json(req.body, "request body");
+  } catch (const common::Error& e) {
+    jobs_rejected_.fetch_add(1);
+    return error_response(400, e.what());
+  }
+  std::string tenant = "anonymous";
+  if (const auto it = req.headers.find("x-tenant"); it != req.headers.end() &&
+                                                    !it->second.empty()) {
+    tenant = it->second;
+  }
+
+  std::shared_ptr<Job> job;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      jobs_rejected_.fetch_add(1);
+      return error_response(503, "server is draining");
+    }
+    std::size_t active = 0;
+    std::size_t tenant_active = 0;
+    for (const auto& [id, existing] : jobs_) {
+      const std::lock_guard<std::mutex> jlock(existing->mutex);
+      if (!job_state_active(existing->state)) continue;
+      ++active;
+      if (existing->tenant == tenant) ++tenant_active;
+    }
+    if (active >= options_.queue_limit) {
+      jobs_rejected_.fetch_add(1);
+      HttpResponse resp = error_response(429, "server queue is full (" +
+                                                  std::to_string(active) + " active jobs)");
+      resp.extra_headers.emplace("Retry-After", "1");
+      return resp;
+    }
+    if (tenant_active >= options_.tenant_quota) {
+      jobs_rejected_.fetch_add(1);
+      HttpResponse resp =
+          error_response(429, "tenant \"" + tenant + "\" is over quota (" +
+                                  std::to_string(tenant_active) + " active jobs)");
+      resp.extra_headers.emplace("Retry-After", "1");
+      return resp;
+    }
+
+    const std::uint64_t id = next_id_++;
+    job = make_job(id, tenant, std::move(config));
+    prepare_fresh(*job);
+    jobs_.emplace(id, job);
+  }
+  jobs_submitted_.fetch_add(1);
+
+  bool fully_cached = false;
+  {
+    const std::lock_guard<std::mutex> jlock(job->mutex);
+    fully_cached = job->remaining == 0;
+  }
+  persist_meta(*job);  // descriptor on disk before any rig can touch the job
+  if (fully_cached) jobs_cache_hit_.fetch_add(1);
+  scheduler_.enqueue(job);  // fully-cached jobs finalize inline here
+  // Status is read *after* enqueue so a job born fully cached answers its
+  // own submission with state "done" (and cache_hit true), not "queued".
+  std::string body;
+  {
+    const std::lock_guard<std::mutex> jlock(job->mutex);
+    body = job_status_json(*job);
+  }
+  return json_response(201, std::move(body));
+}
+
+HttpResponse Server::list_jobs() {
+  std::string body = "{\"jobs\":[";
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    bool first = true;
+    for (const auto& [id, job] : jobs_) {
+      if (!first) body += ',';
+      first = false;
+      const std::lock_guard<std::mutex> jlock(job->mutex);
+      body += job_status_json(*job);
+    }
+  }
+  body += "]}";
+  return json_response(200, std::move(body));
+}
+
+HttpResponse Server::cancel_job(std::uint64_t id) {
+  const std::shared_ptr<Job> job = find_job(id);
+  if (job == nullptr) return error_response(404, "no such job: " + std::to_string(id));
+  std::string body;
+  {
+    const std::lock_guard<std::mutex> lock(job->mutex);
+    if (!job_state_active(job->state)) {
+      return error_response(409,
+                            "job " + std::to_string(id) + " is already " +
+                                to_string(job->state));
+    }
+    job->cancel.store(true, std::memory_order_relaxed);
+    job->state = JobState::kCancelled;
+    // Close the writers now: a rig finishing its in-flight shard sees a
+    // null journal and skips the append, so the cancellation point is
+    // crisp in the on-disk record.
+    job->journal.reset();
+    job->stream.reset();
+    body = job_status_json(*job);
+  }
+  persist_meta(*job);
+  return json_response(200, std::move(body));
+}
+
+HttpResponse Server::results_response(const std::shared_ptr<Job>& job) {
+  std::error_code ec;
+  if (!std::filesystem::exists(job->journal_path, ec)) {
+    return error_response(404, "job " + std::to_string(job->id) + " has no journal");
+  }
+  // Reading the intact prefix is safe while a writer holds the file: every
+  // append is a whole fsync'd line. Flattening sorts by shard index and
+  // re-serializes, so the document is byte-identical no matter how the
+  // shards interleaved across rigs, retries, or server restarts.
+  campaign::JournalReader reader(job->journal_path);
+  std::string body;
+  for (const auto& [index, records] : reader.shards()) {
+    for (const auto& record : records) {
+      campaign::append_row_record_json(body, record);
+      body += '\n';
+    }
+  }
+  HttpResponse resp;
+  resp.status = 200;
+  resp.content_type = "application/x-ndjson";
+  resp.body = std::move(body);
+  return resp;
+}
+
+HttpResponse Server::file_response(const std::string& path, const char* content_type) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    return error_response(404, "no such file: " + path);
+  }
+  HttpResponse resp;
+  resp.status = 200;
+  resp.content_type = content_type;
+  resp.body = read_text_file(path);
+  return resp;
+}
+
+std::string Server::statz_json() {
+  std::size_t active = 0;
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  std::size_t cancelled = 0;
+  std::uint64_t shards_cached = 0;
+  bool draining = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    draining = draining_;
+    for (const auto& [id, job] : jobs_) {
+      const std::lock_guard<std::mutex> jlock(job->mutex);
+      shards_cached += job->shards_cached;
+      switch (job->state) {
+        case JobState::kQueued: ++queued; ++active; break;
+        case JobState::kRunning: ++running; ++active; break;
+        case JobState::kDone: ++done; break;
+        case JobState::kFailed: ++failed; break;
+        case JobState::kCancelled: ++cancelled; break;
+      }
+    }
+  }
+  std::string out = "{";
+  out += "\"campaign.shards_run\":" + std::to_string(scheduler_.shards_run());
+  out += ",\"draining\":";
+  out += draining ? "true" : "false";
+  out += ",\"schema\":\"rh-serve-statz/v1\"";
+  out += ",\"serve.cache_entries\":" + std::to_string(cache_.entries());
+  out += ",\"serve.cache_hits\":" + std::to_string(cache_.hits());
+  out += ",\"serve.cache_misses\":" + std::to_string(cache_.misses());
+  out += ",\"serve.jobs_active\":" + std::to_string(active);
+  out += ",\"serve.jobs_cache_hit\":" + std::to_string(jobs_cache_hit_.load());
+  out += ",\"serve.jobs_cancelled\":" + std::to_string(cancelled);
+  out += ",\"serve.jobs_done\":" + std::to_string(done);
+  out += ",\"serve.jobs_failed\":" + std::to_string(failed);
+  out += ",\"serve.jobs_queued\":" + std::to_string(queued);
+  out += ",\"serve.jobs_rejected\":" + std::to_string(jobs_rejected_.load());
+  out += ",\"serve.jobs_running\":" + std::to_string(running);
+  out += ",\"serve.jobs_submitted\":" + std::to_string(jobs_submitted_.load());
+  out += ",\"serve.queue_depth\":" + std::to_string(scheduler_.queue_depth());
+  out += ",\"serve.rigs\":" + std::to_string(scheduler_.rigs());
+  out += ",\"serve.shards_cached\":" + std::to_string(shards_cached);
+  out += ",\"serve.shards_stolen\":" + std::to_string(scheduler_.shards_stolen());
+  out += "}";
+  return out;
+}
+
+std::shared_ptr<Job> Server::make_job(std::uint64_t id, const std::string& tenant,
+                                      CampaignConfig config) {
+  auto job = std::make_shared<Job>();
+  job->id = id;
+  job->tenant = tenant;
+  job->config = std::move(config);
+  job->spec = to_sweep_spec(job->config);
+  job->hash = config_hash(job->config);
+  job->cache_prefix = sweep_cache_prefix(job->spec);
+  job->journal_path = job_path(id, ".journal.jsonl");
+  job->stream_path = job_path(id, ".stream.jsonl");
+  job->report_path = job_path(id, ".report.json");
+  job->det_report_path = job_path(id, ".report.det.json");
+  job->meta_path = job_path(id, ".json");
+  const std::size_t n = job->spec.shards.size();
+  job->done.assign(n, 0);
+  job->remaining = n;
+  job->result.per_shard.resize(n);
+  register_job_counters(*job);
+  // Same sink configuration as the bench CLI's report-only TelemetrySession:
+  // report byte-identity depends on the aggregate snapshot matching.
+  telemetry::TelemetryConfig tc;
+  tc.trace_enabled = false;
+  job->aggregate = std::make_unique<telemetry::Telemetry>(tc);
+  job->wstatus.resize(std::max(1u, options_.rigs));
+  job->epoch = std::chrono::steady_clock::now();
+  return job;
+}
+
+void Server::prepare_fresh(Job& job) {
+  const std::size_t n = job.spec.shards.size();
+  const campaign::JournalHeader header{job.spec.device.fault.seed, job.hash,
+                                       static_cast<std::uint64_t>(n)};
+  job.journal = std::make_unique<campaign::JournalWriter>(job.journal_path, header);
+  job.stream = std::make_unique<telemetry::MetricsStreamWriter>(
+      job.stream_path,
+      telemetry::MetricsStreamHeader{job.spec.device.fault.seed, job.hash,
+                                     static_cast<std::uint64_t>(n), options_.rigs,
+                                     options_.stream_cycle_cadence, 0.0});
+
+  // Probe the cache shard by shard: a superset sweep only simulates the
+  // shards the cache has never seen. Hits replay through the same
+  // accounting as a `--resume` skip, journal line included, so downstream
+  // consumers cannot tell a cached shard from a journaled one.
+  std::uint64_t skipped = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<core::RowRecord> records;
+    if (!cache_.lookup(shard_cache_key(job.cache_prefix, job.spec.shards[i]), records)) {
+      continue;
+    }
+    job.journal->append_shard(i, records);
+    job.metrics.counter("campaign.records").add(records.size());
+    job.result.per_shard[i] = std::move(records);
+    job.done[i] = 1;
+    --job.remaining;
+    ++job.shards_cached;
+    ++job.result.shards_skipped;
+    ++skipped;
+  }
+  if (skipped > 0) job.metrics.counter("campaign.shards_skipped").add(skipped);
+}
+
+void Server::prepare_resumed(Job& job) {
+  const std::size_t n = job.spec.shards.size();
+  const campaign::JournalHeader header{job.spec.device.fault.seed, job.hash,
+                                       static_cast<std::uint64_t>(n)};
+  std::error_code ec;
+  if (std::filesystem::exists(job.journal_path, ec)) {
+    campaign::JournalReader reader(job.journal_path);
+    reader.require_matches(header);
+    std::uint64_t skipped = 0;
+    for (const auto& [index, records] : reader.shards()) {
+      if (index >= n) continue;
+      cache_.insert(shard_cache_key(job.cache_prefix, job.spec.shards[index]), records);
+      job.metrics.counter("campaign.records").add(records.size());
+      job.result.per_shard[index] = records;
+      job.done[index] = 1;
+      --job.remaining;
+      ++job.shards_cached;
+      ++job.result.shards_skipped;
+      ++skipped;
+    }
+    if (skipped > 0) job.metrics.counter("campaign.shards_skipped").add(skipped);
+    job.journal = std::make_unique<campaign::JournalWriter>(job.journal_path,
+                                                            reader.intact_bytes());
+  } else {
+    job.journal = std::make_unique<campaign::JournalWriter>(job.journal_path, header);
+  }
+  job.stream = std::make_unique<telemetry::MetricsStreamWriter>(
+      job.stream_path,
+      telemetry::MetricsStreamHeader{job.spec.device.fault.seed, job.hash,
+                                     static_cast<std::uint64_t>(n), options_.rigs,
+                                     options_.stream_cycle_cadence, 0.0});
+  job.state = JobState::kQueued;
+}
+
+void Server::warm_cache_from_journal(Job& job) {
+  std::error_code ec;
+  if (!std::filesystem::exists(job.journal_path, ec)) return;
+  try {
+    campaign::JournalReader reader(job.journal_path);
+    const campaign::JournalHeader header{job.spec.device.fault.seed, job.hash,
+                                         static_cast<std::uint64_t>(job.spec.shards.size())};
+    reader.require_matches(header);
+    const std::size_t n = job.spec.shards.size();
+    for (const auto& [index, records] : reader.shards()) {
+      if (index >= n) continue;
+      cache_.insert(shard_cache_key(job.cache_prefix, job.spec.shards[index]), records);
+      job.metrics.counter("campaign.records").add(records.size());
+      job.result.per_shard[index] = records;
+      if (job.done[index] == 0) {
+        job.done[index] = 1;
+        --job.remaining;
+        ++job.shards_cached;
+        ++job.result.shards_skipped;
+      }
+    }
+  } catch (const common::Error&) {
+    // A terminal job's journal that fails validation only costs cache
+    // warmth — the job's report on disk is still served as-is.
+  }
+}
+
+void Server::persist_meta(Job& job) {
+  std::string text;
+  {
+    const std::lock_guard<std::mutex> lock(job.mutex);
+    text = job_meta_json(job);
+  }
+  text += '\n';
+  write_text_file(job.meta_path, text, "job descriptor");
+}
+
+void Server::recover() {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(options_.data_dir, ec)) return;
+  std::vector<std::pair<std::uint64_t, std::string>> descriptors;
+  for (const auto& entry : std::filesystem::directory_iterator(options_.data_dir, ec)) {
+    std::uint64_t id = 0;
+    if (entry.is_regular_file() && is_job_descriptor(entry.path().filename().string(), id)) {
+      descriptors.emplace_back(id, entry.path().string());
+    }
+  }
+  std::sort(descriptors.begin(), descriptors.end());
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [id, path] : descriptors) {
+    std::shared_ptr<Job> job;
+    try {
+      const campaign::JsonValue doc =
+          campaign::parse_json(read_text_file(path), "job descriptor " + path);
+      const CampaignConfig config = config_from_json(doc.at("config"), "job descriptor");
+      const JobState state = job_state_from_string(doc.at("state").text);
+      std::string tenant = "anonymous";
+      if (const campaign::JsonValue* t = doc.find("tenant");
+          t != nullptr && t->kind == campaign::JsonValue::Kind::kString) {
+        tenant = t->text;
+      }
+      job = make_job(id, tenant, config);
+      job->state = state;
+      if (job_state_active(state)) {
+        prepare_resumed(*job);
+      } else {
+        // Terminal: queryable as-is; its journal still warms the cache.
+        job->finalized = true;
+        warm_cache_from_journal(*job);
+        job->remaining = 0;
+        if (state == JobState::kCancelled) {
+          job->cancel.store(true, std::memory_order_relaxed);
+        }
+      }
+    } catch (const common::Error&) {
+      // A descriptor we cannot replay must not take the server down with
+      // it — skip it and keep its files for the operator.
+      continue;
+    }
+    jobs_.emplace(id, job);
+    next_id_ = std::max(next_id_, id + 1);
+  }
+}
+
+void Server::on_finalized(const std::shared_ptr<Job>& job) { persist_meta(*job); }
+
+}  // namespace rh::serve

@@ -1,0 +1,127 @@
+// The campaign service: admission control, the HTTP surface, durable job
+// state, and restart recovery, stitched over the scheduler and the cache.
+//
+// One Server owns one data directory. Every admitted job writes its
+// descriptor (job-<id>.json) there before it is queued, and its journal as
+// shards complete — so a SIGKILL at any instant loses at most the shard in
+// flight. start() replays the directory: terminal jobs come back queryable
+// (and their journals warm the result cache); queued/running jobs are
+// re-enqueued with exactly their missing shards, the same resume semantics
+// as `--checkpoint --resume` on the bench CLI.
+//
+// Admission control, in order:
+//   draining            -> 503 (SIGTERM was received; no new work)
+//   malformed config    -> 400 (strict parse: unknown keys rejected)
+//   server queue full   -> 429 + Retry-After (active jobs >= queue_limit)
+//   tenant over quota   -> 429 + Retry-After (active jobs per X-Tenant)
+//
+// The HTTP surface (all JSON; one request per connection):
+//   POST   /jobs                submit a config, returns the job status
+//   GET    /jobs                every job, oldest first
+//   GET    /jobs/<id>           one job's status
+//   DELETE /jobs/<id>           cancel (idempotent; terminal jobs conflict)
+//   GET    /jobs/<id>/report    rh-run-report/v1 (404 until finalized)
+//   GET    /jobs/<id>/results   journaled records, JSONL in shard order
+//   GET    /jobs/<id>/stream    rh-metrics-stream/v1 so far
+//   GET    /healthz             liveness
+//   GET    /statz               server counters (cache, scheduler, jobs)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "resilience/retry.hpp"
+#include "serve/cache.hpp"
+#include "serve/http.hpp"
+#include "serve/job.hpp"
+#include "serve/scheduler.hpp"
+
+namespace rh::serve {
+
+class Server {
+public:
+  struct Options {
+    std::uint16_t port = 0;       ///< 0 = OS-assigned ephemeral port
+    std::string data_dir = ".";   ///< job descriptors, journals, reports
+    unsigned rigs = 2;            ///< simulated-rig pool size
+    unsigned retries = 1;         ///< per-shard transient retry budget
+    std::size_t queue_limit = 8;  ///< max active (queued+running) jobs
+    std::size_t tenant_quota = 4; ///< max active jobs per tenant
+    resilience::RetryPolicy retry_policy;
+    std::uint64_t stream_cycle_cadence = 1ull << 24;
+  };
+
+  explicit Server(Options options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Recovers jobs from the data dir, starts the rig pool, binds the
+  /// listener. Throws common::ConfigError on bind failure or a corrupt
+  /// descriptor it cannot skip.
+  void start();
+
+  /// Graceful drain: stop admitting (503), let in-flight shards journal,
+  /// stop the rigs. Idempotent; serve() returns after this.
+  void drain();
+
+  /// The bound port (valid after start()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Accepts and serves connections, one request per connection, until
+  /// `should_stop()` turns true (polled between accepts) or drain().
+  void serve(const std::function<bool()>& should_stop);
+
+  /// Routes one request — also the unit-test entry point (no sockets).
+  [[nodiscard]] HttpResponse handle(const HttpRequest& req);
+
+  [[nodiscard]] std::string statz_json();
+
+private:
+  [[nodiscard]] std::string job_path(std::uint64_t id, const char* suffix) const;
+  [[nodiscard]] std::shared_ptr<Job> find_job(std::uint64_t id);
+
+  HttpResponse submit(const HttpRequest& req);
+  HttpResponse list_jobs();
+  HttpResponse cancel_job(std::uint64_t id);
+  HttpResponse results_response(const std::shared_ptr<Job>& job);
+  static HttpResponse file_response(const std::string& path, const char* content_type);
+
+  /// Builds a Job around a parsed config: paths, spec, counters, aggregate
+  /// sink. Shared by submit and recovery.
+  [[nodiscard]] std::shared_ptr<Job> make_job(std::uint64_t id, const std::string& tenant,
+                                              CampaignConfig config);
+  /// Fresh submission: open journal + stream, probe the cache, journal the
+  /// cache-served shards.
+  void prepare_fresh(Job& job);
+  /// Restart path: restore journaled shards (as skipped), reopen the
+  /// journal for appending, fresh stream file.
+  void prepare_resumed(Job& job);
+  void warm_cache_from_journal(Job& job);
+  void persist_meta(Job& job);
+  void recover();
+  void on_finalized(const std::shared_ptr<Job>& job);
+
+  Options options_;
+  ResultCache cache_;
+  Scheduler scheduler_;
+  std::unique_ptr<TcpListener> listener_;
+  std::uint16_t port_ = 0;
+
+  std::mutex mutex_;  ///< guards jobs_, next_id_, draining_
+  std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::uint64_t next_id_ = 1;
+  bool draining_ = false;
+
+  std::atomic<std::uint64_t> jobs_submitted_{0};
+  std::atomic<std::uint64_t> jobs_rejected_{0};  ///< 429s + 503s
+  std::atomic<std::uint64_t> jobs_cache_hit_{0};  ///< admitted fully from cache
+};
+
+}  // namespace rh::serve

@@ -1,0 +1,118 @@
+// Satellite: the observability readers on freshly-created files. A campaign
+// (or the serve scheduler) fsyncs the journal header and the stream header
+// before any shard completes; a kill in that window leaves files with a
+// header and nothing else. rh_report --journal and rh_tail must treat that
+// as "0 of N complete", not as corruption.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "campaign/journal.hpp"
+#include "campaign/tail.hpp"
+#include "telemetry/stream.hpp"
+
+namespace rh::campaign {
+namespace {
+
+class TempPath {
+public:
+  explicit TempPath(std::string path) : path_(std::move(path)) { std::remove(path_.c_str()); }
+  ~TempPath() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& str() const { return path_; }
+
+private:
+  std::string path_;
+};
+
+TEST(HeaderOnly, JournalReaderSeesZeroOfN) {
+  const TempPath path("header_only_test_journal.jsonl");
+  const JournalHeader header{0xFEEDu, 0xD00Du, 18};
+  { const JournalWriter writer(path.str(), header); }  // header fsync, no shards
+
+  const JournalReader reader(path.str());
+  EXPECT_EQ(reader.header().seed, 0xFEEDu);
+  EXPECT_EQ(reader.header().config_hash, 0xD00Du);
+  EXPECT_EQ(reader.header().shard_count, 18u);
+  EXPECT_TRUE(reader.shards().empty());
+  EXPECT_TRUE(reader.outcomes().empty());
+  EXPECT_GT(reader.intact_bytes(), 0u);
+}
+
+TEST(HeaderOnly, JournalSummaryRendersWithoutShardLines) {
+  // rh_report --journal on a campaign killed before its first checkpoint.
+  const TempPath path("header_only_test_summary.jsonl");
+  { const JournalWriter writer(path.str(), JournalHeader{1, 2, 18}); }
+
+  const JournalReader reader(path.str());
+  std::ostringstream os;
+  render_journal_summary(os, path.str(), reader);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("0/18 complete"), std::string::npos) << text;
+  EXPECT_NE(text.find("pending: 18 shards"), std::string::npos) << text;
+  // No latency table: there are no wall-ms annotations to aggregate.
+  EXPECT_EQ(text.find("p50"), std::string::npos) << text;
+  EXPECT_NE(text.find("no per-shard wall-ms annotations"), std::string::npos) << text;
+}
+
+TEST(HeaderOnly, ResumeFromHeaderOnlyJournalKeepsTheHeader) {
+  // A resume against a header-only journal must behave like a fresh start:
+  // keep the header bytes, append from shard zero.
+  const TempPath path("header_only_test_resume.jsonl");
+  { const JournalWriter writer(path.str(), JournalHeader{7, 8, 4}); }
+  const JournalReader before(path.str());
+  { const JournalWriter resumed(path.str(), before.intact_bytes()); }
+  const JournalReader after(path.str());
+  EXPECT_EQ(after.header().seed, 7u);
+  EXPECT_EQ(after.header().shard_count, 4u);
+  EXPECT_TRUE(after.shards().empty());
+}
+
+TEST(HeaderOnly, MetricsStreamReaderSeesAnUnfinishedEmptyRun) {
+  const TempPath path("header_only_test_stream.jsonl");
+  telemetry::MetricsStreamHeader header;
+  header.seed = 0xFEEDu;
+  header.config_hash = 0xD00Du;
+  header.shards = 18;
+  header.jobs = 2;
+  header.cycle_cadence = 1u << 20;
+  header.wall_cadence_ms = 250.0;
+  { const telemetry::MetricsStreamWriter writer(path.str(), header); }
+
+  const MetricsStreamData data = read_metrics_stream(path.str());
+  EXPECT_TRUE(data.has_header);
+  EXPECT_EQ(data.seed, 0xFEEDu);
+  EXPECT_EQ(data.shards, 18u);
+  EXPECT_EQ(data.jobs, 2u);
+  EXPECT_EQ(data.cycles_samples, 0u);
+  EXPECT_EQ(data.wall_samples, 0u);
+  EXPECT_FALSE(data.finished);
+  EXPECT_FALSE(data.torn);
+  EXPECT_TRUE(data.counters.empty());
+  EXPECT_TRUE(data.workers.empty());
+}
+
+TEST(HeaderOnly, TornHeaderTailIsTolerated) {
+  // A kill can tear even the first sample line; everything intact before it
+  // (here: just the header) must still parse.
+  const TempPath path("header_only_test_torn.jsonl");
+  {
+    const telemetry::MetricsStreamWriter writer(path.str(), telemetry::MetricsStreamHeader{});
+  }
+  {
+    std::FILE* f = std::fopen(path.str().c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char torn[] = "{\"sample\":\"wall\",\"t_ms\":12.5,\"coun";
+    std::fwrite(torn, 1, sizeof torn - 1, f);
+    std::fclose(f);
+  }
+  const MetricsStreamData data = read_metrics_stream(path.str());
+  EXPECT_TRUE(data.has_header);
+  EXPECT_TRUE(data.torn);
+  EXPECT_EQ(data.wall_samples, 0u);
+  EXPECT_FALSE(data.finished);
+}
+
+}  // namespace
+}  // namespace rh::campaign

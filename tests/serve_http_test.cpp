@@ -1,0 +1,125 @@
+#include "serve/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace rh::serve {
+namespace {
+
+/// Accepts exactly one connection and answers it with `responder`.
+template <typename Responder>
+std::thread one_shot_server(TcpListener& listener, Responder responder) {
+  return std::thread([&listener, responder] {
+    const int fd = listener.accept_connection(5000);
+    ASSERT_GE(fd, 0) << "accept timed out";
+    responder(fd);
+    close_fd(fd);
+  });
+}
+
+TEST(ServeHttp, EphemeralPortRoundTrip) {
+  TcpListener listener(0);
+  ASSERT_NE(listener.port(), 0);
+
+  HttpRequest seen;
+  std::thread server = one_shot_server(listener, [&seen](int fd) {
+    seen = read_http_request(fd);
+    HttpResponse resp;
+    resp.status = 201;
+    resp.body = "{\"ok\":true}";
+    resp.extra_headers.emplace("Retry-After", "1");
+    write_http_response(fd, resp);
+  });
+
+  const HttpResponse resp = http_request(listener.port(), "POST", "/jobs",
+                                         "{\"kind\":\"survey\"}", {{"X-Tenant", "alice"}});
+  server.join();
+
+  EXPECT_EQ(seen.method, "POST");
+  EXPECT_EQ(seen.target, "/jobs");
+  EXPECT_EQ(seen.body, "{\"kind\":\"survey\"}");
+  // Header names are lowercased on read.
+  ASSERT_TRUE(seen.headers.count("x-tenant"));
+  EXPECT_EQ(seen.headers.at("x-tenant"), "alice");
+  ASSERT_TRUE(seen.headers.count("content-length"));
+
+  EXPECT_EQ(resp.status, 201);
+  EXPECT_EQ(resp.body, "{\"ok\":true}");
+  EXPECT_EQ(resp.content_type, "application/json");
+}
+
+TEST(ServeHttp, EmptyBodyGetHasNoContentLengthRequirement) {
+  TcpListener listener(0);
+  std::thread server = one_shot_server(listener, [](int fd) {
+    const HttpRequest req = read_http_request(fd);
+    EXPECT_EQ(req.method, "GET");
+    EXPECT_TRUE(req.body.empty());
+    write_http_response(fd, HttpResponse{});
+  });
+  const HttpResponse resp = http_request(listener.port(), "GET", "/healthz");
+  server.join();
+  EXPECT_EQ(resp.status, 200);
+}
+
+void send_raw(std::uint16_t port, const std::string& bytes) {
+  const int s = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(s, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(s, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  (void)::send(s, bytes.data(), bytes.size(), 0);
+  ::close(s);
+}
+
+TEST(ServeHttp, MalformedRequestLineThrowsHttpError) {
+  TcpListener listener(0);
+  bool threw = false;
+  std::thread server = one_shot_server(listener, [&threw](int fd) {
+    try {
+      (void)read_http_request(fd);
+    } catch (const HttpError&) {
+      threw = true;
+    }
+  });
+  send_raw(listener.port(), "this is not http\r\n\r\n");
+  server.join();
+  EXPECT_TRUE(threw);
+}
+
+TEST(ServeHttp, OversizedHeaderBlockIsRejected) {
+  TcpListener listener(0);
+  bool threw = false;
+  std::thread server = one_shot_server(listener, [&threw](int fd) {
+    try {
+      (void)read_http_request(fd);
+    } catch (const HttpError&) {
+      threw = true;
+    }
+  });
+  // 128 KiB of header bytes with no terminator: over the 64 KiB cap.
+  std::string huge = "GET / HTTP/1.1\r\nX-Filler: ";
+  huge.append(128 * 1024, 'a');
+  send_raw(listener.port(), huge);
+  server.join();
+  EXPECT_TRUE(threw);
+}
+
+TEST(ServeHttp, ClosedListenerStopsAccepting) {
+  TcpListener listener(0);
+  listener.close();
+  EXPECT_EQ(listener.accept_connection(10), -1);
+}
+
+}  // namespace
+}  // namespace rh::serve

@@ -48,12 +48,12 @@ int main(int argc, char** argv) {
     core::SurveyConfig config;
     // Same sweep shape as bench/fig4, but strided sparser by default so a
     // report run finishes in seconds.
-    config.row_stride = static_cast<std::uint32_t>(args.get_int("stride", 2048));
+    config.row_stride = static_cast<std::uint32_t>(args.get_positive_int("stride", 2048));
     config.characterizer.max_hammers =
-        static_cast<std::uint64_t>(args.get_int("hammers", 262144));
+        static_cast<std::uint64_t>(args.get_positive_int("hammers", 262144));
     config.characterizer.ber_hammers = config.characterizer.max_hammers;
     config.characterizer.wcdp_tolerance =
-        static_cast<std::uint64_t>(args.get_int("tolerance", 512));
+        static_cast<std::uint64_t>(args.get_positive_int("tolerance", 512));
 
     const campaign::SweepSpec spec =
         campaign::survey_sweep(benchutil::paper_device_config(seed), config);
