@@ -229,6 +229,12 @@ void Scheduler::retire(Rig& rig) {
         !job->finalized) {
       finalize_job(*job);
       finalized_now = true;
+    } else if (job->rigs_attached == 0 && !job_state_active(job->state) && !job->finalized) {
+      // Cancelled while rigs were in flight: cancel_job left the writers
+      // open (this rig's sampler may have been appending) — the last rig
+      // out closes them, completing the on-disk record.
+      job->journal.reset();
+      job->stream.reset();
     }
   }
   rig = Rig{};
@@ -251,10 +257,15 @@ void Scheduler::finalize_if_complete(const std::shared_ptr<Job>& job) {
 void Scheduler::run_task(unsigned rig_index, Rig& rig, const Task& task) {
   Job& job = *task.job;
   const std::uint64_t i = task.shard;
+  telemetry::MetricsStreamWriter* stream = nullptr;
   {
     const std::lock_guard<std::mutex> lock(job.mutex);
     if (job.done[i] != 0 || !job_state_active(job.state)) return;
     job.state = JobState::kRunning;
+    // Read the stream writer under the lock, once: while this rig is
+    // attached nobody resets job.stream (cancel_job defers closing to the
+    // last retire()), so the pointer stays valid for the whole task.
+    stream = job.stream.get();
     job.wstatus[rig_index].shard = static_cast<std::int64_t>(i);
     job.wstatus[rig_index].claim = std::chrono::steady_clock::now();
   }
@@ -294,9 +305,9 @@ void Scheduler::run_task(unsigned rig_index, Rig& rig, const Task& task) {
       }
       rig.host->set_trace_context(&ctx);
       run_from = rig.host->now();
-      if (job.stream != nullptr && rig.sink != nullptr) {
+      if (stream != nullptr && rig.sink != nullptr) {
         sampler = std::make_unique<telemetry::MetricsSampler>(
-            *job.stream, rig.sink->metrics(), options_.stream_cycle_cadence, i, attempt + 1,
+            *stream, rig.sink->metrics(), options_.stream_cycle_cadence, i, attempt + 1,
             run_from);
         rig.host->set_cycle_sampler(sampler.get());
       }

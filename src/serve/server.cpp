@@ -132,20 +132,36 @@ void Server::serve(const std::function<bool()>& should_stop) {
     if (should_stop && should_stop()) break;
     const int fd = listener_->accept_connection(250);
     if (fd < 0) continue;
+    HttpRequest req;
+    bool have_request = false;
     try {
-      const HttpRequest req = read_http_request(fd);
-      HttpResponse resp;
+      req = read_http_request(fd);
+      have_request = true;
+    } catch (const HttpError& e) {
+      // Malformed or over-limit framing: the documented contract is a
+      // 400, not a silent close (best-effort — the peer may be gone).
       try {
-        resp = handle(req);
-      } catch (const HttpError& e) {
-        resp = error_response(400, e.what());
-      } catch (const std::exception& e) {
-        resp = error_response(500, e.what());
+        write_http_response(fd, error_response(400, e.what()));
+      } catch (const std::exception&) {
       }
-      write_http_response(fd, resp);
     } catch (const std::exception&) {
-      // Malformed request framing or a peer that hung up mid-read: drop
-      // the connection, keep serving.
+      // Socket failure, read timeout, or a peer that hung up mid-read:
+      // nothing sane to answer — drop the connection, keep serving.
+    }
+    if (have_request) {
+      try {
+        HttpResponse resp;
+        try {
+          resp = handle(req);
+        } catch (const HttpError& e) {
+          resp = error_response(400, e.what());
+        } catch (const std::exception& e) {
+          resp = error_response(500, e.what());
+        }
+        write_http_response(fd, resp);
+      } catch (const std::exception&) {
+        // Peer hung up before the response landed: drop, keep serving.
+      }
     }
     close_fd(fd);
   }
@@ -316,11 +332,15 @@ HttpResponse Server::cancel_job(std::uint64_t id) {
     }
     job->cancel.store(true, std::memory_order_relaxed);
     job->state = JobState::kCancelled;
-    // Close the writers now: a rig finishing its in-flight shard sees a
-    // null journal and skips the append, so the cancellation point is
-    // crisp in the on-disk record.
-    job->journal.reset();
-    job->stream.reset();
+    // Close the writers only when no rig holds a reference to them: an
+    // attached rig's metrics sampler appends to *job->stream outside this
+    // lock, so resetting mid-flight is a use-after-free. With rigs
+    // attached, the last retire() closes both writers; the in-flight
+    // shards finish and journal (DESIGN.md: "claimed shards finish").
+    if (job->rigs_attached == 0) {
+      job->journal.reset();
+      job->stream.reset();
+    }
     body = job_status_json(*job);
   }
   persist_meta(*job);

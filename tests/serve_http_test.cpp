@@ -7,10 +7,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <filesystem>
 #include <string>
 #include <thread>
 
 #include "common/error.hpp"
+#include "serve/server.hpp"
 
 namespace rh::serve {
 namespace {
@@ -119,6 +121,52 @@ TEST(ServeHttp, ClosedListenerStopsAccepting) {
   TcpListener listener(0);
   listener.close();
   EXPECT_EQ(listener.accept_connection(10), -1);
+}
+
+/// Sends raw bytes and reads the whole response (the server closes the
+/// connection after one request, so read to EOF).
+std::string raw_round_trip(std::uint16_t port, const std::string& bytes) {
+  const int s = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(s, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(s, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  (void)::send(s, bytes.data(), bytes.size(), 0);
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(s, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(s);
+  return out;
+}
+
+TEST(ServeHttp, ServeLoopAnswersMalformedRequestsWith400) {
+  // http.hpp's contract: HttpError maps to a 400, not a silent close —
+  // including malformed *framing*, which never reaches Server::handle().
+  const std::string dir = "serve_http_test_serve400";
+  std::filesystem::remove_all(dir);
+  Server::Options options;
+  options.data_dir = dir;
+  options.rigs = 1;
+  Server server(options);
+  server.start();
+  std::thread loop([&server] { server.serve({}); });
+
+  const std::string resp = raw_round_trip(server.port(), "this is not http\r\n\r\n");
+  EXPECT_EQ(resp.rfind("HTTP/1.1 400", 0), 0u) << resp;
+  EXPECT_NE(resp.find("\"error\""), std::string::npos) << resp;
+
+  // The loop keeps serving: the next, well-formed connection is answered.
+  EXPECT_EQ(http_request(server.port(), "GET", "/healthz").status, 200);
+
+  server.drain();
+  loop.join();
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -273,6 +273,52 @@ TEST(ServeServer, AdmissionControl) {
   EXPECT_GE(statz.at("serve.jobs_rejected").as_u64(), 4u);
 }
 
+TEST(ServeServer, CancelWhileRunningIsSafe) {
+  // Regression: DELETE on a *running* job must not close the metrics-stream
+  // writer out from under a rig's in-flight sampler (use-after-free). The
+  // writers now stay open until the last rig retires; this hammers the
+  // cancel path at varying points in the run.
+  const TempDir dir("serve_server_test_cancel");
+  Server::Options options;
+  options.data_dir = dir.str();
+  options.rigs = 2;
+  Server server(options);
+  server.start();
+
+  for (int round = 0; round < 5; ++round) {
+    // A distinct channel per round: fresh shards, so the cache never
+    // short-circuits the run we are trying to cancel mid-flight.
+    CampaignConfig config = quick_config();
+    config.channels = {static_cast<std::uint32_t>(round)};
+    const HttpResponse created =
+        server.handle(request("POST", "/jobs", to_canonical_json(config), "alice"));
+    ASSERT_EQ(created.status, 201) << created.body;
+    const std::uint64_t id = parse(created).at("id").as_u64();
+    std::this_thread::sleep_for(std::chrono::milliseconds(round));
+    const HttpResponse cancelled =
+        server.handle(request("DELETE", "/jobs/" + std::to_string(id)));
+    // The rigs may have already finished by the time the DELETE lands.
+    ASSERT_TRUE(cancelled.status == 200 || cancelled.status == 409) << cancelled.body;
+    const std::string state = wait_terminal(server, id);
+    if (cancelled.status == 200) {
+      EXPECT_EQ(state, "cancelled");
+      EXPECT_EQ(parse(cancelled).at("state").text, "cancelled");
+    }
+  }
+
+  // Drain joins the rigs: every cancelled job's writers are closed by its
+  // last retire, and the server is still fully queryable.
+  server.drain();
+  const HttpResponse list = server.handle(request("GET", "/jobs"));
+  ASSERT_EQ(list.status, 200);
+  EXPECT_EQ(parse(list).at("jobs").items.size(), 5u);
+  for (int round = 0; round < 5; ++round) {
+    const std::string id = std::to_string(round + 1);
+    EXPECT_EQ(server.handle(request("GET", "/jobs/" + id)).status, 200);
+    EXPECT_EQ(server.handle(request("GET", "/jobs/" + id + "/stream")).status, 200);
+  }
+}
+
 TEST(ServeServer, HealthzAndStatzShapes) {
   const TempDir dir("serve_server_test_statz");
   Server::Options options;
