@@ -29,6 +29,11 @@
 //                       corrupt/short-read, executor stall) with probability F
 //                       per opportunity; results stay byte-identical
 //   --fault-seed=N      fault-plan seed (independent of the device seed)
+//   --storage-fault-rate=F  inject disk faults (short write, fsync failure,
+//                       bit corruption, torn line, ENOSPC) into the journal
+//                       and metrics stream with probability F per write;
+//                       results stay byte-identical, durability degrades
+//   --storage-fault-seed=N  storage-fault-plan seed
 //   --retry-attempts=N  per-host transport retry budget (RetryPolicy)
 //   --metrics-stream=PATH        live rh-metrics-stream/v1 JSONL (fsync'd per
 //                                sample; follow with tools/rh_tail)
@@ -227,6 +232,10 @@ inline campaign::CampaignConfig campaign_config(const common::CliArgs& args) {
   const double fault_rate = args.get_fraction("fault-rate", 0.0);
   if (fault_rate > 0.0) config.fault_plan.set_transport_rates(fault_rate);
   config.fault_plan.seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 0x57084));
+  const double storage_fault_rate = args.get_fraction("storage-fault-rate", 0.0);
+  if (storage_fault_rate > 0.0) config.storage_fault_plan.set_all_rates(storage_fault_rate);
+  config.storage_fault_plan.seed =
+      static_cast<std::uint64_t>(args.get_int("storage-fault-seed", 0x5709A));
   config.retry_policy.max_attempts =
       static_cast<unsigned>(args.get_positive_int("retry-attempts", 4));
   config.metrics_stream_path = args.get("metrics-stream", "");

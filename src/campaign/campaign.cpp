@@ -140,23 +140,49 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
   result.per_shard.resize(n);
   std::vector<char> done(n, 0);
 
+  // Storage fault injection: the journal and the stream draw independent,
+  // reproducible fault streams decorrelated from the plan seed (and from
+  // the transport injectors' 0x819 stream).
+  std::unique_ptr<resilience::StorageFaultInjector> journal_injector;
+  std::unique_ptr<resilience::StorageFaultInjector> stream_injector;
+  if (config_.storage_fault_plan.enabled()) {
+    resilience::StorageFaultPlan splan = config_.storage_fault_plan;
+    splan.seed = common::hash_coords(config_.storage_fault_plan.seed, 0x570u, 0);
+    journal_injector = std::make_unique<resilience::StorageFaultInjector>(splan);
+    splan.seed = common::hash_coords(config_.storage_fault_plan.seed, 0x570u, 1);
+    stream_injector = std::make_unique<resilience::StorageFaultInjector>(std::move(splan));
+  }
+  // A storage failure is never worth a shard: drop the durable output that
+  // failed, remember why, keep measuring.
+  auto note_storage_error = [&result](const common::StorageError& e) {
+    ++result.storage_errors;
+    if (result.storage_error.empty()) result.storage_error = e.what();
+  };
+
   // Resume: restore journaled shards, refusing a journal from a different
-  // sweep. The journal is then reopened for appending the rest.
+  // sweep. Corrupt mid-file lines are quarantined (their shards re-run);
+  // the compacted journal is then reopened for appending the rest.
   std::unique_ptr<JournalWriter> journal;
-  if (!config_.checkpoint_path.empty() && config_.resume) {
-    JournalReader reader(config_.checkpoint_path);
-    reader.require_matches(header);
-    for (const auto& [index, records] : reader.shards()) {
-      if (index >= n) continue;  // defensively ignore out-of-range entries
-      result.per_shard[index] = records;
-      done[index] = 1;
-      ++result.shards_skipped;
-      record_counter.add(records.size());
+  try {
+    if (!config_.checkpoint_path.empty() && config_.resume) {
+      JournalReader reader(config_.checkpoint_path);
+      reader.require_matches(header);
+      for (const auto& [index, records] : reader.shards()) {
+        if (index >= n) continue;  // defensively ignore out-of-range entries
+        result.per_shard[index] = records;
+        done[index] = 1;
+        ++result.shards_skipped;
+        record_counter.add(records.size());
+      }
+      skipped_counter.add(result.shards_skipped);
+      journal = std::make_unique<JournalWriter>(config_.checkpoint_path, reader,
+                                                journal_injector.get());
+    } else if (!config_.checkpoint_path.empty()) {
+      journal =
+          std::make_unique<JournalWriter>(config_.checkpoint_path, header, journal_injector.get());
     }
-    skipped_counter.add(result.shards_skipped);
-    journal = std::make_unique<JournalWriter>(config_.checkpoint_path, reader.intact_bytes());
-  } else if (!config_.checkpoint_path.empty()) {
-    journal = std::make_unique<JournalWriter>(config_.checkpoint_path, header);
+  } catch (const common::StorageError& e) {
+    note_storage_error(e);  // checkpointing lost; the sweep still runs
   }
 
   const auto pending =
@@ -170,11 +196,16 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
   const std::uint64_t cycle_cadence = std::max<std::uint64_t>(1, config_.stream_cycle_cadence);
   std::unique_ptr<telemetry::MetricsStreamWriter> stream;
   if (!config_.metrics_stream_path.empty()) {
-    stream = std::make_unique<telemetry::MetricsStreamWriter>(
-        config_.metrics_stream_path,
-        telemetry::MetricsStreamHeader{spec.device.fault.seed, header.config_hash,
-                                       static_cast<std::uint64_t>(n), jobs, cycle_cadence,
-                                       config_.stream_wall_cadence_ms});
+    try {
+      stream = std::make_unique<telemetry::MetricsStreamWriter>(
+          config_.metrics_stream_path,
+          telemetry::MetricsStreamHeader{spec.device.fault.seed, header.config_hash,
+                                         static_cast<std::uint64_t>(n), jobs, cycle_cadence,
+                                         config_.stream_wall_cadence_ms},
+          stream_injector.get());
+    } catch (const common::StorageError& e) {
+      note_storage_error(e);  // header never landed: run streamless
+    }
   }
 
   std::ostream* progress_stream =
@@ -340,8 +371,13 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
       if (fatal) fatal_counter.add();
       if (ok) {
         if (journal != nullptr) {
-          const profiling::PhaseTimer timer(wprof, profiling::Phase::kCheckpoint);
-          journal->append_shard(i, records, shard_wall_ms, attempts_used);
+          try {
+            const profiling::PhaseTimer timer(wprof, profiling::Phase::kCheckpoint);
+            journal->append_shard(i, records, shard_wall_ms, attempts_used);
+          } catch (const common::StorageError& e) {
+            journal.reset();  // the journal is gone; results stay in memory
+            note_storage_error(e);
+          }
         }
         record_counter.add(records.size());
         result.per_shard[i] = std::move(records);
@@ -351,7 +387,14 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
         ++result.shards_run;
         done_counter.add();
       } else {
-        if (journal != nullptr) journal->append_failure(i, attempts_used, error);
+        if (journal != nullptr) {
+          try {
+            journal->append_failure(i, attempts_used, error);
+          } catch (const common::StorageError& e) {
+            journal.reset();
+            note_storage_error(e);
+          }
+        }
         result.failures.push_back({i, error});
         failed_counter.add();
       }
@@ -461,6 +504,10 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
     stream->append(telemetry::format_final_sample(
         ms_since(run_start), telemetry::counter_values(metrics_), done_counter.value(),
         failed_counter.value(), skipped_counter.value(), total_counter.value()));
+    if (stream->degraded()) {
+      ++result.storage_errors;
+      if (result.storage_error.empty()) result.storage_error = stream->storage_error();
+    }
   }
 
   progress.finish();

@@ -46,6 +46,7 @@
 #include "profiling/report.hpp"
 #include "resilience/fault.hpp"
 #include "resilience/retry.hpp"
+#include "resilience/storage.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/telemetry.hpp"
@@ -84,6 +85,14 @@ struct CampaignConfig {
   resilience::FaultPlan fault_plan;
   /// Per-host transport retry/backoff policy, applied to every worker rig.
   resilience::RetryPolicy retry_policy;
+  /// Disk fault injection for the durable outputs (journal + metrics
+  /// stream), disabled unless a rate is set or the script is non-empty.
+  /// The journal and the stream draw independent fault streams
+  /// deterministically re-seeded from storage_fault_plan.seed. A storage
+  /// fault never fails the campaign: journaling/streaming degrade (counted
+  /// in CampaignResult::storage_errors) and the science continues — results
+  /// stay byte-identical to a fault-free run.
+  resilience::StorageFaultPlan storage_fault_plan;
   /// Live metrics time-series (rh-metrics-stream/v1 JSONL, see
   /// telemetry/stream.hpp); empty disables streaming. Written alongside the
   /// checkpoint journal so tools/rh_tail can follow a running campaign.
@@ -140,6 +149,13 @@ struct CampaignResult {
   double elapsed_wall_ms = 0.0;
   /// Worker threads actually used (after clamping to pending shards).
   unsigned jobs = 1;
+
+  /// Durable-output write failures survived (journal dropped mid-run,
+  /// stream gone dark, ...). Results are still complete and correct when
+  /// this is nonzero — only checkpoint/telemetry coverage was lost.
+  std::uint64_t storage_errors = 0;
+  /// First storage failure's message ("" when storage_errors == 0).
+  std::string storage_error;
 
   /// Records of all shards concatenated in shard order — the deterministic
   /// merge the benches consume (identical to the serial sweep's output).

@@ -12,17 +12,13 @@
 #include "profiling/report.hpp"
 #include "telemetry/metrics.hpp"
 
-#if __has_include(<unistd.h>)
-#include <unistd.h>
-#define RH_CAMPAIGN_HAS_FSYNC 1
-#endif
-
 namespace rh::campaign {
 
 namespace {
 
 constexpr std::string_view kJournalKind = "rh-campaign-journal";
-constexpr std::uint64_t kJournalVersion = 1;
+// v2 = CRC-framed lines. Readers accept v1 (bare payloads) forever.
+constexpr std::uint64_t kJournalVersion = 2;
 
 /// The header hash travels as fixed-width hex so the header line is
 /// byte-stable across platforms.
@@ -40,15 +36,18 @@ std::string header_line(const JournalHeader& header) {
          "}";
 }
 
-void sync_to_disk(std::FILE* file, const std::string& path) {
-  if (std::fflush(file) != 0) {
-    throw common::ConfigError("cannot flush checkpoint journal: " + path);
+/// Drop the torn residue of a kill mid-append before writing anything new;
+/// appending after it would turn an ignorable trailing tear into mid-file
+/// corruption on the next read.
+void truncate_for_resume(const std::string& path, std::uint64_t keep_bytes) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (!ec && keep_bytes < size) {
+    std::filesystem::resize_file(path, keep_bytes, ec);
   }
-#ifdef RH_CAMPAIGN_HAS_FSYNC
-  if (::fsync(fileno(file)) != 0) {
-    throw common::ConfigError("cannot fsync checkpoint journal: " + path);
+  if (ec) {
+    throw common::ConfigError("cannot truncate checkpoint journal for resume: " + path);
   }
-#endif
 }
 
 }  // namespace
@@ -62,44 +61,60 @@ std::uint64_t fnv1a(std::string_view text) {
   return h;
 }
 
-JournalWriter::JournalWriter(const std::string& path, const JournalHeader& header)
+JournalWriter::JournalWriter(const std::string& path, const JournalHeader& header,
+                             resilience::StorageFaultInjector* injector)
     : path_(path) {
-  file_ = std::fopen(path.c_str(), "wb");
-  if (file_ == nullptr) {
-    throw common::ConfigError("cannot create checkpoint journal: " + path);
-  }
+  file_ = std::make_unique<resilience::DurableFile>(path, "checkpoint journal",
+                                                    /*truncate=*/true, injector);
   write_line(header_line(header));
 }
 
-JournalWriter::JournalWriter(const std::string& path, std::uint64_t keep_bytes)
+JournalWriter::JournalWriter(const std::string& path, std::uint64_t keep_bytes,
+                             resilience::StorageFaultInjector* injector)
     : path_(path) {
-  // Drop the torn residue of a kill mid-append before writing anything new;
-  // appending after it would turn an ignorable trailing tear into mid-file
-  // corruption on the next read.
-  std::error_code ec;
-  const std::uintmax_t size = std::filesystem::file_size(path, ec);
-  if (!ec && keep_bytes < size) {
-    std::filesystem::resize_file(path, keep_bytes, ec);
-  }
-  if (ec) {
-    throw common::ConfigError("cannot truncate checkpoint journal for resume: " + path);
-  }
-  file_ = std::fopen(path.c_str(), "ab");
-  if (file_ == nullptr) {
-    throw common::ConfigError("cannot reopen checkpoint journal: " + path);
-  }
+  truncate_for_resume(path, keep_bytes);
+  file_ = std::make_unique<resilience::DurableFile>(path, "checkpoint journal",
+                                                    /*truncate=*/false, injector);
 }
 
-JournalWriter::~JournalWriter() {
-  if (file_ != nullptr) std::fclose(file_);
+JournalWriter::JournalWriter(const std::string& path, const JournalReader& reader,
+                             resilience::StorageFaultInjector* injector)
+    : path_(path) {
+  if (reader.corrupt_lines().empty()) {
+    truncate_for_resume(path, reader.intact_bytes());
+  } else {
+    // Quarantine-and-compact: the damaged lines move verbatim to a sidecar
+    // (nothing is ever silently discarded), then the journal is rewritten
+    // atomically as header + every intact line. The quarantined shards are
+    // absent from reader.shards(), so the resume planner re-runs exactly
+    // them and the final results stay byte-identical.
+    const std::string qpath = path + ".quarantine";
+    std::ofstream quarantine(qpath, std::ios::app | std::ios::binary);
+    if (!quarantine) {
+      throw common::ConfigError("cannot open journal quarantine file: " + qpath);
+    }
+    for (const CorruptLine& line : reader.corrupt_lines()) {
+      quarantine << line.raw << '\n';
+    }
+    quarantine.flush();
+    if (!quarantine) {
+      throw common::ConfigError("cannot write journal quarantine file: " + qpath);
+    }
+    std::string compacted = reader.raw_header() + '\n';
+    for (const std::string& line : reader.raw_lines()) {
+      compacted += line;
+      compacted += '\n';
+    }
+    resilience::write_file_atomic(path, compacted, "checkpoint journal", injector);
+  }
+  file_ = std::make_unique<resilience::DurableFile>(path, "checkpoint journal",
+                                                    /*truncate=*/false, injector);
 }
 
-void JournalWriter::write_line(const std::string& line) {
-  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
-      std::fputc('\n', file_) == EOF) {
-    throw common::ConfigError("cannot write checkpoint journal: " + path_);
-  }
-  sync_to_disk(file_, path_);
+JournalWriter::~JournalWriter() = default;
+
+void JournalWriter::write_line(const std::string& payload) {
+  file_->write_line(resilience::frame_line(payload));
 }
 
 void JournalWriter::append_shard(std::uint64_t shard,
@@ -132,69 +147,114 @@ JournalReader::JournalReader(const std::string& path) {
   if (!in) {
     throw common::ConfigError("cannot open checkpoint journal for resume: " + path);
   }
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
 
-  in.seekg(0, std::ios::end);
-  const auto file_size = static_cast<std::uint64_t>(in.tellg());
-  in.seekg(0);
-
-  std::string line;
-  if (!std::getline(in, line)) {
+  // Split into lines, keeping track of whether the final one was
+  // newline-terminated: a partial tail is the classic kill-mid-append
+  // residue and may only ever be torn, never corrupt.
+  std::vector<std::string> lines;
+  bool final_newline = true;
+  std::size_t start = 0;
+  while (start < content.size()) {
+    const std::size_t nl = content.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(content.substr(start));
+      final_newline = false;
+      break;
+    }
+    lines.push_back(content.substr(start, nl - start));
+    start = nl + 1;
+  }
+  if (lines.empty()) {
     throw common::ConfigError("checkpoint journal is empty: " + path);
   }
-  const JsonValue header = parse_json(line, path + " (header)");
+
+  // The header is the trust anchor: damage here is fatal, because nothing
+  // below it can be proven to belong to this sweep.
+  std::string_view payload;
+  if (resilience::check_frame(lines[0], payload) == resilience::FrameCheck::kMismatch) {
+    throw common::ConfigError("corrupt checkpoint journal header (CRC mismatch): " + path);
+  }
+  const JsonValue header = parse_json(std::string(payload), path + " (header)");
   const JsonValue* kind = header.find("kind");
   if (kind == nullptr || kind->text != kJournalKind) {
     throw common::ConfigError("not a campaign journal: " + path);
   }
-  if (header.at("version").as_u64() != kJournalVersion) {
+  const std::uint64_t version = header.at("version").as_u64();
+  if (version != 1 && version != kJournalVersion) {
     throw common::ConfigError("unsupported journal version in " + path);
   }
   header_.seed = header.at("seed").as_u64();
   header_.config_hash = std::strtoull(header.at("config_hash").text.c_str(), nullptr, 16);
   header_.shard_count = header.at("shards").as_u64();
-  intact_bytes_ = line.size() + 1;
+  raw_header_ = lines[0];
+  intact_bytes_ = lines[0].size() + 1;
 
-  std::size_t line_no = 1;
-  while (std::getline(in, line)) {
-    ++line_no;
+  bool damaged = false;  // a corrupt line ends the undamaged prefix
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const std::size_t line_no = i + 1;
+    const bool tail = i + 1 == lines.size();
     if (line.empty()) {
-      intact_bytes_ += line.size() + 1;
+      if (!damaged) intact_bytes_ += 1;
       continue;
     }
-    JsonValue entry;
-    try {
-      entry = parse_json(line, path + ":" + std::to_string(line_no));
-    } catch (const common::ConfigError&) {
-      // A torn trailing line is the expected residue of a kill mid-append;
-      // anything malformed *before* the end means real corruption.
-      if (in.peek() == EOF) break;
-      throw;
-    }
+
+    std::string reason;
     ShardOutcome outcome;
-    outcome.shard = entry.at("shard").as_u64();
-    if (const JsonValue* attempts = entry.find("attempts"); attempts != nullptr) {
-      outcome.attempts = static_cast<unsigned>(attempts->as_u64());
-    }
-    if (const JsonValue* wall = entry.find("wall_ms"); wall != nullptr) {
-      outcome.wall_ms = wall->as_double();
-    }
-    if (const JsonValue* failed = entry.find("failed"); failed != nullptr) {
-      // Failure annotation: report fodder only — the shard stays pending,
-      // so a resume re-runs it.
-      outcome.ok = false;
-      outcome.error = failed->text;
+    std::vector<core::RowRecord> records;
+    bool completed = false;
+    bool ok = false;
+    std::string_view body;
+    if (resilience::check_frame(line, body) == resilience::FrameCheck::kMismatch) {
+      reason = "CRC mismatch";
     } else {
-      std::vector<core::RowRecord> records;
-      const JsonValue& array = entry.at("records");
-      records.reserve(array.items.size());
-      for (const JsonValue& r : array.items) records.push_back(parse_row_record(r));
-      outcome.records = records.size();
-      shards_[outcome.shard] = std::move(records);
+      try {
+        const JsonValue entry = parse_json(std::string(body), path + ":" + std::to_string(line_no));
+        outcome.shard = entry.at("shard").as_u64();
+        if (const JsonValue* attempts = entry.find("attempts"); attempts != nullptr) {
+          outcome.attempts = static_cast<unsigned>(attempts->as_u64());
+        }
+        if (const JsonValue* wall = entry.find("wall_ms"); wall != nullptr) {
+          outcome.wall_ms = wall->as_double();
+        }
+        if (const JsonValue* failed = entry.find("failed"); failed != nullptr) {
+          // Failure annotation: report fodder only — the shard stays
+          // pending, so a resume re-runs it.
+          outcome.ok = false;
+          outcome.error = failed->text;
+        } else {
+          const JsonValue& array = entry.at("records");
+          records.reserve(array.items.size());
+          for (const JsonValue& r : array.items) records.push_back(parse_row_record(r));
+          outcome.records = records.size();
+          completed = true;
+        }
+        ok = true;
+      } catch (const common::ConfigError& e) {
+        reason = e.what();
+      }
     }
+
+    if (!ok) {
+      if (tail) {
+        // The expected residue of a kill mid-append: ignorable.
+        torn_tail_ = true;
+        break;
+      }
+      corrupt_lines_.push_back({line_no, reason, line});
+      damaged = true;
+      continue;
+    }
+    if (completed) shards_[outcome.shard] = std::move(records);
     outcomes_.push_back(std::move(outcome));
-    intact_bytes_ += line.size() + 1;
+    raw_lines_.push_back(line);
+    if (!damaged) intact_bytes_ += line.size() + 1;
   }
-  intact_bytes_ = std::min(intact_bytes_, file_size);
+  // An intact partial tail has no newline on disk; never claim more bytes
+  // than the file holds.
+  (void)final_newline;
+  intact_bytes_ = std::min<std::uint64_t>(intact_bytes_, content.size());
 }
 
 void render_journal_summary(std::ostream& os, const std::string& path,
@@ -227,6 +287,13 @@ void render_journal_summary(std::ostream& os, const std::string& path,
   if (reader.shards().size() < h.shard_count) {
     os << "pending: " << h.shard_count - reader.shards().size()
        << " shards — rerun with --resume to finish the sweep\n";
+  }
+  if (!reader.corrupt_lines().empty()) {
+    os << "damage: " << reader.corrupt_lines().size()
+       << " corrupt line(s) — quarantined and re-run on the next resume\n";
+    for (const CorruptLine& line : reader.corrupt_lines()) {
+      os << "  line " << line.line_no << ": " << line.reason << '\n';
+    }
   }
 
   if (!wall.empty()) {

@@ -1,18 +1,23 @@
 // The campaign results journal: a JSONL checkpoint file that makes a killed
 // campaign resumable.
 //
-// Layout (one JSON document per line):
+// Layout (one JSON document per line; since v2 every line carries a CRC-32
+// frame — a trailing '\t' + 8 hex digits over the JSON payload):
 //
-//   {"kind":"rh-campaign-journal","version":1,"seed":...,
-//    "config_hash":"<16 hex digits>","shards":N}          <- header, fsync'd
+//   {"kind":"rh-campaign-journal","version":2,"seed":...,
+//    "config_hash":"<16 hex digits>","shards":N}<TAB>crc    <- header, fsync'd
 //   {"shard":7,"attempts":1,"wall_ms":812.4,
-//    "records":[{...RowRecord...}, ...]}                  <- per shard, in
-//   {"shard":3,"records":[...]}                              completion order
-//   {"shard":9,"attempts":2,"failed":"<error text>"}      <- isolated failure
+//    "records":[{...RowRecord...}, ...]}<TAB>crc            <- per shard, in
+//   {"shard":3,"records":[...]}<TAB>crc                        completion order
+//   {"shard":9,"attempts":2,"failed":"<error text>"}<TAB>crc <- isolated failure
 //
 // "attempts"/"wall_ms" are optional cost annotations (rh_report --journal
 // renders them); journals written before they existed parse fine, and a
 // failure line never counts as a completed shard — resume re-runs it.
+//
+// v1 journals (bare payloads, no CRC frame) stay fully readable: the reader
+// classifies each line independently, so even a mixed file (v1 prefix, v2
+// appends after a resume) parses.
 //
 // The header binds the journal to one exact sweep: the seed, the FNV-1a
 // hash of the full campaign configuration (device geometry, scramble,
@@ -20,21 +25,30 @@
 // the shard count. Resume refuses a journal whose header does not match the
 // sweep being run, so stale checkpoints can never silently corrupt results.
 //
-// Durability: the header is fsync'd before any work starts, and every shard
-// line is flushed+fsync'd when it is appended — a kill can lose at most the
-// shard in flight. The reader ignores a torn trailing line.
+// Durability and damage tolerance: the header is fsync'd before any work
+// starts and every shard line is flushed+fsync'd when appended — a kill can
+// lose at most the shard in flight. The reader classifies each line as
+// ok / torn-tail / corrupt instead of throwing: a torn trailing line is
+// ignored (the expected residue of a kill mid-append), and a corrupt
+// mid-file line (bit rot, a torn line fused with its successor) is
+// quarantined — recorded, skipped, and its shard re-run on resume — rather
+// than aborting the whole journal. Only a damaged header is fatal: nothing
+// below it can be trusted to belong to this sweep.
 #pragma once
 
 #include <cstdint>
-#include <cstdio>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/characterizer.hpp"
+#include "resilience/storage.hpp"
 
 namespace rh::campaign {
+
+class JournalReader;
 
 /// FNV-1a 64-bit hash (used for the journal's config hash).
 [[nodiscard]] std::uint64_t fnv1a(std::string_view text);
@@ -46,17 +60,29 @@ struct JournalHeader {
   std::uint64_t shard_count = 0;
 };
 
-/// Appends completed shards to the journal. All methods throw
-/// common::ConfigError on I/O failure.
+/// Appends completed shards to the journal. Open/truncate failures throw
+/// common::ConfigError; write/sync failures throw common::StorageError
+/// (callers degrade — drop the journal, fail the job — rather than abort).
 class JournalWriter {
 public:
   /// Creates (truncating any previous file) and writes an fsync'd header.
-  JournalWriter(const std::string& path, const JournalHeader& header);
+  /// `injector` may be null and must outlive the writer.
+  JournalWriter(const std::string& path, const JournalHeader& header,
+                resilience::StorageFaultInjector* injector = nullptr);
   /// Reopens an existing journal for appending (resume), first truncating
   /// it to `keep_bytes` — JournalReader::intact_bytes() — so a torn
   /// trailing line from a kill never ends up *preceding* appended lines.
   /// The caller is responsible for having validated the header.
-  JournalWriter(const std::string& path, std::uint64_t keep_bytes);
+  JournalWriter(const std::string& path, std::uint64_t keep_bytes,
+                resilience::StorageFaultInjector* injector = nullptr);
+  /// Resume from a fully classified read: tail-only damage truncates (as
+  /// above); mid-file corrupt lines are appended verbatim to
+  /// `path`.quarantine and the journal is compacted — header plus every
+  /// intact line rewritten atomically — before reopening for append. The
+  /// quarantined shards are absent from reader.shards(), so resume re-runs
+  /// exactly them.
+  JournalWriter(const std::string& path, const JournalReader& reader,
+                resilience::StorageFaultInjector* injector = nullptr);
   ~JournalWriter();
 
   JournalWriter(const JournalWriter&) = delete;
@@ -73,9 +99,9 @@ public:
   void append_failure(std::uint64_t shard, unsigned attempts, const std::string& what);
 
 private:
-  void write_line(const std::string& line);
+  void write_line(const std::string& payload);
 
-  std::FILE* file_ = nullptr;
+  std::unique_ptr<resilience::DurableFile> file_;
   std::string path_;
 };
 
@@ -90,8 +116,19 @@ struct ShardOutcome {
   std::string error;         ///< failure lines only
 };
 
-/// Loads a journal: header plus every intact shard line. A torn final line
-/// (from a kill mid-write) is ignored; any other malformed content throws.
+/// One damaged (non-tail) journal line: quarantine fodder.
+struct CorruptLine {
+  std::size_t line_no = 0;  ///< 1-based position in the file
+  std::string reason;       ///< "CRC mismatch", parse error text, ...
+  std::string raw;          ///< the line exactly as it sits on disk
+};
+
+/// Loads a journal: header plus every intact shard line, with per-line
+/// damage classification. A torn final line (kill mid-write) is ignored; a
+/// corrupt mid-file line is recorded in corrupt_lines() and skipped — its
+/// shard simply stays pending. Only an unreadable header throws
+/// (common::ConfigError): a journal whose identity line is damaged cannot
+/// be trusted at all.
 class JournalReader {
 public:
   explicit JournalReader(const std::string& path);
@@ -104,25 +141,43 @@ public:
   /// Every intact shard line (completions and failures), in file order.
   [[nodiscard]] const std::vector<ShardOutcome>& outcomes() const { return outcomes_; }
 
+  /// Mid-file lines that failed their CRC or did not parse, in file order.
+  [[nodiscard]] const std::vector<CorruptLine>& corrupt_lines() const { return corrupt_lines_; }
+  /// True when the final line was torn (ignored, not corruption).
+  [[nodiscard]] bool torn_tail() const { return torn_tail_; }
+
+  /// The header line exactly as it sits on disk (for compaction).
+  [[nodiscard]] const std::string& raw_header() const { return raw_header_; }
+  /// Every intact record line exactly as on disk, in file order (for
+  /// compaction; excludes the header, corrupt lines, and the torn tail).
+  [[nodiscard]] const std::vector<std::string>& raw_lines() const { return raw_lines_; }
+
   /// Throws common::ConfigError naming the mismatched field if the journal
   /// was written for a different sweep than `expected`.
   void require_matches(const JournalHeader& expected) const;
 
-  /// Byte length of the journal's intact prefix (the header plus every
-  /// parsed shard line). A resume truncates the file to this length before
-  /// appending, which erases any torn trailing line.
+  /// Byte length of the journal's undamaged prefix: the header plus every
+  /// intact line up to the first corrupt line or the torn tail. When
+  /// corrupt_lines() is empty a resume truncates the file to this length
+  /// before appending; otherwise the quarantining JournalWriter ctor
+  /// compacts instead.
   [[nodiscard]] std::uint64_t intact_bytes() const { return intact_bytes_; }
 
 private:
   JournalHeader header_;
   std::map<std::uint64_t, std::vector<core::RowRecord>> shards_;
   std::vector<ShardOutcome> outcomes_;
+  std::vector<CorruptLine> corrupt_lines_;
+  std::vector<std::string> raw_lines_;
+  std::string raw_header_;
+  bool torn_tail_ = false;
   std::uint64_t intact_bytes_ = 0;
 };
 
 /// Renders a human summary of a journal (shards done/failed/retried,
-/// wall-ms-per-shard percentiles when the journal carries annotations) —
-/// the standalone `rh_report --journal` view of a possibly killed campaign.
+/// wall-ms-per-shard percentiles when the journal carries annotations,
+/// damage report when lines were quarantined) — the standalone
+/// `rh_report --journal` view of a possibly killed campaign.
 void render_journal_summary(std::ostream& os, const std::string& path,
                             const JournalReader& reader);
 

@@ -12,6 +12,7 @@
 #include "campaign/progress.hpp"
 #include "campaign/record_io.hpp"
 #include "common/error.hpp"
+#include "resilience/storage.hpp"
 
 namespace rh::campaign {
 
@@ -63,20 +64,22 @@ MetricsStreamData read_metrics_stream(const std::string& path) {
   const std::vector<std::string> lines = intact_lines(path, data.torn);
   for (std::size_t i = 0; i < lines.size(); ++i) {
     if (lines[i].empty()) continue;
+    const bool tail = i + 1 == lines.size();
+
+    // v2 lines carry a CRC frame; v1 lines are bare payloads (kUnframed).
+    std::string_view body;
+    bool damaged =
+        resilience::check_frame(lines[i], body) == resilience::FrameCheck::kMismatch;
     JsonValue doc;
-    try {
-      doc = parse_json(lines[i], path + " line " + std::to_string(i + 1));
-    } catch (const common::ConfigError&) {
-      // A complete-looking final line can still be half a write (the
-      // newline landed, the fsync didn't). Tolerate it exactly like the
-      // journal reader; anything earlier is a genuinely foreign file.
-      if (i + 1 == lines.size()) {
-        data.torn = true;
-        break;
+    if (!damaged) {
+      try {
+        doc = parse_json(std::string(body), path + " line " + std::to_string(i + 1));
+      } catch (const common::ConfigError&) {
+        damaged = true;
       }
-      throw;
     }
-    if (!data.has_header) {
+
+    if (!damaged && !data.has_header) {
       const JsonValue* kind = doc.find("kind");
       if (kind == nullptr || kind->text != "rh-metrics-stream") {
         throw common::ConfigError("not an rh-metrics-stream file: " + path);
@@ -90,34 +93,60 @@ MetricsStreamData read_metrics_stream(const std::string& path) {
       data.wall_cadence_ms = doc.at("wall_cadence_ms").as_double();
       continue;
     }
-    const std::string& sample = doc.at("sample").text;
-    if (sample == "cycles") {
-      ++data.cycles_samples;
-      add_counters(data.device_counters, doc.at("deltas"));
-    } else if (sample == "wall") {
-      ++data.wall_samples;
-      data.last_t_ms = doc.at("t_ms").as_double();
-      add_counters(data.counters, doc.at("counters"));
-      data.workers.clear();
-      for (const auto& w : doc.at("workers").items) {
-        MetricsStreamData::Worker worker;
-        worker.busy_ms = w.at("busy_ms").as_double();
-        worker.done = w.at("done").as_u64();
-        worker.shard = static_cast<std::int64_t>(w.at("shard").as_double());
-        data.workers.push_back(worker);
+
+    if (!damaged) {
+      try {
+        const std::string& sample = doc.at("sample").text;
+        if (sample == "cycles") {
+          ++data.cycles_samples;
+          add_counters(data.device_counters, doc.at("deltas"));
+        } else if (sample == "wall") {
+          ++data.wall_samples;
+          data.last_t_ms = doc.at("t_ms").as_double();
+          add_counters(data.counters, doc.at("counters"));
+          data.workers.clear();
+          for (const auto& w : doc.at("workers").items) {
+            MetricsStreamData::Worker worker;
+            worker.busy_ms = w.at("busy_ms").as_double();
+            worker.done = w.at("done").as_u64();
+            worker.shard = static_cast<std::int64_t>(w.at("shard").as_double());
+            data.workers.push_back(worker);
+          }
+        } else if (sample == "final") {
+          data.finished = true;
+          data.last_t_ms = doc.at("t_ms").as_double();
+          data.counters.clear();
+          add_counters(data.counters, doc.at("counters"));
+          const JsonValue& shards = doc.at("shards");
+          data.final_done = shards.at("done").as_u64();
+          data.final_failed = shards.at("failed").as_u64();
+          data.final_skipped = shards.at("skipped").as_u64();
+          data.final_total = shards.at("total").as_u64();
+        } else {
+          // Parsed JSON but not a sample we know: rot that kept the line
+          // well-formed, or a future writer. Either way, skippable.
+          damaged = true;
+        }
+      } catch (const common::ConfigError&) {
+        damaged = true;  // a known sample kind with fields missing/mistyped
       }
-    } else if (sample == "final") {
-      data.finished = true;
-      data.last_t_ms = doc.at("t_ms").as_double();
-      data.counters.clear();
-      add_counters(data.counters, doc.at("counters"));
-      const JsonValue& shards = doc.at("shards");
-      data.final_done = shards.at("done").as_u64();
-      data.final_failed = shards.at("failed").as_u64();
-      data.final_skipped = shards.at("skipped").as_u64();
-      data.final_total = shards.at("total").as_u64();
-    } else {
-      throw common::ConfigError("unknown sample kind '" + sample + "' in " + path);
+    }
+
+    if (damaged) {
+      // A complete-looking final line can still be half a write (the
+      // newline landed, the fsync didn't). Tolerate it exactly like the
+      // journal reader. Mid-file damage: no trusted header means nothing
+      // below is this stream's (foreign file) — fatal; under a good header
+      // it is bit rot on advisory telemetry — count it and keep going.
+      if (tail) {
+        data.torn = true;
+        break;
+      }
+      if (!data.has_header) {
+        throw common::ConfigError("corrupt metrics stream header: " + path);
+      }
+      ++data.corrupt_lines;
+      continue;
     }
   }
   return data;
@@ -135,6 +164,8 @@ TailStatus tail_status(const std::string& journal_path, const std::string& strea
     const JournalReader reader(journal_path);
     status.seed = reader.header().seed;
     status.shards_total = reader.header().shard_count;
+    status.torn = status.torn || reader.torn_tail();
+    status.corrupt_lines += reader.corrupt_lines().size();
     std::set<std::uint64_t> failed_shards;
     for (const auto& outcome : reader.outcomes()) {
       status.attempts += outcome.attempts;
@@ -155,6 +186,7 @@ TailStatus tail_status(const std::string& journal_path, const std::string& strea
   if (!stream_path.empty()) {
     const MetricsStreamData stream = read_metrics_stream(stream_path);
     status.torn = status.torn || stream.torn;
+    status.corrupt_lines += stream.corrupt_lines;
     if (stream.has_header) {
       status.seed = stream.seed;
       if (stream.shards > 0) status.shards_total = stream.shards;
@@ -230,6 +262,10 @@ void render_tail_status(std::ostream& os, const TailStatus& status) {
     if (!status.eta.empty()) os << " | " << status.eta;
   }
   if (status.torn) os << " | torn tail tolerated";
+  if (status.corrupt_lines > 0) {
+    os << " | " << status.corrupt_lines << " corrupt line"
+       << (status.corrupt_lines == 1 ? "" : "s") << " skipped";
+  }
   os << '\n';
   os << "records journaled: " << status.records << " | attempts: " << status.attempts << '\n';
 

@@ -26,9 +26,11 @@
 
 namespace rh::campaign {
 
-/// One parsed rh-metrics-stream/v1 file. `torn` means the trailing line was
-/// incomplete or unparsable (campaign mid-append or killed mid-write); all
-/// intact lines before it are retained.
+/// One parsed rh-metrics-stream file (v1 bare lines or v2 CRC-framed).
+/// `torn` means the trailing line was incomplete or unparsable (campaign
+/// mid-append or killed mid-write); a damaged *mid-file* line (CRC
+/// mismatch, unparsable, unknown sample kind) is counted in corrupt_lines
+/// and skipped — telemetry is advisory, so the monitor keeps going.
 struct MetricsStreamData {
   bool has_header = false;
   std::uint64_t seed = 0;
@@ -58,11 +60,13 @@ struct MetricsStreamData {
   bool finished = false;  ///< the final sample was seen
   std::uint64_t final_done = 0, final_failed = 0, final_skipped = 0, final_total = 0;
   bool torn = false;
+  std::uint64_t corrupt_lines = 0;  ///< damaged mid-file lines skipped
 };
 
-/// Loads a metrics stream, tolerating a torn trailing line. Throws
-/// common::ConfigError when the file cannot be opened or an *intact* line is
-/// malformed (a foreign file, not a mid-write artifact).
+/// Loads a metrics stream, tolerating a torn trailing line and skipping
+/// (while counting) corrupt mid-file lines. Throws common::ConfigError only
+/// when the file cannot be opened or its header line is damaged or foreign
+/// — with no trusted identity line, nothing below it means anything.
 [[nodiscard]] MetricsStreamData read_metrics_stream(const std::string& path);
 
 struct TailOptions {
@@ -101,6 +105,7 @@ struct TailStatus {
   std::string eta;            ///< "eta 12.3s" / "eta --" / "" when finished
   bool finished = false;
   bool torn = false;          ///< either file had a torn trailing line
+  std::uint64_t corrupt_lines = 0;  ///< damaged lines skipped across both files
   std::vector<TailWorkerView> workers;
   std::map<std::string, std::uint64_t> counters;         ///< campaign aggregate
   std::map<std::string, std::uint64_t> device_counters;  ///< summed cycles deltas

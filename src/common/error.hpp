@@ -8,6 +8,7 @@
 //   ├─ ProtocolError      — DRAM command illegal in current bank/device state
 //   ├─ TimingError        — DRAM command violates a JEDEC-style timing rule
 //   ├─ ProgramError       — malformed or diverging DRAM Bender program
+//   ├─ StorageError       — durable write/sync to on-disk state failed
 //   └─ TransientError     — infrastructure failures that a retry may heal
 //      ├─ TransportError  — PCIe transfer failed after exhausting retries
 //      └─ ThermalError    — thermal rig could not reach / hold the setpoint
@@ -83,6 +84,18 @@ public:
 /// A DRAM Bender program is malformed (bad register, jump out of range,
 /// missing END) or exceeded its execution budget.
 class ProgramError : public Error {
+public:
+  using Error::Error;
+};
+
+/// A durable write, flush, or fsync to on-disk state (checkpoint journal,
+/// metrics stream, job descriptor) failed — the disk is full, the medium is
+/// failing, or the storage fault plane injected exactly that. Deliberately
+/// NOT a TransientError: retrying the same write on a full or dying disk
+/// just burns the shard retry budget. Campaign/serve layers catch this
+/// branch to degrade (drop the journal, fail the job with a storage reason)
+/// instead of crashing; the simulated results themselves are never touched.
+class StorageError : public Error {
 public:
   using Error::Error;
 };

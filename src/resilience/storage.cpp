@@ -1,0 +1,298 @@
+#include "resilience/storage.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "resilience/crc32.hpp"
+
+#if __has_include(<unistd.h>) && __has_include(<fcntl.h>)
+#include <fcntl.h>
+#include <unistd.h>
+#define RH_STORAGE_HAS_FSYNC 1
+#endif
+
+namespace rh::resilience {
+
+namespace {
+
+using common::ConfigError;
+using common::StorageError;
+
+// Distinct hash tags keep the storage plane's fire/shape streams
+// decorrelated from the transport plane's (0xFA017/0x5AAFE in fault.cpp)
+// even when both run off the same campaign seed.
+constexpr std::uint64_t kFireTag = 0x5709A6Eu;
+constexpr std::uint64_t kShapeTag = 0xD15C5Au;
+
+constexpr std::size_t kFrameHexDigits = 8;
+// '\t' + 8 hex digits.
+constexpr std::size_t kFrameBytes = 1 + kFrameHexDigits;
+
+std::uint32_t payload_crc(std::string_view payload) {
+  return crc32({reinterpret_cast<const std::uint8_t*>(payload.data()), payload.size()});
+}
+
+void fsync_or_throw(std::FILE* file, const std::string& what, const std::string& path) {
+  if (std::fflush(file) != 0) {
+    throw StorageError("cannot flush " + what + ": " + path);
+  }
+#ifdef RH_STORAGE_HAS_FSYNC
+  if (::fsync(fileno(file)) != 0) {
+    throw StorageError("cannot fsync " + what + ": " + path);
+  }
+#endif
+}
+
+}  // namespace
+
+void StorageFaultPlan::set_all_rates(double rate) {
+  for (double& r : rates) r = rate;
+}
+
+bool StorageFaultPlan::enabled() const {
+  if (!script.empty()) return true;
+  for (const double rate : rates) {
+    if (rate > 0.0) return true;
+  }
+  return false;
+}
+
+StorageFaultInjector::StorageFaultInjector(StorageFaultPlan plan) : plan_(std::move(plan)) {
+  for (const double rate : plan_.rates) {
+    RH_EXPECTS(rate >= 0.0 && rate <= 1.0);
+  }
+}
+
+bool StorageFaultInjector::should_fire(StorageFaultKind kind) {
+  const auto k = static_cast<std::size_t>(kind);
+  const std::uint64_t opportunity = opportunities_[k]++;
+
+  bool fire = false;
+  for (const ScriptedStorageFault& scripted : plan_.script) {
+    if (scripted.kind == kind && scripted.opportunity == opportunity) {
+      fire = true;
+      break;
+    }
+  }
+  if (!fire && plan_.rates[k] > 0.0) {
+    // Counter-based: kind k's stream is untouched by other kinds' draws.
+    const std::uint64_t h = common::hash_coords(plan_.seed, kFireTag, k, opportunity);
+    fire = common::to_unit_double(h) < plan_.rates[k];
+  }
+  if (fire) {
+    log_.push_back({stats_.injected, kind, opportunity});
+    ++stats_.injected;
+    ++stats_.by_kind[k];
+  }
+  return fire;
+}
+
+std::uint64_t StorageFaultInjector::shape() {
+  return common::hash_coords(plan_.seed, kShapeTag, shape_counter_++);
+}
+
+std::string StorageFaultInjector::log_string() const {
+  std::string out;
+  for (const StorageFaultRecord& record : log_) {
+    out += std::to_string(record.sequence) + ' ';
+    out += to_string(record.kind);
+    out += '@' + std::to_string(record.opportunity);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string frame_line(std::string_view payload) {
+  char frame[kFrameBytes + 1];
+  std::snprintf(frame, sizeof frame, "\t%08x", payload_crc(payload));
+  return std::string(payload) + frame;
+}
+
+FrameCheck check_frame(std::string_view line, std::string_view& payload) {
+  payload = line;
+  if (line.size() < kFrameBytes || line[line.size() - kFrameBytes] != '\t') {
+    return FrameCheck::kUnframed;
+  }
+  const std::string_view hex = line.substr(line.size() - kFrameHexDigits);
+  std::uint32_t stored = 0;
+  for (const char c : hex) {
+    if (c >= '0' && c <= '9') {
+      stored = stored * 16 + static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      stored = stored * 16 + static_cast<std::uint32_t>(c - 'a' + 10);
+    } else {
+      // A tab this close to the end but no hex digest: not a frame. JSON
+      // payloads escape tabs, so this only happens to damaged lines —
+      // which the payload-level parse will then reject.
+      return FrameCheck::kUnframed;
+    }
+  }
+  payload = line.substr(0, line.size() - kFrameBytes);
+  return payload_crc(payload) == stored ? FrameCheck::kFramed : FrameCheck::kMismatch;
+}
+
+DurableFile::DurableFile(std::string path, std::string what, bool truncate,
+                         StorageFaultInjector* injector)
+    : path_(std::move(path)), what_(std::move(what)), injector_(injector) {
+  file_ = std::fopen(path_.c_str(), truncate ? "wb" : "r+b");
+  if (file_ == nullptr) {
+    throw ConfigError("cannot " + std::string(truncate ? "create" : "reopen") + " " + what_ +
+                      ": " + path_);
+  }
+  if (!truncate) {
+    if (std::fseek(file_, 0, SEEK_END) != 0) {
+      std::fclose(file_);
+      file_ = nullptr;
+      throw ConfigError("cannot seek to end of " + what_ + ": " + path_);
+    }
+    offset_ = static_cast<std::uint64_t>(std::ftell(file_));
+  }
+}
+
+DurableFile::~DurableFile() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void DurableFile::flush_and_sync() { fsync_or_throw(file_, what_, path_); }
+
+void DurableFile::corrupt_on_disk(std::uint64_t offset, std::size_t length) {
+  // A separate descriptor: file_ is in append position, and on POSIX an
+  // "a"-mode stream writes at end-of-file regardless of seeks anyway.
+  std::FILE* side = std::fopen(path_.c_str(), "r+b");
+  if (side == nullptr) return;  // best-effort rot; the write itself succeeded
+  const std::uint32_t bits = injector_->plan().corrupt_bits > 0
+                                 ? injector_->plan().corrupt_bits
+                                 : 1;
+  for (std::uint32_t i = 0; i < bits; ++i) {
+    const auto pos = static_cast<long>(offset + injector_->shape() % length);
+    const auto bit = static_cast<int>(injector_->shape() % 8);
+    if (std::fseek(side, pos, SEEK_SET) != 0) break;
+    const int c = std::fgetc(side);
+    if (c == EOF) break;
+    if (std::fseek(side, pos, SEEK_SET) != 0) break;
+    if (std::fputc(c ^ (1 << bit), side) == EOF) break;
+  }
+  std::fflush(side);
+#ifdef RH_STORAGE_HAS_FSYNC
+  ::fsync(fileno(side));
+#endif
+  std::fclose(side);
+}
+
+void DurableFile::write_line(std::string_view line) {
+  if (injector_ != nullptr) {
+    if (injector_->should_fire(StorageFaultKind::kEnospc)) {
+      throw StorageError("injected ENOSPC on " + what_ + ": " + path_);
+    }
+    if (!line.empty() && injector_->should_fire(StorageFaultKind::kShortWrite)) {
+      // A strict prefix reaches the file and the write reports failure —
+      // the torn tail the reader must later shrug off.
+      const std::size_t keep = injector_->shape() % line.size();
+      if (keep > 0 && std::fwrite(line.data(), 1, keep, file_) != keep) {
+        throw StorageError("cannot write " + what_ + ": " + path_);
+      }
+      std::fflush(file_);
+      offset_ += keep;
+      throw StorageError("injected short write (" + std::to_string(keep) + "/" +
+                         std::to_string(line.size()) + " bytes) on " + what_ + ": " + path_);
+    }
+    if (!line.empty() && injector_->should_fire(StorageFaultKind::kTornLine)) {
+      // The nastier variant: a prefix lands with NO error reported (power
+      // cut after the page-cache copy). If this was the last write the file
+      // just has a torn tail; if more lines follow, the tear fuses with the
+      // next line into mid-file corruption — exactly what quarantine resume
+      // and rh_fsck exist for.
+      const std::size_t keep = 1 + injector_->shape() % line.size();
+      if (std::fwrite(line.data(), 1, keep, file_) != keep) {
+        throw StorageError("cannot write " + what_ + ": " + path_);
+      }
+      flush_and_sync();
+      offset_ += keep;
+      return;
+    }
+  }
+
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fputc('\n', file_) == EOF) {
+    throw StorageError("cannot write " + what_ + ": " + path_);
+  }
+  if (std::fflush(file_) != 0) {
+    throw StorageError("cannot flush " + what_ + ": " + path_);
+  }
+  if (injector_ != nullptr && !line.empty() &&
+      injector_->should_fire(StorageFaultKind::kBitCorrupt)) {
+    // The line is on disk and the writer saw success; the medium then rots
+    // corrupt_bits bits inside it (never the newline — byte rot within a
+    // line is the CRC's job; eaten line breaks are the torn-line fault's).
+    corrupt_on_disk(offset_, line.size());
+  }
+  if (injector_ != nullptr && injector_->should_fire(StorageFaultKind::kFsyncFail)) {
+    offset_ += line.size() + 1;
+    throw StorageError("injected fsync failure on " + what_ + ": " + path_);
+  }
+  flush_and_sync();
+  offset_ += line.size() + 1;
+}
+
+void write_file_atomic(const std::string& path, std::string_view text,
+                       const std::string& what, StorageFaultInjector* injector) {
+  if (injector != nullptr && injector->should_fire(StorageFaultKind::kEnospc)) {
+    throw StorageError("injected ENOSPC writing " + what + ": " + path);
+  }
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    throw ConfigError("cannot create " + what + " temp file: " + tmp);
+  }
+  const bool short_write =
+      injector != nullptr && !text.empty() && injector->should_fire(StorageFaultKind::kShortWrite);
+  const std::size_t n = short_write ? injector->shape() % text.size() : text.size();
+  if (std::fwrite(text.data(), 1, n, file) != n) {
+    std::fclose(file);
+    throw StorageError("cannot write " + what + ": " + tmp);
+  }
+  if (short_write) {
+    // The torn .tmp stays behind (an orphan for rh_fsck); `path` itself is
+    // untouched — that is the whole point of the write-then-rename shape.
+    std::fflush(file);
+    std::fclose(file);
+    throw StorageError("injected short write (" + std::to_string(n) + "/" +
+                       std::to_string(text.size()) + " bytes) on " + what + ": " + tmp);
+  }
+  try {
+    // fsync BEFORE rename: otherwise a power loss can leave the rename
+    // durable but the data not, i.e. a valid-looking empty/garbage file
+    // where the old good content used to be.
+    fsync_or_throw(file, what, tmp);
+  } catch (...) {
+    std::fclose(file);
+    throw;
+  }
+  if (injector != nullptr && injector->should_fire(StorageFaultKind::kFsyncFail)) {
+    std::fclose(file);
+    throw StorageError("injected fsync failure on " + what + ": " + tmp);
+  }
+  std::fclose(file);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw ConfigError("cannot rename " + what + " into place: " + path);
+  }
+#ifdef RH_STORAGE_HAS_FSYNC
+  // fsync the parent directory so the rename itself survives power loss.
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) {
+      throw StorageError("cannot fsync parent directory of " + what + ": " + dir);
+    }
+  }
+#endif
+}
+
+}  // namespace rh::resilience

@@ -1,0 +1,219 @@
+// The storage fault-injection plane and the durable-file primitives built
+// on top of it.
+//
+// PR 3 gave the transport layer deterministic chaos (resilience::FaultInjector)
+// and property-tested recovery; this module is the same pattern pointed at
+// the other thing that fails in a multi-hour campaign: the disk. Journals,
+// metrics streams, and job descriptors are the only state that survives a
+// SIGKILL, so their write paths get a pluggable fault plane of their own —
+// short writes, failed fsyncs, post-write bit rot, torn lines, ENOSPC —
+// and the recovery code (corruption-tolerant readers, quarantine resume,
+// rh_fsck) is regression-tested against every one of them.
+//
+// Determinism contract mirrors fault.hpp: whether the i-th opportunity of
+// storage-fault kind k fires is hash(seed, k, i) < rate[k], or an exact
+// scripted match — per-kind streams are independent, so two runs of the
+// same write sequence against the same (seed, plan) tear the same bytes.
+//
+// Layering:
+//   StorageFaultInjector  — the deterministic "when does the disk lie" oracle
+//   frame_line/check_frame — CRC-32 per-line framing (the v2 record format)
+//   DurableFile           — append-one-line-then-fsync with injection points
+//   write_file_atomic     — write-tmp / fsync-tmp / rename / fsync-dir
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rh::resilience {
+
+/// Everything the storage plane knows how to break, in the order the write
+/// path offers the opportunities.
+enum class StorageFaultKind : std::uint8_t {
+  kEnospc = 0,      ///< write refused outright (disk full) — nothing lands
+  kShortWrite,      ///< a strict prefix of the line reaches the file, then error
+  kTornLine,        ///< a prefix lands *silently* (power cut between writes)
+  kBitCorrupt,      ///< the line lands whole, then bits rot on the medium
+  kFsyncFail,       ///< data written but the sync barrier reports failure
+};
+
+inline constexpr std::size_t kStorageFaultKindCount = 5;
+
+[[nodiscard]] constexpr std::string_view to_string(StorageFaultKind kind) {
+  switch (kind) {
+    case StorageFaultKind::kEnospc: return "enospc";
+    case StorageFaultKind::kShortWrite: return "short-write";
+    case StorageFaultKind::kTornLine: return "torn-line";
+    case StorageFaultKind::kBitCorrupt: return "bit-corrupt";
+    case StorageFaultKind::kFsyncFail: return "fsync-fail";
+  }
+  return "?";
+}
+
+/// One scripted storage fault: fire `kind` on its `opportunity`-th
+/// opportunity (0-based, counted per kind). Scripted entries fire
+/// regardless of rates — exact failure placement for the damage matrix.
+struct ScriptedStorageFault {
+  StorageFaultKind kind = StorageFaultKind::kEnospc;
+  std::uint64_t opportunity = 0;
+};
+
+/// The reproducible description of a disk-fault storm.
+struct StorageFaultPlan {
+  std::uint64_t seed = 0;
+  /// Per-kind probability that one opportunity fires (by StorageFaultKind).
+  std::array<double, kStorageFaultKindCount> rates{};
+  /// Exact schedule, honoured in addition to the rates.
+  std::vector<ScriptedStorageFault> script;
+  /// Bits flipped per bit-corrupt fault (CRC-32 detects any 1..3-bit error).
+  std::uint32_t corrupt_bits = 2;
+
+  [[nodiscard]] double rate(StorageFaultKind kind) const {
+    return rates[static_cast<std::size_t>(kind)];
+  }
+  void set_rate(StorageFaultKind kind, double rate) {
+    rates[static_cast<std::size_t>(kind)] = rate;
+  }
+  /// Arms every fault kind at `rate` — the disk-storm configuration.
+  void set_all_rates(double rate);
+  /// True when any rate is non-zero or the script is non-empty.
+  [[nodiscard]] bool enabled() const;
+};
+
+/// One entry of the storage-fault event log.
+struct StorageFaultRecord {
+  std::uint64_t sequence = 0;     ///< global injection order
+  StorageFaultKind kind = StorageFaultKind::kEnospc;
+  std::uint64_t opportunity = 0;  ///< per-kind opportunity index that fired
+};
+
+/// Drives one file family's storage-fault schedule.
+///
+/// Thread-compatibility: not internally synchronized — an injector belongs
+/// to one writer (journal writers append under the campaign/job lock, the
+/// stream writer brings its own mutex).
+class StorageFaultInjector {
+public:
+  explicit StorageFaultInjector(StorageFaultPlan plan);
+
+  /// Consumes one opportunity of `kind`; true when the fault fires (the
+  /// injection is appended to the log before returning).
+  [[nodiscard]] bool should_fire(StorageFaultKind kind);
+
+  /// Deterministic fault-shaping randomness (how many bytes of a short
+  /// write land, which bits rot): a counter-based hash stream independent
+  /// of the firing decisions.
+  [[nodiscard]] std::uint64_t shape();
+
+  struct Stats {
+    std::uint64_t injected = 0;
+    std::array<std::uint64_t, kStorageFaultKindCount> by_kind{};
+  };
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<StorageFaultRecord>& log() const { return log_; }
+  [[nodiscard]] const StorageFaultPlan& plan() const { return plan_; }
+
+  /// Canonical one-line-per-event rendering ("2 torn-line@14") — what the
+  /// determinism tests compare across runs.
+  [[nodiscard]] std::string log_string() const;
+
+private:
+  StorageFaultPlan plan_;
+  std::array<std::uint64_t, kStorageFaultKindCount> opportunities_{};
+  std::uint64_t shape_counter_ = 0;
+  std::vector<StorageFaultRecord> log_;
+  Stats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// CRC-32 line framing: the v2 record format shared by the campaign journal
+// and the metrics stream.
+//
+//   <payload> '\t' <8 lowercase hex digits of crc32(payload)>
+//
+// Payloads are compact JSON documents and never contain a tab, so the frame
+// is unambiguous; the frame is a pure function of the payload, so every
+// byte-identity property over payloads survives framing. v1 lines (bare
+// payloads) stay readable: check_frame() reports them as kUnframed and the
+// readers accept them without integrity checking.
+// ---------------------------------------------------------------------------
+
+/// Result of inspecting one line for a CRC frame.
+enum class FrameCheck : std::uint8_t {
+  kFramed = 0,  ///< well-formed frame, CRC matches the payload
+  kUnframed,    ///< no frame present (a v1 line) — payload is the whole line
+  kMismatch,    ///< frame present but the CRC disagrees: the line is corrupt
+};
+
+/// Appends the CRC-32 frame to `payload`.
+[[nodiscard]] std::string frame_line(std::string_view payload);
+
+/// Classifies `line` and extracts its payload (the whole line for
+/// kUnframed, the pre-frame prefix otherwise — also for kMismatch, so
+/// callers can quote the damaged payload in diagnostics).
+[[nodiscard]] FrameCheck check_frame(std::string_view line, std::string_view& payload);
+
+// ---------------------------------------------------------------------------
+// Durable write primitives.
+// ---------------------------------------------------------------------------
+
+/// Append-one-line-then-fsync file handle with storage-fault injection
+/// points, adopted by the journal and metrics-stream writers.
+///
+/// Real I/O failures and injected kEnospc / kShortWrite / kFsyncFail throw
+/// common::StorageError; kTornLine returns silently with only a prefix on
+/// disk (that is the point: the writer believes the line landed);
+/// kBitCorrupt lands the whole line and then flips plan.corrupt_bits bits
+/// in it through a separate descriptor. Open/creation failures throw
+/// common::ConfigError (a path problem, not a durability event).
+class DurableFile {
+public:
+  /// `what` names the file family in error messages ("checkpoint journal").
+  /// Truncates (fresh) or appends (resume); `injector` may be null and must
+  /// outlive the file.
+  DurableFile(std::string path, std::string what, bool truncate,
+              StorageFaultInjector* injector);
+  ~DurableFile();
+
+  DurableFile(const DurableFile&) = delete;
+  DurableFile& operator=(const DurableFile&) = delete;
+
+  /// Writes `line` plus '\n', flushed and fsync'd, with injection points
+  /// before (ENOSPC), during (short write, torn line), and after (bit
+  /// corruption, fsync failure) the write.
+  void write_line(std::string_view line);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+private:
+  void flush_and_sync();
+  void corrupt_on_disk(std::uint64_t offset, std::size_t length);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::string what_;
+  StorageFaultInjector* injector_ = nullptr;
+  std::uint64_t offset_ = 0;  ///< current end-of-file position
+};
+
+/// Atomically replaces `path` with `text`: write `path`.tmp, fsync it,
+/// rename over `path`, fsync the parent directory. A kill at any point
+/// leaves either the old content or the new content at `path` — never a
+/// torn file (the orphaned .tmp is rh_fsck fodder, not corruption).
+///
+/// Injection points: kEnospc (before anything lands), kShortWrite (a torn
+/// .tmp is left behind, `path` untouched), kFsyncFail (tmp written but the
+/// barrier failed — the caller must assume the new content is not durable).
+/// Whole-file replacement has no append seam, so kTornLine/kBitCorrupt do
+/// not apply here. Failures throw common::StorageError; open/rename
+/// problems throw common::ConfigError.
+void write_file_atomic(const std::string& path, std::string_view text,
+                       const std::string& what, StorageFaultInjector* injector = nullptr);
+
+}  // namespace rh::resilience

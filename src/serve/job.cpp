@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 
 #include "common/error.hpp"
 #include "profiling/report.hpp"
+#include "resilience/storage.hpp"
 
 namespace rh::serve {
 
@@ -21,13 +21,6 @@ std::string hash_hex(std::uint64_t h) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
   return buf;
-}
-
-void write_text_file(const std::string& path, const std::string& text, const char* what) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) throw common::ConfigError(std::string("cannot open ") + what + " file: " + path);
-  out << text;
-  if (!out) throw common::ConfigError(std::string("cannot write ") + what + " file: " + path);
 }
 
 }  // namespace
@@ -102,6 +95,14 @@ void finalize_job(Job& job) {
         job.metrics.counter("campaign.shards_failed").value(),
         job.metrics.counter("campaign.shards_skipped").value(),
         job.metrics.counter("campaign.shards_total").value()));
+    // The stream going dark is advisory-telemetry loss: counted, surfaced
+    // via /healthz, but never grounds to fail the job.
+    if (job.stream->degraded()) {
+      ++job.result.storage_errors;
+      if (job.result.storage_error.empty()) {
+        job.result.storage_error = job.stream->storage_error();
+      }
+    }
   }
 
   if (job.aggregate != nullptr) job.aggregate->metrics().merge_from(job.metrics);
@@ -109,7 +110,8 @@ void finalize_job(Job& job) {
   const profiling::RunReport report =
       campaign::build_report(job.config.label, job.spec, job.profile, job.spans, job.metrics,
                              job.result, job.aggregate.get());
-  {
+  bool report_written = false;
+  try {
     std::string text;
     {
       std::ostringstream os;
@@ -117,11 +119,19 @@ void finalize_job(Job& job) {
       os << '\n';
       text = os.str();
     }
-    write_text_file(job.report_path, text, "job report");
+    resilience::write_file_atomic(job.report_path, text, "job report",
+                                  job.journal_injector.get());
     std::ostringstream os;
     profiling::write_report_json(os, report, /*include_wall=*/false);
     os << '\n';
-    write_text_file(job.det_report_path, os.str(), "job report");
+    resilience::write_file_atomic(job.det_report_path, os.str(), "job report",
+                                  job.journal_injector.get());
+    report_written = true;
+  } catch (const common::Error& e) {
+    // finalize runs on rig threads: a report that cannot land must degrade
+    // the job, never unwind into the scheduler.
+    ++job.result.storage_errors;
+    if (job.result.storage_error.empty()) job.result.storage_error = e.what();
   }
 
   // Close the writers: their destructors flush + fclose, so after finalize
@@ -129,14 +139,21 @@ void finalize_job(Job& job) {
   job.journal.reset();
   job.stream.reset();
 
-  if (job.result.failures.empty()) {
-    job.state = JobState::kDone;
-  } else {
+  if (!job.result.failures.empty()) {
     job.state = JobState::kFailed;
     job.error = std::to_string(job.result.failures.size()) + " of " +
                 std::to_string(job.spec.shards.size()) + " shards failed; first: shard " +
                 std::to_string(job.result.failures.front().shard) + ": " +
                 job.result.failures.front().what;
+  } else if (job.journal_lost || !report_written) {
+    // The science completed but its durable record did not: a job whose
+    // journal died or whose report never landed must not claim success.
+    job.state = JobState::kFailed;
+    job.error = "storage: " + (job.result.storage_error.empty()
+                                   ? std::string("durable write failed")
+                                   : job.result.storage_error);
+  } else {
+    job.state = JobState::kDone;
   }
 }
 

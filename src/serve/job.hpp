@@ -30,6 +30,7 @@
 #include "campaign/campaign.hpp"
 #include "campaign/journal.hpp"
 #include "profiling/profile.hpp"
+#include "resilience/storage.hpp"
 #include "serve/config.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
@@ -86,6 +87,10 @@ struct Job {
   /// outside the job lock — exactly Campaign::run()'s rig_serial).
   std::atomic<std::uint64_t> rig_serial{0};
   bool finalized = false;
+  /// The journal writer died on a storage failure: results are no longer
+  /// durable, so finalize marks the job failed with the storage reason
+  /// (counted in result.storage_errors alongside stream/report losses).
+  bool journal_lost = false;
 
   campaign::CampaignResult result;
   telemetry::MetricsRegistry metrics;   ///< campaign.*/resilience.* counters
@@ -94,6 +99,12 @@ struct Job {
   std::unique_ptr<telemetry::Telemetry> aggregate;  ///< fleet cmd.* sink
   std::unique_ptr<campaign::JournalWriter> journal;
   std::unique_ptr<telemetry::MetricsStreamWriter> stream;
+  /// Per-job storage fault injectors (null unless the server was started
+  /// with a storage fault plan), one independent stream per durable output
+  /// so a journal fault never moves a stream fault.
+  std::unique_ptr<resilience::StorageFaultInjector> journal_injector;
+  std::unique_ptr<resilience::StorageFaultInjector> stream_injector;
+  std::unique_ptr<resilience::StorageFaultInjector> meta_injector;
   std::vector<JobWorkerStatus> wstatus;       ///< one slot per scheduler rig
   telemetry::CounterValues last_wall;         ///< previous wall sample's values
   std::chrono::steady_clock::time_point epoch;  ///< run start (span clock base)

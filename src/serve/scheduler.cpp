@@ -344,8 +344,18 @@ void Scheduler::run_task(unsigned rig_index, Rig& rig, const Task& task) {
     if (fatal) job.metrics.counter("campaign.shards_fatal").add();
     if (ok) {
       if (job.journal != nullptr) {
-        const profiling::PhaseTimer timer(rig.profile, profiling::Phase::kCheckpoint);
-        job.journal->append_shard(i, records, shard_wall_ms, attempts_used);
+        try {
+          const profiling::PhaseTimer timer(rig.profile, profiling::Phase::kCheckpoint);
+          job.journal->append_shard(i, records, shard_wall_ms, attempts_used);
+        } catch (const common::StorageError& e) {
+          // The journal is gone; letting this unwind would kill the rig
+          // thread. Degrade: keep results in memory, finalize marks the
+          // job failed with the storage reason.
+          job.journal.reset();
+          job.journal_lost = true;
+          ++job.result.storage_errors;
+          if (job.result.storage_error.empty()) job.result.storage_error = e.what();
+        }
       }
       cache_.insert(shard_cache_key(job.cache_prefix, job.spec.shards[i]), records);
       job.metrics.counter("campaign.records").add(records.size());
@@ -357,7 +367,16 @@ void Scheduler::run_task(unsigned rig_index, Rig& rig, const Task& task) {
       job.metrics.counter("campaign.shards_done").add();
       shards_run_.fetch_add(1);
     } else {
-      if (job.journal != nullptr) job.journal->append_failure(i, attempts_used, error);
+      if (job.journal != nullptr) {
+        try {
+          job.journal->append_failure(i, attempts_used, error);
+        } catch (const common::StorageError& e) {
+          job.journal.reset();
+          job.journal_lost = true;
+          ++job.result.storage_errors;
+          if (job.result.storage_error.empty()) job.result.storage_error = e.what();
+        }
+      }
       job.result.failures.push_back({i, error});
       job.metrics.counter("campaign.shards_failed").add();
     }

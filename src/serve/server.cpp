@@ -11,6 +11,8 @@
 #include "campaign/journal.hpp"
 #include "campaign/record_io.hpp"
 #include "common/error.hpp"
+#include "common/rng.hpp"
+#include "resilience/storage.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace rh::serve {
@@ -23,25 +25,6 @@ std::string read_text_file(const std::string& path) {
   std::ostringstream os;
   os << in.rdbuf();
   return os.str();
-}
-
-void write_text_file(const std::string& path, const std::string& text, const char* what) {
-  // Write-then-rename so a kill mid-write never leaves a torn descriptor
-  // where recovery would read it.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
-    if (!out) throw common::ConfigError(std::string("cannot open ") + what + " file: " + tmp);
-    out << text;
-    out.flush();
-    if (!out) throw common::ConfigError(std::string("cannot write ") + what + " file: " + tmp);
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    throw common::ConfigError(std::string("cannot replace ") + what + " file: " + path + ": " +
-                              ec.message());
-  }
 }
 
 HttpResponse json_response(int status, std::string body) {
@@ -69,6 +52,28 @@ bool is_job_descriptor(const std::string& name, std::uint64_t& id) {
   }
   id = std::strtoull(digits.c_str(), nullptr, 10);
   return true;
+}
+
+/// Storage loss never unwinds admission or recovery: count it on the job
+/// and keep going (finalize decides whether the job can still claim done).
+void note_job_storage_error(Job& job, const common::StorageError& e) {
+  ++job.result.storage_errors;
+  if (job.result.storage_error.empty()) job.result.storage_error = e.what();
+}
+
+/// Opens a job's metrics stream; a storage failure means the job simply
+/// runs streamless (telemetry is advisory).
+void open_stream(Job& job, std::size_t n, const Server::Options& options) {
+  try {
+    job.stream = std::make_unique<telemetry::MetricsStreamWriter>(
+        job.stream_path,
+        telemetry::MetricsStreamHeader{job.spec.device.fault.seed, job.hash,
+                                       static_cast<std::uint64_t>(n), options.rigs,
+                                       options.stream_cycle_cadence, 0.0},
+        job.stream_injector.get());
+  } catch (const common::StorageError& e) {
+    note_job_storage_error(job, e);
+  }
 }
 
 }  // namespace
@@ -184,7 +189,7 @@ HttpResponse Server::handle(const HttpRequest& req) {
 
   if (path == "/healthz") {
     if (req.method != "GET") return error_response(405, "use GET");
-    return json_response(200, "{\"ok\":true,\"schema\":\"rh-serve-healthz/v1\"}");
+    return json_response(200, healthz_json());
   }
   if (path == "/statz") {
     if (req.method != "GET") return error_response(405, "use GET");
@@ -383,6 +388,22 @@ HttpResponse Server::file_response(const std::string& path, const char* content_
   return resp;
 }
 
+std::string Server::healthz_json() {
+  std::uint64_t storage_errors = storage_errors_.load();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, job] : jobs_) {
+      const std::lock_guard<std::mutex> jlock(job->mutex);
+      storage_errors += job->result.storage_errors;
+    }
+  }
+  std::string out = "{\"degraded\":";
+  out += storage_errors > 0 ? "true" : "false";
+  out += ",\"ok\":true,\"schema\":\"rh-serve-healthz/v1\",\"storage_errors\":" +
+         std::to_string(storage_errors) + "}";
+  return out;
+}
+
 std::string Server::statz_json() {
   std::size_t active = 0;
   std::size_t queued = 0;
@@ -391,6 +412,7 @@ std::string Server::statz_json() {
   std::size_t failed = 0;
   std::size_t cancelled = 0;
   std::uint64_t shards_cached = 0;
+  std::uint64_t storage_errors = storage_errors_.load();
   bool draining = false;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -398,6 +420,7 @@ std::string Server::statz_json() {
     for (const auto& [id, job] : jobs_) {
       const std::lock_guard<std::mutex> jlock(job->mutex);
       shards_cached += job->shards_cached;
+      storage_errors += job->result.storage_errors;
       switch (job->state) {
         case JobState::kQueued: ++queued; ++active; break;
         case JobState::kRunning: ++running; ++active; break;
@@ -428,6 +451,7 @@ std::string Server::statz_json() {
   out += ",\"serve.rigs\":" + std::to_string(scheduler_.rigs());
   out += ",\"serve.shards_cached\":" + std::to_string(shards_cached);
   out += ",\"serve.shards_stolen\":" + std::to_string(scheduler_.shards_stolen());
+  out += ",\"serve.storage_errors\":" + std::to_string(storage_errors);
   out += "}";
   return out;
 }
@@ -446,6 +470,17 @@ std::shared_ptr<Job> Server::make_job(std::uint64_t id, const std::string& tenan
   job->report_path = job_path(id, ".report.json");
   job->det_report_path = job_path(id, ".report.det.json");
   job->meta_path = job_path(id, ".json");
+  if (options_.storage_plan.enabled()) {
+    // One independent fault stream per durable output, decorrelated by job
+    // id so two jobs' storms never move each other.
+    resilience::StorageFaultPlan splan = options_.storage_plan;
+    splan.seed = common::hash_coords(options_.storage_plan.seed, 0x570u, id, 0);
+    job->journal_injector = std::make_unique<resilience::StorageFaultInjector>(splan);
+    splan.seed = common::hash_coords(options_.storage_plan.seed, 0x570u, id, 1);
+    job->stream_injector = std::make_unique<resilience::StorageFaultInjector>(splan);
+    splan.seed = common::hash_coords(options_.storage_plan.seed, 0x570u, id, 2);
+    job->meta_injector = std::make_unique<resilience::StorageFaultInjector>(std::move(splan));
+  }
   const std::size_t n = job->spec.shards.size();
   job->done.assign(n, 0);
   job->remaining = n;
@@ -465,12 +500,15 @@ void Server::prepare_fresh(Job& job) {
   const std::size_t n = job.spec.shards.size();
   const campaign::JournalHeader header{job.spec.device.fault.seed, job.hash,
                                        static_cast<std::uint64_t>(n)};
-  job.journal = std::make_unique<campaign::JournalWriter>(job.journal_path, header);
-  job.stream = std::make_unique<telemetry::MetricsStreamWriter>(
-      job.stream_path,
-      telemetry::MetricsStreamHeader{job.spec.device.fault.seed, job.hash,
-                                     static_cast<std::uint64_t>(n), options_.rigs,
-                                     options_.stream_cycle_cadence, 0.0});
+  try {
+    job.journal =
+        std::make_unique<campaign::JournalWriter>(job.journal_path, header,
+                                                  job.journal_injector.get());
+  } catch (const common::StorageError& e) {
+    note_job_storage_error(job, e);
+    job.journal_lost = true;  // admitted, but it can never claim success
+  }
+  open_stream(job, n, options_);
 
   // Probe the cache shard by shard: a superset sweep only simulates the
   // shards the cache has never seen. Hits replay through the same
@@ -482,7 +520,15 @@ void Server::prepare_fresh(Job& job) {
     if (!cache_.lookup(shard_cache_key(job.cache_prefix, job.spec.shards[i]), records)) {
       continue;
     }
-    job.journal->append_shard(i, records);
+    if (job.journal != nullptr) {
+      try {
+        job.journal->append_shard(i, records);
+      } catch (const common::StorageError& e) {
+        job.journal.reset();
+        job.journal_lost = true;
+        note_job_storage_error(job, e);
+      }
+    }
     job.metrics.counter("campaign.records").add(records.size());
     job.result.per_shard[i] = std::move(records);
     job.done[i] = 1;
@@ -498,33 +544,45 @@ void Server::prepare_resumed(Job& job) {
   const std::size_t n = job.spec.shards.size();
   const campaign::JournalHeader header{job.spec.device.fault.seed, job.hash,
                                        static_cast<std::uint64_t>(n)};
-  std::error_code ec;
-  if (std::filesystem::exists(job.journal_path, ec)) {
-    campaign::JournalReader reader(job.journal_path);
-    reader.require_matches(header);
-    std::uint64_t skipped = 0;
-    for (const auto& [index, records] : reader.shards()) {
-      if (index >= n) continue;
-      cache_.insert(shard_cache_key(job.cache_prefix, job.spec.shards[index]), records);
-      job.metrics.counter("campaign.records").add(records.size());
-      job.result.per_shard[index] = records;
-      job.done[index] = 1;
-      --job.remaining;
-      ++job.shards_cached;
-      ++job.result.shards_skipped;
-      ++skipped;
+  try {
+    bool reopened = false;
+    std::error_code ec;
+    if (std::filesystem::exists(job.journal_path, ec)) {
+      try {
+        campaign::JournalReader reader(job.journal_path);
+        reader.require_matches(header);
+        std::uint64_t skipped = 0;
+        for (const auto& [index, records] : reader.shards()) {
+          if (index >= n) continue;
+          cache_.insert(shard_cache_key(job.cache_prefix, job.spec.shards[index]), records);
+          job.metrics.counter("campaign.records").add(records.size());
+          job.result.per_shard[index] = records;
+          job.done[index] = 1;
+          --job.remaining;
+          ++job.shards_cached;
+          ++job.result.shards_skipped;
+          ++skipped;
+        }
+        if (skipped > 0) job.metrics.counter("campaign.shards_skipped").add(skipped);
+        // Quarantine-and-compact: corrupt mid-file lines move to the
+        // .quarantine sidecar and exactly their shards stay pending.
+        job.journal = std::make_unique<campaign::JournalWriter>(job.journal_path, reader,
+                                                                job.journal_injector.get());
+        reopened = true;
+      } catch (const common::ConfigError&) {
+        // Destroyed header (or a journal from another sweep): nothing in it
+        // can be trusted, so every shard re-runs into a fresh journal.
+      }
     }
-    if (skipped > 0) job.metrics.counter("campaign.shards_skipped").add(skipped);
-    job.journal = std::make_unique<campaign::JournalWriter>(job.journal_path,
-                                                            reader.intact_bytes());
-  } else {
-    job.journal = std::make_unique<campaign::JournalWriter>(job.journal_path, header);
+    if (!reopened) {
+      job.journal = std::make_unique<campaign::JournalWriter>(job.journal_path, header,
+                                                              job.journal_injector.get());
+    }
+  } catch (const common::StorageError& e) {
+    note_job_storage_error(job, e);
+    job.journal_lost = true;
   }
-  job.stream = std::make_unique<telemetry::MetricsStreamWriter>(
-      job.stream_path,
-      telemetry::MetricsStreamHeader{job.spec.device.fault.seed, job.hash,
-                                     static_cast<std::uint64_t>(n), options_.rigs,
-                                     options_.stream_cycle_cadence, 0.0});
+  open_stream(job, n, options_);
   job.state = JobState::kQueued;
 }
 
@@ -556,13 +614,22 @@ void Server::warm_cache_from_journal(Job& job) {
 }
 
 void Server::persist_meta(Job& job) {
-  std::string text;
-  {
+  // The whole compose+write runs under job.mutex: two threads persisting
+  // the same job (cancel vs. finalize) must serialize on the descriptor
+  // and on the job's meta fault injector. Descriptors are tiny, so the
+  // fsyncs under the lock are cheap.
+  try {
     const std::lock_guard<std::mutex> lock(job.mutex);
-    text = job_meta_json(job);
+    const std::string text = job_meta_json(job) + "\n";
+    resilience::write_file_atomic(job.meta_path, text, "job descriptor",
+                                  job.meta_injector.get());
+  } catch (const common::Error&) {
+    // persist_meta runs on rig threads (on_finalized) as well as HTTP
+    // threads: a descriptor that cannot land is counted and surfaced via
+    // /healthz, never thrown — the stale descriptor on disk still replays
+    // to a valid (if older) state on restart.
+    storage_errors_.fetch_add(1);
   }
-  text += '\n';
-  write_text_file(job.meta_path, text, "job descriptor");
 }
 
 void Server::recover() {

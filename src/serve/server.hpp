@@ -36,6 +36,7 @@
 #include <string>
 
 #include "resilience/retry.hpp"
+#include "resilience/storage.hpp"
 #include "serve/cache.hpp"
 #include "serve/http.hpp"
 #include "serve/job.hpp"
@@ -54,6 +55,12 @@ public:
     std::size_t tenant_quota = 4; ///< max active jobs per tenant
     resilience::RetryPolicy retry_policy;
     std::uint64_t stream_cycle_cadence = 1ull << 24;
+    /// Disk fault injection for every job's durable outputs (journal,
+    /// stream, descriptor, reports). Each job draws independent fault
+    /// streams seeded from (storage_plan.seed, job id). Storage failures
+    /// degrade jobs (state failed, reason "storage: ...") and flip
+    /// /healthz to degraded — they never crash the server or wedge a rig.
+    resilience::StorageFaultPlan storage_plan;
   };
 
   explicit Server(Options options);
@@ -82,6 +89,11 @@ public:
   [[nodiscard]] HttpResponse handle(const HttpRequest& req);
 
   [[nodiscard]] std::string statz_json();
+
+  /// Liveness + storage health: ok is always true while serving; degraded
+  /// flips when any durable write has failed (descriptor, journal, stream,
+  /// or report), with the total in storage_errors.
+  [[nodiscard]] std::string healthz_json();
 
 private:
   [[nodiscard]] std::string job_path(std::uint64_t id, const char* suffix) const;
@@ -122,6 +134,9 @@ private:
   std::atomic<std::uint64_t> jobs_submitted_{0};
   std::atomic<std::uint64_t> jobs_rejected_{0};  ///< 429s + 503s
   std::atomic<std::uint64_t> jobs_cache_hit_{0};  ///< admitted fully from cache
+  /// Descriptor writes that failed (job-level losses live in each job's
+  /// result.storage_errors; healthz/statz sum both).
+  std::atomic<std::uint64_t> storage_errors_{0};
 };
 
 }  // namespace rh::serve

@@ -4,17 +4,13 @@
 
 #include "common/error.hpp"
 
-#if __has_include(<unistd.h>)
-#include <unistd.h>
-#define RH_STREAM_HAS_FSYNC 1
-#endif
-
 namespace rh::telemetry {
 
 namespace {
 
 constexpr const char* kStreamKind = "rh-metrics-stream";
-constexpr std::uint64_t kStreamVersion = 1;
+// v2 = CRC-framed lines. Readers accept v1 (bare payloads) forever.
+constexpr std::uint64_t kStreamVersion = 2;
 
 /// Fixed-width hex, mirroring the journal header's config_hash rendering.
 std::string hash_hex(std::uint64_t h) {
@@ -50,40 +46,43 @@ void append_counter_object(std::string& out, const CounterValues& values) {
   out += '}';
 }
 
-void sync_to_disk(std::FILE* file, const std::string& path) {
-  if (std::fflush(file) != 0) {
-    throw common::ConfigError("cannot flush metrics stream: " + path);
-  }
-#ifdef RH_STREAM_HAS_FSYNC
-  if (::fsync(fileno(file)) != 0) {
-    throw common::ConfigError("cannot fsync metrics stream: " + path);
-  }
-#endif
-}
-
 }  // namespace
 
 MetricsStreamWriter::MetricsStreamWriter(const std::string& path,
-                                         const MetricsStreamHeader& header)
+                                         const MetricsStreamHeader& header,
+                                         resilience::StorageFaultInjector* injector)
     : path_(path) {
-  file_ = std::fopen(path.c_str(), "wb");
-  if (file_ == nullptr) {
-    throw common::ConfigError("cannot create metrics stream: " + path);
-  }
-  append(header_line(header));
+  file_ = std::make_unique<resilience::DurableFile>(path, "metrics stream",
+                                                    /*truncate=*/true, injector);
+  // The header write throws on failure (Storage- or ConfigError): a stream
+  // whose identity line never landed is for the *caller* to shrug off.
+  file_->write_line(resilience::frame_line(header_line(header)));
 }
 
-MetricsStreamWriter::~MetricsStreamWriter() {
-  if (file_ != nullptr) std::fclose(file_);
-}
+MetricsStreamWriter::~MetricsStreamWriter() = default;
 
 void MetricsStreamWriter::append(const std::string& line) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
-      std::fputc('\n', file_) == EOF) {
-    throw common::ConfigError("cannot write metrics stream: " + path_);
+  if (!storage_error_.empty()) return;  // already dark
+  try {
+    file_->write_line(resilience::frame_line(line));
+  } catch (const common::StorageError& e) {
+    // Telemetry must never cost the campaign a shard: go dark, remember
+    // why, and let the owner surface it (campaign storage_errors, serve
+    // /healthz degraded).
+    storage_error_ = e.what();
+    file_.reset();
   }
-  sync_to_disk(file_, path_);
+}
+
+bool MetricsStreamWriter::degraded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return !storage_error_.empty();
+}
+
+std::string MetricsStreamWriter::storage_error() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return storage_error_;
 }
 
 std::string format_cycles_sample(std::uint64_t shard, std::uint32_t attempt, std::uint32_t seq,

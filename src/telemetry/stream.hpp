@@ -27,16 +27,19 @@
 // carry host time and are not deterministic.
 //
 // Durability mirrors the journal: header fsync'd up front, every sample
-// line flushed+fsync'd, and readers tolerate a torn trailing line.
+// line flushed+fsync'd (since v2 each line carries the CRC-32 frame from
+// resilience/storage.hpp; v1 streams stay readable), and readers tolerate a
+// torn trailing line and skip corrupt mid-file lines.
 #pragma once
 
 #include <cstdint>
-#include <cstdio>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "resilience/storage.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace rh::telemetry {
@@ -53,23 +56,40 @@ struct MetricsStreamHeader {
 
 /// Appends sample lines to the stream file. append() is internally locked:
 /// every campaign worker and the wall-cadence monitor write through one
-/// writer. Throws common::ConfigError on I/O failure.
+/// writer.
+///
+/// Storage-failure policy: the stream is advisory telemetry, never results
+/// — so a failed write (real or injected through `injector`) must not cost
+/// the campaign a shard. The constructor still throws (ConfigError for an
+/// unopenable path, StorageError if the header cannot land: a stream that
+/// never existed is a caller decision), but append() degrades instead:
+/// after the first StorageError the writer goes dark, drops every later
+/// sample, and reports the event through degraded()/storage_error().
 class MetricsStreamWriter {
 public:
   /// Creates (truncating any previous file) and writes an fsync'd header.
-  MetricsStreamWriter(const std::string& path, const MetricsStreamHeader& header);
+  /// `injector` may be null and must outlive the writer.
+  MetricsStreamWriter(const std::string& path, const MetricsStreamHeader& header,
+                      resilience::StorageFaultInjector* injector = nullptr);
   ~MetricsStreamWriter();
 
   MetricsStreamWriter(const MetricsStreamWriter&) = delete;
   MetricsStreamWriter& operator=(const MetricsStreamWriter&) = delete;
 
-  /// Writes one pre-formatted sample line, flushed and fsync'd.
+  /// Writes one pre-formatted sample line (CRC-framed), flushed and
+  /// fsync'd. Never throws on storage failure — see the class comment.
   void append(const std::string& line);
 
+  /// True once a storage failure has silenced the stream.
+  [[nodiscard]] bool degraded() const;
+  /// The first storage failure's message ("" while healthy).
+  [[nodiscard]] std::string storage_error() const;
+
 private:
-  std::FILE* file_ = nullptr;
+  std::unique_ptr<resilience::DurableFile> file_;
   std::string path_;
-  std::mutex mutex_;
+  std::string storage_error_;
+  mutable std::mutex mutex_;
 };
 
 /// One worker's status inside a wall sample.

@@ -15,6 +15,7 @@
 
 #include "campaign/journal.hpp"
 #include "profiling/report.hpp"
+#include "resilience/storage.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/stream.hpp"
@@ -27,6 +28,15 @@ namespace rh::verify {
 namespace {
 
 std::string golden(const std::string& name) { return std::string(RH_GOLDEN_DIR) + "/" + name; }
+
+/// v2 JSONL lines carry a CRC-32 frame after the payload; the shape
+/// contract covers the payload document. The frame must be present and
+/// intact on every writer-produced line.
+std::string unframe(const std::string& line) {
+  std::string_view payload;
+  EXPECT_EQ(resilience::check_frame(line, payload), resilience::FrameCheck::kFramed) << line;
+  return std::string(payload);
+}
 
 /// A canonical populated report: every optional branch of the writers has
 /// content (shard timings, metrics in all three groups, trace counts), so
@@ -114,7 +124,7 @@ TEST(GoldenContract, CheckpointJournalV1) {
   std::string line;
   for (const char* label : kLabels) {
     ASSERT_TRUE(std::getline(in, line)) << "journal is missing its " << label << " line";
-    actual += std::string("== ") + label + "\n" + shape_text(line, label);
+    actual += std::string("== ") + label + "\n" + shape_text(unframe(line), label);
   }
   std::remove(path.c_str());
   const auto diff = check_golden(golden("checkpoint_journal_v1.shape"), actual);
@@ -148,7 +158,7 @@ TEST(GoldenContract, MetricsStreamV1) {
   std::string line;
   for (const char* label : kLabels) {
     ASSERT_TRUE(std::getline(in, line)) << "stream is missing its " << label << " line";
-    actual += std::string("== ") + label + "\n" + shape_text(line, label);
+    actual += std::string("== ") + label + "\n" + shape_text(unframe(line), label);
   }
   std::remove(path.c_str());
   const auto diff = check_golden(golden("metrics_stream_v1.shape"), actual);

@@ -1,16 +1,27 @@
-// Satellite: the observability readers on freshly-created files. A campaign
-// (or the serve scheduler) fsyncs the journal header and the stream header
-// before any shard completes; a kill in that window leaves files with a
-// header and nothing else. rh_report --journal and rh_tail must treat that
-// as "0 of N complete", not as corruption.
+// Satellite: the storage damage matrix against the readers and server boot.
+//
+// Started as header-only-file tests (a kill between the header fsync and
+// the first shard leaves a header and nothing else; that is "0 of N
+// complete", not corruption) and grew into the full matrix: torn tails,
+// corrupt mid-file lines, truncated/destroyed headers, and orphaned .tmp
+// files — each checked against the journal/stream readers and against a
+// restarting rh_serve recovering its data directory.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "campaign/journal.hpp"
+#include "campaign/record_io.hpp"
 #include "campaign/tail.hpp"
+#include "common/error.hpp"
+#include "serve/config.hpp"
+#include "serve/server.hpp"
 #include "telemetry/stream.hpp"
 
 namespace rh::campaign {
@@ -114,5 +125,256 @@ TEST(HeaderOnly, TornHeaderTailIsTolerated) {
   EXPECT_FALSE(data.finished);
 }
 
+TEST(DamageMatrix, TruncatedJournalHeaderIsFatal) {
+  // A kill can tear even the header line. With no trusted identity line
+  // the whole file is untrusted: the reader must refuse, and resume must
+  // start over rather than guess.
+  const TempPath path("damage_matrix_torn_header.jsonl");
+  {
+    std::ofstream out(path.str(), std::ios::binary);
+    out << "{\"kind\":\"rh-campaign-journal\",\"version\":2,\"se";  // no newline
+  }
+  EXPECT_THROW((void)JournalReader(path.str()), common::ConfigError);
+}
+
+TEST(DamageMatrix, TruncatedStreamHeaderReadsAsTornAndEmpty) {
+  // The stream is advisory telemetry: a torn header is a torn tail like
+  // any other, not an error — there is just nothing to report yet.
+  const TempPath path("damage_matrix_torn_stream_header.jsonl");
+  {
+    std::ofstream out(path.str(), std::ios::binary);
+    out << "{\"kind\":\"rh-metrics-stream\",\"vers";  // no newline
+  }
+  const MetricsStreamData data = read_metrics_stream(path.str());
+  EXPECT_FALSE(data.has_header);
+  EXPECT_TRUE(data.torn);
+  EXPECT_EQ(data.cycles_samples, 0u);
+}
+
+TEST(DamageMatrix, TornJournalTailKeepsEveryIntactShard) {
+  const TempPath path("damage_matrix_torn_tail.jsonl");
+  {
+    JournalWriter writer(path.str(), JournalHeader{3, 4, 6});
+    core::RowRecord record;
+    record.site = {0, 0, 1};
+    record.physical_row = 11;
+    writer.append_shard(0, {record}, 9.0, 1);
+  }
+  {
+    std::ofstream out(path.str(), std::ios::app | std::ios::binary);
+    out << "{\"shard\":1,\"reco";
+  }
+  const JournalReader reader(path.str());
+  EXPECT_TRUE(reader.torn_tail());
+  EXPECT_TRUE(reader.corrupt_lines().empty());
+  EXPECT_EQ(reader.shards().size(), 1u);
+}
+
+TEST(DamageMatrix, CorruptMidFileJournalLineLeavesItsShardPending) {
+  const TempPath path("damage_matrix_rot.jsonl");
+  {
+    JournalWriter writer(path.str(), JournalHeader{3, 4, 6});
+    core::RowRecord record;
+    record.site = {0, 0, 1};
+    record.physical_row = 11;
+    writer.append_shard(0, {record}, 9.0, 1);
+    writer.append_shard(1, {record}, 9.0, 1);
+    writer.append_shard(2, {record}, 9.0, 1);
+  }
+  // Flip one byte in shard 1's line.
+  std::string content;
+  {
+    std::ifstream in(path.str(), std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    content = ss.str();
+  }
+  std::size_t start = content.find('\n') + 1;       // past the header
+  start = content.find('\n', start) + 1;            // past shard 0
+  content[start + 10] ^= 0x01;
+  {
+    std::ofstream out(path.str(), std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+  const JournalReader reader(path.str());
+  ASSERT_EQ(reader.corrupt_lines().size(), 1u);
+  EXPECT_EQ(reader.shards().count(0), 1u);
+  EXPECT_EQ(reader.shards().count(1), 0u);
+  EXPECT_EQ(reader.shards().count(2), 1u);
+  EXPECT_FALSE(reader.torn_tail());
+}
+
 }  // namespace
 }  // namespace rh::campaign
+
+// ---------------------------------------------------------------------------
+// The same matrix against a restarting server: boot recovery must absorb
+// every lesion without crashing, re-run exactly what was lost, and converge
+// to the same result bytes.
+// ---------------------------------------------------------------------------
+
+namespace rh::serve {
+namespace {
+
+class TempDir {
+public:
+  explicit TempDir(std::string path) : path_(std::move(path)) {
+    std::filesystem::remove_all(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] const std::string& str() const { return path_; }
+
+private:
+  std::string path_;
+};
+
+CampaignConfig quick_config() {
+  CampaignConfig config;
+  config.label = "boot-recovery";
+  config.channels = {0, 7};
+  config.row_stride = 512;
+  config.wcdp_by_ber = true;
+  config.settle_thermal = false;
+  config.max_rows_per_shard = 2;  // 18 shards
+  return config;
+}
+
+HttpRequest request(const std::string& method, const std::string& target,
+                    const std::string& body = "") {
+  HttpRequest req;
+  req.method = method;
+  req.target = target;
+  req.body = body;
+  return req;
+}
+
+std::string wait_terminal(Server& server, std::uint64_t id) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::minutes(2);
+  for (;;) {
+    const HttpResponse resp = server.handle(request("GET", "/jobs/" + std::to_string(id)));
+    EXPECT_EQ(resp.status, 200);
+    const std::string state = campaign::parse_json(resp.body, "status").at("state").text;
+    if (state != "queued" && state != "running") return state;
+    if (std::chrono::steady_clock::now() > deadline) {
+      ADD_FAILURE() << "job " << id << " still " << state;
+      return state;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_raw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+/// Runs one job to completion on `dir`, returning {id, results body}.
+std::pair<std::uint64_t, std::string> run_clean_job(const std::string& dir) {
+  Server::Options options;
+  options.data_dir = dir;
+  options.rigs = 1;
+  Server server(options);
+  server.start();
+  const HttpResponse created =
+      server.handle(request("POST", "/jobs", to_canonical_json(quick_config())));
+  EXPECT_EQ(created.status, 201) << created.body;
+  const std::uint64_t id = campaign::parse_json(created.body, "created").at("id").as_u64();
+  EXPECT_EQ(wait_terminal(server, id), "done");
+  const HttpResponse results =
+      server.handle(request("GET", "/jobs/" + std::to_string(id) + "/results"));
+  EXPECT_EQ(results.status, 200);
+  return {id, results.body};
+}  // ~Server drains
+
+/// Marks the job's descriptor "running" so the next boot resumes it.
+void reopen_descriptor(const std::string& dir, std::uint64_t id) {
+  const std::string path = dir + "/job-" + std::to_string(id) + ".json";
+  std::string text = read_file(path);
+  const std::size_t at = text.find("\"state\":\"done\"");
+  ASSERT_NE(at, std::string::npos) << text;
+  text.replace(at, std::string("\"state\":\"done\"").size(), "\"state\":\"running\"");
+  write_raw(path, text);
+}
+
+TEST(ServeBootRecovery, QuarantinesMidFileRotReRunsTheShardAndMatches) {
+  const TempDir dir("boot_recovery_rot_data");
+  const auto [id, clean_results] = run_clean_job(dir.str());
+  ASSERT_FALSE(clean_results.empty());
+
+  // The damage matrix, applied while the server is down: the descriptor
+  // says the job is still running, one journaled shard line rots, a kill
+  // tears the tail, and an interrupted atomic write leaves a .tmp orphan.
+  reopen_descriptor(dir.str(), id);
+  const std::string journal = dir.str() + "/job-" + std::to_string(id) + ".journal.jsonl";
+  std::string text = read_file(journal);
+  std::size_t start = text.find('\n') + 1;  // past the header
+  start = text.find('\n', start) + 1;       // past the first shard line
+  ASSERT_LT(start + 10, text.size());
+  text[start + 10] ^= 0x01;                 // rot the second shard line
+  text += "{\"shard\":99,\"rec";            // torn tail
+  write_raw(journal, text);
+  // The orphan rides on an id nobody owns: an orphan on a live job's
+  // descriptor path would be legitimately consumed by that job's next
+  // atomic rewrite, so it can't be asserted on after the resume.
+  write_raw(dir.str() + "/job-777.json.tmp", "{\"half\":");
+
+  Server::Options options;
+  options.data_dir = dir.str();
+  options.rigs = 1;
+  Server server(options);
+  server.start();  // must not throw, crash, or wedge on any of it
+  EXPECT_EQ(wait_terminal(server, id), "done");
+
+  const HttpResponse status = server.handle(request("GET", "/jobs/" + std::to_string(id)));
+  const campaign::JsonValue doc = campaign::parse_json(status.body, "status");
+  EXPECT_GT(doc.at("shards").at("cached").as_u64(), 0u)
+      << "intact journal lines must be restored, not re-run";
+  EXPECT_EQ(doc.at("shards").at("failed").as_u64(), 0u);
+
+  const HttpResponse results =
+      server.handle(request("GET", "/jobs/" + std::to_string(id) + "/results"));
+  EXPECT_EQ(results.body, clean_results)
+      << "recovery from rot must converge to the clean bytes";
+  EXPECT_TRUE(std::filesystem::exists(journal + ".quarantine"))
+      << "the rotted line is preserved for the operator";
+  EXPECT_TRUE(std::filesystem::exists(dir.str() + "/job-777.json.tmp"))
+      << "boot recovery must not mistake an orphan tmp for a descriptor";
+  const HttpResponse ghost = server.handle(request("GET", "/jobs/777"));
+  EXPECT_EQ(ghost.status, 404) << "an orphan tmp must not materialize a job";
+}
+
+TEST(ServeBootRecovery, DestroyedJournalHeaderStartsOverAndStillFinishes) {
+  const TempDir dir("boot_recovery_header_data");
+  const auto [id, clean_results] = run_clean_job(dir.str());
+
+  reopen_descriptor(dir.str(), id);
+  const std::string journal = dir.str() + "/job-" + std::to_string(id) + ".journal.jsonl";
+  std::string text = read_file(journal);
+  text[text.find('\n') / 2] ^= 0x01;  // destroy the identity line
+  write_raw(journal, text);
+
+  Server::Options options;
+  options.data_dir = dir.str();
+  options.rigs = 1;
+  Server server(options);
+  server.start();
+  EXPECT_EQ(wait_terminal(server, id), "done");
+
+  const HttpResponse status = server.handle(request("GET", "/jobs/" + std::to_string(id)));
+  const campaign::JsonValue doc = campaign::parse_json(status.body, "status");
+  EXPECT_EQ(doc.at("shards").at("cached").as_u64(), 0u)
+      << "an untrusted journal contributes nothing: every shard re-runs";
+  const HttpResponse results =
+      server.handle(request("GET", "/jobs/" + std::to_string(id) + "/results"));
+  EXPECT_EQ(results.body, clean_results);
+}
+
+}  // namespace
+}  // namespace rh::serve

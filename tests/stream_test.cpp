@@ -12,6 +12,7 @@
 
 #include "campaign/tail.hpp"
 #include "common/error.hpp"
+#include "resilience/storage.hpp"
 
 namespace rh::telemetry {
 namespace {
@@ -33,6 +34,14 @@ std::vector<std::string> read_lines(const std::string& path) {
   std::string line;
   while (std::getline(in, line)) lines.push_back(line);
   return lines;
+}
+
+/// Strips the v2 CRC frame, asserting it is present and intact: every line
+/// the writer produces must carry a valid frame.
+std::string unframe(const std::string& line) {
+  std::string_view payload;
+  EXPECT_EQ(resilience::check_frame(line, payload), resilience::FrameCheck::kFramed) << line;
+  return std::string(payload);
 }
 
 TEST(StreamFormatTest, CyclesSampleIsExactAndOmitsZeroDeltas) {
@@ -90,11 +99,11 @@ TEST(StreamWriterTest, TruncatesWritesHeaderThenAppends) {
   }
   const auto lines = read_lines(path.str());
   ASSERT_EQ(lines.size(), 2u) << "stale content must be truncated";
-  EXPECT_EQ(lines[0],
-            "{\"kind\":\"rh-metrics-stream\",\"version\":1,\"seed\":9,"
+  EXPECT_EQ(unframe(lines[0]),
+            "{\"kind\":\"rh-metrics-stream\",\"version\":2,\"seed\":9,"
             "\"config_hash\":\"0000000000abcdef\",\"shards\":18,\"jobs\":4,"
             "\"cycle_cadence\":16777216,\"wall_cadence_ms\":200.000}");
-  EXPECT_EQ(lines[1].rfind("{\"sample\":\"cycles\"", 0), 0u);
+  EXPECT_EQ(unframe(lines[1]).rfind("{\"sample\":\"cycles\"", 0), 0u);
 }
 
 TEST(StreamWriterTest, UnwritablePathThrowsUpFront) {
@@ -124,13 +133,13 @@ TEST(MetricsSamplerTest, EmitsOncePerCadenceCrossingWithDeltas) {
   const auto lines = read_lines(path.str());
   ASSERT_EQ(lines.size(), 4u);  // header + 3 samples
   // Cycle stamps are attempt-relative; deltas are since the previous sample.
-  EXPECT_EQ(lines[1],
+  EXPECT_EQ(unframe(lines[1]),
             "{\"sample\":\"cycles\",\"shard\":2,\"attempt\":1,\"seq\":0,"
             "\"cycle\":130,\"deltas\":{\"cmd.ACT\":10}}");
-  EXPECT_EQ(lines[2],
+  EXPECT_EQ(unframe(lines[2]),
             "{\"sample\":\"cycles\",\"shard\":2,\"attempt\":1,\"seq\":1,"
             "\"cycle\":420,\"deltas\":{\"cmd.ACT\":7}}");
-  EXPECT_EQ(lines[3],
+  EXPECT_EQ(unframe(lines[3]),
             "{\"sample\":\"cycles\",\"shard\":2,\"attempt\":1,\"seq\":2,"
             "\"cycle\":500,\"deltas\":{}}");
 }
@@ -195,7 +204,9 @@ TEST(StreamReaderTest, ToleratesTornTrailingLineOnly) {
   EXPECT_EQ(torn_tail.cycles_samples, 1u) << "intact prefix must survive";
 
   // A newline-terminated but unparsable *final* line is the same torn write
-  // (the newline landed, the payload did not); earlier garbage is foreign.
+  // (the newline landed, the payload did not); once a good line follows it,
+  // the damage is mid-file bit rot — counted and skipped, never fatal,
+  // because the header above it is intact and telemetry is advisory.
   {
     std::ofstream out(path.str(), std::ios::app);
     out << "yntax error\n";
@@ -203,9 +214,12 @@ TEST(StreamReaderTest, ToleratesTornTrailingLineOnly) {
   EXPECT_TRUE(campaign::read_metrics_stream(path.str()).torn);
   {
     std::ofstream out(path.str(), std::ios::app);
-    out << format_cycles_sample(1, 1, 0, 10, {}) << '\n';
+    out << format_cycles_sample(1, 1, 0, 10, {}) << '\n';  // bare v1 line: accepted
   }
-  EXPECT_THROW((void)campaign::read_metrics_stream(path.str()), common::ConfigError);
+  const campaign::MetricsStreamData rotted = campaign::read_metrics_stream(path.str());
+  EXPECT_FALSE(rotted.torn) << "the tail line is now intact";
+  EXPECT_EQ(rotted.corrupt_lines, 1u);
+  EXPECT_EQ(rotted.cycles_samples, 2u) << "good lines on both sides of the rot survive";
 }
 
 TEST(StreamReaderTest, RejectsForeignFiles) {

@@ -4,6 +4,7 @@
 #include "campaign/tail.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -35,11 +36,18 @@ core::RowRecord minimal_record(std::uint32_t row) {
   return record;
 }
 
+/// Scratch names are per-process: ctest runs each test as its own process
+/// in a shared directory, and a fixed name lets one test's TempPath delete
+/// the scene out from under a concurrently-running sibling.
+std::string scratch(const char* stem) {
+  return std::string(stem) + "." + std::to_string(::getpid()) + ".jsonl";
+}
+
 /// A mid-run scene: shards 0 and 1 journaled, shard 2 failed, worker 0
 /// in flight on (unjournaled) shard 5, worker 1 idle.
 struct Scene {
   Scene()
-      : journal("tail_test_journal.jsonl"), stream("tail_test_stream.jsonl") {
+      : journal(scratch("tail_test_journal")), stream(scratch("tail_test_stream")) {
     {
       JournalWriter writer(journal.str(), JournalHeader{42, 0xbeef, 8});
       writer.append_shard(0, {minimal_record(1), minimal_record(2)}, 100.0, 1);

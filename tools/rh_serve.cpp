@@ -19,6 +19,13 @@
 //   --tenant-quota=N         max active jobs per tenant (default 4)
 //   --stream-cycle-cadence=N device cycles between stream samples
 //   --max-seconds=F          exit (with a drain) after F seconds; for CI
+//   --storage-fault-rate=F   inject disk faults (short write, fsync failure,
+//                            bit corruption, torn line, ENOSPC) into every
+//                            job's durable outputs with probability F per
+//                            write; jobs degrade (state failed, "storage: "
+//                            reason), /healthz reports degraded, the server
+//                            never crashes. For chaos testing with rh_fsck.
+//   --storage-fault-seed=N   storage-fault-plan seed (deterministic storms)
 //
 // SIGTERM/SIGINT drain gracefully: in-flight shards finish and journal,
 // queued work is left for the next start, exit status 0.
@@ -61,6 +68,10 @@ int main(int argc, char** argv) {
     options.tenant_quota = static_cast<std::size_t>(args.get_positive_int("tenant-quota", 4));
     options.stream_cycle_cadence =
         static_cast<std::uint64_t>(args.get_positive_int("stream-cycle-cadence", 1ll << 24));
+    const double storage_fault_rate = args.get_fraction("storage-fault-rate", 0.0);
+    if (storage_fault_rate > 0.0) options.storage_plan.set_all_rates(storage_fault_rate);
+    options.storage_plan.seed =
+        static_cast<std::uint64_t>(args.get_int("storage-fault-seed", 0x5709A));
     const double max_seconds = args.get_positive_double("max-seconds", 0.0);
     const std::string port_file = args.get("port-file", "");
     for (const auto& flag : args.unqueried_flags()) {
