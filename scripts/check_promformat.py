@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition document (what GET /metricsz serves).
+
+Usage:
+    scripts/check_promformat.py FILE [--require NAME ...]
+    curl -s http://127.0.0.1:PORT/metricsz | scripts/check_promformat.py -
+
+Checks, per the text exposition format (version 0.0.4):
+  - every line is a `# TYPE <name> <counter|gauge|histogram>` header or a
+    `name{labels} value` sample; names match [a-zA-Z_:][a-zA-Z0-9_:]*
+  - no family is TYPE-declared twice, and every sample belongs to a
+    declared family (histogram samples via their _bucket/_sum/_count base)
+  - values parse as floats and are finite (a scrape must never carry NaN)
+  - histograms are well-formed: buckets cumulative and non-decreasing, a
+    closing le="+Inf" bucket present and equal to the family's _count
+  - --require NAME fails unless the family NAME was declared (the CI smoke
+    pins the serve.* catalogue this way)
+
+Exit 0 when the document is valid, 1 with one line per violation otherwise.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+# name, optional {labels}, mandatory value — labels parsed separately.
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})? (\S+)$")
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$")
+# key="value" with \\, \" and \n escapes, comma-separated.
+LABELS_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*"'
+                       r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*")*$')
+
+
+def parse_value(raw):
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    return float(raw)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", help="exposition document, or - for stdin")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME", help="fail unless family NAME exists")
+    args = parser.parse_args()
+
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.file, encoding="utf-8") as f:
+            text = f.read()
+
+    errors = []
+    types = {}  # family -> counter|gauge|histogram
+    # histogram family -> {"buckets": [(le, v)...], "count": v, "sum": v}
+    histograms = {}
+    samples = 0
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        def err(msg):
+            errors.append(f"line {lineno}: {msg}: {line!r}")
+
+        if not line:
+            err("blank line")
+            continue
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if m is None:
+                # Bare comments/HELP are legal in the format; this exporter
+                # only emits TYPE, so anything else is a malformed header.
+                if not line.startswith("# "):
+                    err("malformed comment")
+                continue
+            family, kind = m.group(1), m.group(2)
+            if family in types:
+                err(f"family {family} TYPE-declared twice")
+            types[family] = kind
+            if kind == "histogram":
+                histograms[family] = {"buckets": [], "count": None, "sum": None}
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            err("not a sample line")
+            continue
+        name, labels, raw_value = m.group(1), m.group(3), m.group(4)
+        if labels is not None and LABELS_RE.match(labels) is None:
+            err(f"malformed labels {{{labels}}}")
+            continue
+        try:
+            value = parse_value(raw_value)
+        except ValueError:
+            err(f"unparseable value {raw_value!r}")
+            continue
+        if not math.isfinite(value):
+            err(f"non-finite value {raw_value}")
+        samples += 1
+
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base in histograms:
+                family = base
+                hist = histograms[base]
+                if suffix == "_bucket":
+                    le = None
+                    for pair in (labels or "").split(","):
+                        if pair.startswith('le="') and pair.endswith('"'):
+                            le = pair[4:-1]
+                    if le is None:
+                        err("histogram bucket without an le label")
+                    else:
+                        hist["buckets"].append((le, value))
+                elif suffix == "_sum":
+                    hist["sum"] = value
+                else:
+                    hist["count"] = value
+                break
+        if family not in types:
+            errors.append(f"line {lineno}: sample {name} has no TYPE declaration")
+
+    for family, hist in sorted(histograms.items()):
+        buckets = hist["buckets"]
+        if not buckets:
+            errors.append(f"histogram {family}: no _bucket samples")
+            continue
+        last = -1.0
+        for le, value in buckets:
+            if value < last:
+                errors.append(f"histogram {family}: bucket le={le} not cumulative "
+                              f"({value} < {last})")
+            last = value
+        if buckets[-1][0] != "+Inf":
+            errors.append(f"histogram {family}: last bucket is le={buckets[-1][0]}, "
+                          "not +Inf")
+        if hist["count"] is None:
+            errors.append(f"histogram {family}: missing _count")
+        elif buckets[-1][0] == "+Inf" and buckets[-1][1] != hist["count"]:
+            errors.append(f"histogram {family}: le=\"+Inf\" bucket "
+                          f"{buckets[-1][1]} != _count {hist['count']}")
+        if hist["sum"] is None:
+            errors.append(f"histogram {family}: missing _sum")
+
+    for name in args.require:
+        if name not in types:
+            errors.append(f"required family {name} not found")
+
+    for error in errors:
+        print(f"check_promformat: {error}")
+    if errors:
+        print(f"check_promformat: FAIL — {len(errors)} violation(s) in "
+              f"{samples} samples, {len(types)} families")
+        return 1
+    print(f"check_promformat: PASS — {samples} samples across "
+          f"{len(types)} families")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

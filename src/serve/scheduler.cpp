@@ -53,6 +53,7 @@ Scheduler::Scheduler(Options options, ResultCache& cache)
   options_.rigs = std::max(1u, options_.rigs);
   options_.stream_cycle_cadence = std::max<std::uint64_t>(1, options_.stream_cycle_cadence);
   deques_.resize(options_.rigs);
+  rig_stats_.resize(options_.rigs);
 }
 
 Scheduler::~Scheduler() { stop(); }
@@ -82,10 +83,11 @@ void Scheduler::enqueue(const std::shared_ptr<Job>& job) {
     finalize_if_complete(job);
     return;
   }
+  const auto now = std::chrono::steady_clock::now();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     for (const std::uint64_t shard : pending) {
-      deques_[next_deque_].push_back(Task{job, shard});
+      deques_[next_deque_].push_back(Task{job, shard, now, /*stolen=*/false});
       next_deque_ = (next_deque_ + 1) % deques_.size();
     }
   }
@@ -110,6 +112,26 @@ std::size_t Scheduler::queue_depth() const {
   return depth;
 }
 
+std::vector<Scheduler::RigStatus> Scheduler::rig_status() const {
+  const auto now = std::chrono::steady_clock::now();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<RigStatus> out;
+  out.reserve(rig_stats_.size());
+  for (const RigStats& s : rig_stats_) {
+    RigStatus r;
+    r.busy_ms = s.busy_ms;
+    if (s.shard >= 0) {
+      r.busy_ms += std::chrono::duration<double, std::milli>(now - s.claim).count();
+    }
+    r.done = s.done;
+    r.steals = s.steals;
+    r.shard = s.shard;
+    r.job = s.job;
+    out.push_back(r);
+  }
+  return out;
+}
+
 bool Scheduler::pop_task(unsigned rig_index, Task& task) {
   auto& own = deques_[rig_index];
   if (!own.empty()) {
@@ -124,7 +146,9 @@ bool Scheduler::pop_task(unsigned rig_index, Task& task) {
     if (!victim.empty()) {
       task = std::move(victim.back());
       victim.pop_back();
+      task.stolen = true;
       shards_stolen_.fetch_add(1);
+      rig_stats_[rig_index].steals += 1;
       return true;
     }
   }
@@ -152,7 +176,25 @@ void Scheduler::rig_loop(unsigned rig_index) {
       }
       cv_.wait(lock);
     }
+    // Claim accounting while the pool lock is still held: the wait the task
+    // just finished is the queue-wait (and, for a stolen task, also the
+    // steal-wait — "how stale was the work the thief rescued").
+    const auto claim = std::chrono::steady_clock::now();
+    const double wait_ms =
+        std::chrono::duration<double, std::milli>(claim - task.enqueued).count();
+    rig_stats_[rig_index].shard = static_cast<std::int64_t>(task.shard);
+    rig_stats_[rig_index].job = task.job->id;
+    rig_stats_[rig_index].claim = claim;
     lock.unlock();
+    if (options_.metrics != nullptr) {
+      options_.metrics->observe("serve.queue_wait_ms", wait_ms);
+      if (task.stolen) options_.metrics->observe("serve.steal_wait_ms", wait_ms);
+    }
+    if (task.stolen && options_.flightrec != nullptr) {
+      options_.flightrec->record(ServiceEventKind::kSteal, task.job->id, task.job->tenant,
+                                 "rig " + std::to_string(rig_index) + " stole shard " +
+                                     std::to_string(task.shard));
+    }
     if (!task.job->cancel.load(std::memory_order_relaxed)) {
       if (rig.job != task.job) {
         retire(rig);
@@ -161,6 +203,12 @@ void Scheduler::rig_loop(unsigned rig_index) {
       run_task(rig_index, rig, task);
     }
     lock.lock();
+    rig_stats_[rig_index].busy_ms +=
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - claim)
+            .count();
+    rig_stats_[rig_index].done += 1;
+    rig_stats_[rig_index].shard = -1;
+    rig_stats_[rig_index].job = 0;
   }
 }
 
@@ -285,9 +333,15 @@ void Scheduler::run_task(unsigned rig_index, Rig& rig, const Task& task) {
   std::uint64_t shard_cycles = 0;
   for (unsigned attempt = 0; attempt <= options_.retries && !ok && !fatal; ++attempt) {
     if (attempt > 0) {
-      const std::lock_guard<std::mutex> lock(job.mutex);
-      job.metrics.counter("campaign.shards_retried").add();
-      ++job.result.shards_retried;
+      {
+        const std::lock_guard<std::mutex> lock(job.mutex);
+        job.metrics.counter("campaign.shards_retried").add();
+        ++job.result.shards_retried;
+      }
+      if (options_.flightrec != nullptr) {
+        options_.flightrec->record(ServiceEventKind::kRetry, job.id, job.tenant,
+                                   "shard " + std::to_string(i) + ": " + error);
+      }
     }
     ++attempts_used;
     ctx.set_attempt(attempt + 1);
@@ -338,6 +392,8 @@ void Scheduler::run_task(unsigned rig_index, Rig& rig, const Task& task) {
 
   ctx.close(shard_span, shard_cycles);
 
+  if (options_.metrics != nullptr) options_.metrics->observe("serve.shard_exec_ms", shard_wall_ms);
+
   bool finished = false;
   {
     const std::lock_guard<std::mutex> lock(job.mutex);
@@ -355,6 +411,10 @@ void Scheduler::run_task(unsigned rig_index, Rig& rig, const Task& task) {
           job.journal_lost = true;
           ++job.result.storage_errors;
           if (job.result.storage_error.empty()) job.result.storage_error = e.what();
+          if (options_.flightrec != nullptr) {
+            options_.flightrec->record(ServiceEventKind::kStorageError, job.id, job.tenant,
+                                       e.what());
+          }
         }
       }
       cache_.insert(shard_cache_key(job.cache_prefix, job.spec.shards[i]), records);
@@ -375,6 +435,10 @@ void Scheduler::run_task(unsigned rig_index, Rig& rig, const Task& task) {
           job.journal_lost = true;
           ++job.result.storage_errors;
           if (job.result.storage_error.empty()) job.result.storage_error = e.what();
+          if (options_.flightrec != nullptr) {
+            options_.flightrec->record(ServiceEventKind::kStorageError, job.id, job.tenant,
+                                       e.what());
+          }
         }
       }
       job.result.failures.push_back({i, error});

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -39,6 +40,7 @@
 #include "resilience/retry.hpp"
 #include "serve/cache.hpp"
 #include "serve/job.hpp"
+#include "serve/observe.hpp"
 
 namespace rh::serve {
 
@@ -50,6 +52,23 @@ public:
     resilience::RetryPolicy retry_policy;  ///< per-host transport retries
     /// Device cycles between a job's per-rig metrics-stream samples.
     std::uint64_t stream_cycle_cadence = 1ull << 24;
+    /// Optional service observability hooks (owned by the server, must
+    /// outlive the scheduler). When set, the pool observes queue-wait,
+    /// steal-wait, and shard-execution histograms and records steal /
+    /// retry / storage-error events in the flight recorder.
+    ServiceMetrics* metrics = nullptr;
+    FlightRecorder* flightrec = nullptr;
+  };
+
+  /// One rig's lifetime accounting, as reported by /statz. `busy_ms`
+  /// includes the in-flight task's elapsed time; `shard`/`job` describe the
+  /// current claim (-1/0 when idle).
+  struct RigStatus {
+    double busy_ms = 0.0;
+    std::uint64_t done = 0;
+    std::uint64_t steals = 0;
+    std::int64_t shard = -1;
+    std::uint64_t job = 0;
   };
 
   Scheduler(Options options, ResultCache& cache);
@@ -83,11 +102,27 @@ public:
   [[nodiscard]] std::uint64_t shards_run() const { return shards_run_.load(); }
   /// Shards a rig stole from a peer's deque.
   [[nodiscard]] std::uint64_t shards_stolen() const { return shards_stolen_.load(); }
+  /// Per-rig accounting snapshot, one entry per rig in pool order.
+  [[nodiscard]] std::vector<RigStatus> rig_status() const;
 
 private:
   struct Task {
     std::shared_ptr<Job> job;
     std::uint64_t shard = 0;
+    /// When the task entered a deque — queue-wait is measured to the claim.
+    std::chrono::steady_clock::time_point enqueued;
+    bool stolen = false;  ///< set by pop_task when claimed from a peer
+  };
+
+  /// The mutable side of RigStatus, guarded by the pool mutex_ (updated at
+  /// the claim/completion points where rig_loop already holds it).
+  struct RigStats {
+    double busy_ms = 0.0;
+    std::uint64_t done = 0;
+    std::uint64_t steals = 0;
+    std::int64_t shard = -1;
+    std::uint64_t job = 0;
+    std::chrono::steady_clock::time_point claim;
   };
 
   /// One rig's per-attachment state (see file comment).
@@ -116,9 +151,10 @@ private:
   std::atomic<std::uint64_t> shards_stolen_{0};
   std::function<void(const std::shared_ptr<Job>&)> on_finalized_;
 
-  mutable std::mutex mutex_;  ///< guards deques_ + stop_
+  mutable std::mutex mutex_;  ///< guards deques_ + stop_ + rig_stats_
   std::condition_variable cv_;
   std::vector<std::deque<Task>> deques_;
+  std::vector<RigStats> rig_stats_;
   std::size_t next_deque_ = 0;  ///< round-robin dealing cursor
   bool stop_ = false;
   std::vector<std::thread> rigs_;

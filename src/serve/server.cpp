@@ -14,6 +14,7 @@
 #include "common/rng.hpp"
 #include "resilience/storage.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/prometheus.hpp"
 
 namespace rh::serve {
 
@@ -61,6 +62,27 @@ void note_job_storage_error(Job& job, const common::StorageError& e) {
   if (job.result.storage_error.empty()) job.result.storage_error = e.what();
 }
 
+/// The accounting identity of a request: the X-Tenant header, "anonymous"
+/// when absent or empty.
+std::string tenant_of(const HttpRequest& req) {
+  const auto it = req.headers.find("x-tenant");
+  if (it != req.headers.end() && !it->second.empty()) return it->second;
+  return "anonymous";
+}
+
+/// The read-only observability endpoints are excluded from the serve.http_*
+/// metrics so a scrape never moves the metrics it reads — that is what
+/// makes consecutive /metricsz scrapes byte-identical.
+bool is_observability_path(const std::string& path) {
+  return path == "/healthz" || path == "/statz" || path == "/metricsz" ||
+         path.rfind("/debugz/", 0) == 0;
+}
+
+double us_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
 /// Opens a job's metrics stream; a storage failure means the job simply
 /// runs streamless (telemetry is advisory).
 void open_stream(Job& job, std::size_t n, const Server::Options& options) {
@@ -80,6 +102,8 @@ void open_stream(Job& job, std::size_t n, const Server::Options& options) {
 
 Server::Server(Options options)
     : options_(std::move(options)),
+      flightrec_(std::max<std::size_t>(1, options_.flightrec_size)),
+      started_(std::chrono::steady_clock::now()),
       scheduler_(
           [&] {
             Scheduler::Options so;
@@ -87,11 +111,14 @@ Server::Server(Options options)
             so.retries = options_.retries;
             so.retry_policy = options_.retry_policy;
             so.stream_cycle_cadence = std::max<std::uint64_t>(1, options_.stream_cycle_cadence);
+            so.metrics = &metrics_;
+            so.flightrec = &flightrec_;
             return so;
           }(),
           cache_) {
   options_.rigs = std::max(1u, options_.rigs);
   if (options_.data_dir.empty()) options_.data_dir = ".";
+  if (options_.access_log.empty()) options_.access_log = options_.data_dir + "/access-log.jsonl";
 }
 
 Server::~Server() { drain(); }
@@ -102,6 +129,20 @@ std::string Server::job_path(std::uint64_t id, const char* suffix) const {
 
 void Server::start() {
   std::filesystem::create_directories(options_.data_dir);
+  try {
+    if (options_.storage_plan.enabled()) {
+      // The access log gets its own fault stream, decorrelated from every
+      // job's durable outputs.
+      resilience::StorageFaultPlan aplan = options_.storage_plan;
+      aplan.seed = common::hash_coords(options_.storage_plan.seed, 0x0b5u, 0);
+      access_injector_ = std::make_unique<resilience::StorageFaultInjector>(std::move(aplan));
+    }
+    access_log_ = std::make_unique<AccessLog>(options_.access_log, access_injector_.get());
+  } catch (const common::Error& e) {
+    // An unopenable access log degrades the server, it does not stop it.
+    storage_errors_.fetch_add(1);
+    flightrec_.record(ServiceEventKind::kStorageError, 0, "", e.what());
+  }
   scheduler_.set_on_finalized([this](const std::shared_ptr<Job>& job) { on_finalized(job); });
   recover();
   scheduler_.start();
@@ -139,14 +180,19 @@ void Server::serve(const std::function<bool()>& should_stop) {
     if (fd < 0) continue;
     HttpRequest req;
     bool have_request = false;
+    const auto start = std::chrono::steady_clock::now();
     try {
       req = read_http_request(fd);
       have_request = true;
     } catch (const HttpError& e) {
       // Malformed or over-limit framing: the documented contract is a
       // 400, not a silent close (best-effort — the peer may be gone).
+      // The request never parsed, so the access-log line carries "-" for
+      // method/path and the explicit "malformed" outcome.
+      const HttpResponse resp = error_response(400, e.what());
+      note_request("-", "-", "anonymous", resp, us_since(start), "malformed");
       try {
-        write_http_response(fd, error_response(400, e.what()));
+        write_http_response(fd, resp);
       } catch (const std::exception&) {
       }
     } catch (const std::exception&) {
@@ -155,15 +201,7 @@ void Server::serve(const std::function<bool()>& should_stop) {
     }
     if (have_request) {
       try {
-        HttpResponse resp;
-        try {
-          resp = handle(req);
-        } catch (const HttpError& e) {
-          resp = error_response(400, e.what());
-        } catch (const std::exception& e) {
-          resp = error_response(500, e.what());
-        }
-        write_http_response(fd, resp);
+        write_http_response(fd, handle_observed(req));
       } catch (const std::exception&) {
         // Peer hung up before the response landed: drop, keep serving.
       }
@@ -194,6 +232,22 @@ HttpResponse Server::handle(const HttpRequest& req) {
   if (path == "/statz") {
     if (req.method != "GET") return error_response(405, "use GET");
     return json_response(200, statz_json());
+  }
+  if (path == "/metricsz") {
+    if (req.method != "GET") return error_response(405, "use GET");
+    HttpResponse resp;
+    resp.status = 200;
+    resp.content_type = "text/plain; version=0.0.4";
+    resp.body = metricsz_text();
+    return resp;
+  }
+  if (path == "/debugz/flightrec") {
+    if (req.method != "GET") return error_response(405, "use GET");
+    HttpResponse resp;
+    resp.status = 200;
+    resp.content_type = "application/x-ndjson";
+    resp.body = flightrec_.dump_jsonl();
+    return resp;
   }
   if (path == "/jobs") {
     if (req.method == "POST") return submit(req);
@@ -238,26 +292,88 @@ HttpResponse Server::handle(const HttpRequest& req) {
   return error_response(404, "no such endpoint: " + path);
 }
 
+HttpResponse Server::handle_observed(const HttpRequest& req) {
+  const auto start = std::chrono::steady_clock::now();
+  HttpResponse resp;
+  try {
+    resp = handle(req);
+  } catch (const HttpError& e) {
+    resp = error_response(400, e.what());
+  } catch (const std::exception& e) {
+    // An unexpected throw is exactly what the flight recorder exists for:
+    // record it, dump the ring next to the job files, answer 500.
+    resp = error_response(500, e.what());
+    flightrec_.record(ServiceEventKind::kFatal, 0, tenant_of(req),
+                      req.method + " " + req.target + ": " + e.what());
+    (void)flightrec_.dump_to_dir(options_.data_dir);
+  }
+  note_request(req.method, req.target, tenant_of(req), resp, us_since(start),
+               access_outcome(resp.status));
+  return resp;
+}
+
+void Server::note_request(const std::string& method, const std::string& target,
+                          const std::string& tenant, const HttpResponse& resp, double wall_us,
+                          const char* outcome) {
+  std::string path = target;
+  if (const std::string::size_type q = path.find('?'); q != std::string::npos) path.resize(q);
+  if (!is_observability_path(path)) {
+    metrics_.add("serve.http_requests");
+    if (resp.status >= 500) {
+      metrics_.add("serve.http_5xx");
+    } else if (resp.status >= 400) {
+      metrics_.add("serve.http_4xx");
+    } else {
+      metrics_.add("serve.http_2xx");
+    }
+    metrics_.observe("serve.http_request_us", wall_us);
+  }
+  if (access_log_ != nullptr) {
+    AccessRecord record;
+    record.method = method;
+    record.path = target;
+    record.tenant = tenant;
+    record.outcome = outcome;
+    record.status = resp.status;
+    record.bytes = resp.body.size();
+    record.wall_us = wall_us;
+    access_log_->record(record);
+  }
+}
+
+std::string Server::dump_flightrec(const std::string& reason) {
+  flightrec_.record(ServiceEventKind::kDump, 0, "", reason);
+  return flightrec_.dump_to_dir(options_.data_dir);
+}
+
 HttpResponse Server::submit(const HttpRequest& req) {
+  // The tenant is read before anything can fail so every rejection is
+  // attributed to the tenant that caused it.
+  const std::string tenant = tenant_of(req);
+  const auto reject = [&](HttpResponse resp, const char* why) {
+    jobs_rejected_.fetch_add(1);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++tenants_[tenant].rejected;
+    }
+    flightrec_.record(ServiceEventKind::kReject, 0, tenant,
+                      std::string(why) + " (" + std::to_string(resp.status) + ")");
+    return resp;
+  };
+
   CampaignConfig config;
   try {
     config = config_from_json(req.body, "request body");
   } catch (const common::Error& e) {
-    jobs_rejected_.fetch_add(1);
-    return error_response(400, e.what());
-  }
-  std::string tenant = "anonymous";
-  if (const auto it = req.headers.find("x-tenant"); it != req.headers.end() &&
-                                                    !it->second.empty()) {
-    tenant = it->second;
+    return reject(error_response(400, e.what()), "malformed config");
   }
 
   std::shared_ptr<Job> job;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
     if (draining_) {
-      jobs_rejected_.fetch_add(1);
-      return error_response(503, "server is draining");
+      lock.unlock();
+      return reject(error_response(503, "server is draining"), "draining");
     }
     std::size_t active = 0;
     std::size_t tenant_active = 0;
@@ -268,27 +384,30 @@ HttpResponse Server::submit(const HttpRequest& req) {
       if (existing->tenant == tenant) ++tenant_active;
     }
     if (active >= options_.queue_limit) {
-      jobs_rejected_.fetch_add(1);
+      lock.unlock();
       HttpResponse resp = error_response(429, "server queue is full (" +
                                                   std::to_string(active) + " active jobs)");
       resp.extra_headers.emplace("Retry-After", "1");
-      return resp;
+      return reject(std::move(resp), "queue full");
     }
     if (tenant_active >= options_.tenant_quota) {
-      jobs_rejected_.fetch_add(1);
+      lock.unlock();
       HttpResponse resp =
           error_response(429, "tenant \"" + tenant + "\" is over quota (" +
                                   std::to_string(tenant_active) + " active jobs)");
       resp.extra_headers.emplace("Retry-After", "1");
-      return resp;
+      return reject(std::move(resp), "tenant over quota");
     }
 
     const std::uint64_t id = next_id_++;
     job = make_job(id, tenant, std::move(config));
     prepare_fresh(*job);
     jobs_.emplace(id, job);
+    ++tenants_[tenant].submitted;
   }
   jobs_submitted_.fetch_add(1);
+  flightrec_.record(ServiceEventKind::kAdmit, job->id, tenant,
+                    std::to_string(job->spec.shards.size()) + " shards");
 
   bool fully_cached = false;
   {
@@ -348,6 +467,7 @@ HttpResponse Server::cancel_job(std::uint64_t id) {
     }
     body = job_status_json(*job);
   }
+  flightrec_.record(ServiceEventKind::kCancel, job->id, job->tenant, "");
   persist_meta(*job);
   return json_response(200, std::move(body));
 }
@@ -404,56 +524,175 @@ std::string Server::healthz_json() {
   return out;
 }
 
-std::string Server::statz_json() {
-  std::size_t active = 0;
-  std::size_t queued = 0;
-  std::size_t running = 0;
-  std::size_t done = 0;
-  std::size_t failed = 0;
-  std::size_t cancelled = 0;
-  std::uint64_t shards_cached = 0;
-  std::uint64_t storage_errors = storage_errors_.load();
-  bool draining = false;
+Server::StatsSnapshot Server::stats_snapshot() {
+  StatsSnapshot snap;
+  snap.storage_errors = storage_errors_.load();
+  snap.uptime_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - started_)
+          .count();
+  std::map<std::string, TenantRow> tenants;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    draining = draining_;
+    snap.draining = draining_;
+    for (const auto& [tenant, stats] : tenants_) {
+      TenantRow& row = tenants[tenant];
+      row.tenant = tenant;
+      row.stats = stats;
+    }
     for (const auto& [id, job] : jobs_) {
       const std::lock_guard<std::mutex> jlock(job->mutex);
-      shards_cached += job->shards_cached;
-      storage_errors += job->result.storage_errors;
+      snap.shards_cached += job->shards_cached;
+      snap.storage_errors += job->result.storage_errors;
+      const bool is_active = job_state_active(job->state);
       switch (job->state) {
-        case JobState::kQueued: ++queued; ++active; break;
-        case JobState::kRunning: ++running; ++active; break;
-        case JobState::kDone: ++done; break;
-        case JobState::kFailed: ++failed; break;
-        case JobState::kCancelled: ++cancelled; break;
+        case JobState::kQueued: ++snap.queued; ++snap.active; break;
+        case JobState::kRunning: ++snap.running; ++snap.active; break;
+        case JobState::kDone: ++snap.done; break;
+        case JobState::kFailed: ++snap.failed; break;
+        case JobState::kCancelled: ++snap.cancelled; break;
       }
+      TenantRow& row = tenants[job->tenant];
+      row.tenant = job->tenant;  // recovered tenants may have no stats row yet
+      if (is_active) ++row.active;
     }
   }
+  snap.tenants.reserve(tenants.size());
+  for (auto& [tenant, row] : tenants) snap.tenants.push_back(std::move(row));
+  snap.rigs = scheduler_.rig_status();
+  return snap;
+}
+
+std::string Server::statz_json() {
+  const StatsSnapshot snap = stats_snapshot();
   std::string out = "{";
   out += "\"campaign.shards_run\":" + std::to_string(scheduler_.shards_run());
   out += ",\"draining\":";
-  out += draining ? "true" : "false";
+  out += snap.draining ? "true" : "false";
+  out += ",\"rigs\":[";
+  for (std::size_t r = 0; r < snap.rigs.size(); ++r) {
+    const Scheduler::RigStatus& rig = snap.rigs[r];
+    const double utilization =
+        snap.uptime_ms > 0.0 ? std::min(1.0, rig.busy_ms / snap.uptime_ms) : 0.0;
+    if (r > 0) out += ',';
+    out += "{\"busy_ms\":" + telemetry::prometheus_number(rig.busy_ms);
+    out += ",\"done\":" + std::to_string(rig.done);
+    out += ",\"job\":" + std::to_string(rig.job);
+    out += ",\"shard\":" + std::to_string(rig.shard);
+    out += ",\"steals\":" + std::to_string(rig.steals);
+    out += ",\"utilization\":" + telemetry::prometheus_number(utilization);
+    out += "}";
+  }
+  out += "]";
   out += ",\"schema\":\"rh-serve-statz/v1\"";
   out += ",\"serve.cache_entries\":" + std::to_string(cache_.entries());
   out += ",\"serve.cache_hits\":" + std::to_string(cache_.hits());
   out += ",\"serve.cache_misses\":" + std::to_string(cache_.misses());
-  out += ",\"serve.jobs_active\":" + std::to_string(active);
+  out += ",\"serve.jobs_active\":" + std::to_string(snap.active);
   out += ",\"serve.jobs_cache_hit\":" + std::to_string(jobs_cache_hit_.load());
-  out += ",\"serve.jobs_cancelled\":" + std::to_string(cancelled);
-  out += ",\"serve.jobs_done\":" + std::to_string(done);
-  out += ",\"serve.jobs_failed\":" + std::to_string(failed);
-  out += ",\"serve.jobs_queued\":" + std::to_string(queued);
+  out += ",\"serve.jobs_cancelled\":" + std::to_string(snap.cancelled);
+  out += ",\"serve.jobs_done\":" + std::to_string(snap.done);
+  out += ",\"serve.jobs_failed\":" + std::to_string(snap.failed);
+  out += ",\"serve.jobs_queued\":" + std::to_string(snap.queued);
   out += ",\"serve.jobs_rejected\":" + std::to_string(jobs_rejected_.load());
-  out += ",\"serve.jobs_running\":" + std::to_string(running);
+  out += ",\"serve.jobs_running\":" + std::to_string(snap.running);
   out += ",\"serve.jobs_submitted\":" + std::to_string(jobs_submitted_.load());
   out += ",\"serve.queue_depth\":" + std::to_string(scheduler_.queue_depth());
   out += ",\"serve.rigs\":" + std::to_string(scheduler_.rigs());
-  out += ",\"serve.shards_cached\":" + std::to_string(shards_cached);
+  out += ",\"serve.shards_cached\":" + std::to_string(snap.shards_cached);
   out += ",\"serve.shards_stolen\":" + std::to_string(scheduler_.shards_stolen());
-  out += ",\"serve.storage_errors\":" + std::to_string(storage_errors);
-  out += "}";
+  out += ",\"serve.storage_errors\":" + std::to_string(snap.storage_errors);
+  out += ",\"serve.uptime_ms\":" + telemetry::prometheus_number(snap.uptime_ms);
+  out += ",\"tenants\":[";
+  for (std::size_t t = 0; t < snap.tenants.size(); ++t) {
+    const TenantRow& row = snap.tenants[t];
+    if (t > 0) out += ',';
+    out += "{\"active\":" + std::to_string(row.active);
+    out += ",\"cache_hits\":" + std::to_string(row.stats.cache_hits);
+    out += ",\"completed\":" + std::to_string(row.stats.completed);
+    out += ",\"quota\":" + std::to_string(options_.tenant_quota);
+    out += ",\"rejected\":" + std::to_string(row.stats.rejected);
+    out += ",\"shards_run\":" + std::to_string(row.stats.shards_run);
+    out += ",\"submitted\":" + std::to_string(row.stats.submitted);
+    out += ",\"tenant\":\"" + telemetry::json_escape(row.tenant) + "\"}";
+  }
+  out += "]}";
   return out;
+}
+
+std::string Server::metricsz_text() {
+  const StatsSnapshot snap = stats_snapshot();
+  std::ostringstream os;
+  // 1. The serve.* catalogue (histograms + HTTP counters), sorted by name.
+  telemetry::write_prometheus(os, metrics_.snapshot());
+  // 2. Point-in-time job/cache/scheduler series. Wall-clock-valued series
+  //    (uptime, rig busy/utilization) live in /statz only: everything here
+  //    is a pure function of the request/shard history, which is what
+  //    makes consecutive scrapes byte-identical.
+  const auto counter = [&os](const char* name, double v) {
+    telemetry::write_prometheus_type(os, name, "counter");
+    telemetry::write_prometheus_sample(os, name, {}, v);
+  };
+  const auto gauge = [&os](const char* name, double v) {
+    telemetry::write_prometheus_type(os, name, "gauge");
+    telemetry::write_prometheus_sample(os, name, {}, v);
+  };
+  counter("campaign_shards_run", static_cast<double>(scheduler_.shards_run()));
+  gauge("serve_access_log_degraded",
+        access_log_ != nullptr && access_log_->degraded() ? 1.0 : 0.0);
+  gauge("serve_cache_entries", static_cast<double>(cache_.entries()));
+  counter("serve_cache_hits", static_cast<double>(cache_.hits()));
+  counter("serve_cache_misses", static_cast<double>(cache_.misses()));
+  gauge("serve_draining", snap.draining ? 1.0 : 0.0);
+  counter("serve_flightrec_events", static_cast<double>(flightrec_.recorded()));
+  gauge("serve_jobs_active", static_cast<double>(snap.active));
+  counter("serve_jobs_cache_hit", static_cast<double>(jobs_cache_hit_.load()));
+  gauge("serve_jobs_cancelled", static_cast<double>(snap.cancelled));
+  gauge("serve_jobs_done", static_cast<double>(snap.done));
+  gauge("serve_jobs_failed", static_cast<double>(snap.failed));
+  gauge("serve_jobs_queued", static_cast<double>(snap.queued));
+  counter("serve_jobs_rejected", static_cast<double>(jobs_rejected_.load()));
+  gauge("serve_jobs_running", static_cast<double>(snap.running));
+  counter("serve_jobs_submitted", static_cast<double>(jobs_submitted_.load()));
+  gauge("serve_queue_depth", static_cast<double>(scheduler_.queue_depth()));
+  // 3. Per-rig and per-tenant labeled series (rig index / tenant name are
+  //    the label; one TYPE line per family, samples in label order).
+  telemetry::write_prometheus_type(os, "serve_rig_done", "counter");
+  for (std::size_t r = 0; r < snap.rigs.size(); ++r) {
+    telemetry::write_prometheus_sample(os, "serve_rig_done", {{"rig", std::to_string(r)}},
+                                       static_cast<double>(snap.rigs[r].done));
+  }
+  telemetry::write_prometheus_type(os, "serve_rig_steals", "counter");
+  for (std::size_t r = 0; r < snap.rigs.size(); ++r) {
+    telemetry::write_prometheus_sample(os, "serve_rig_steals", {{"rig", std::to_string(r)}},
+                                       static_cast<double>(snap.rigs[r].steals));
+  }
+  gauge("serve_rigs", static_cast<double>(scheduler_.rigs()));
+  counter("serve_shards_cached", static_cast<double>(snap.shards_cached));
+  counter("serve_shards_stolen", static_cast<double>(scheduler_.shards_stolen()));
+  counter("serve_storage_errors", static_cast<double>(snap.storage_errors));
+  const auto tenant_family = [&](const char* name, const char* type,
+                                 const std::function<double(const TenantRow&)>& value) {
+    telemetry::write_prometheus_type(os, name, type);
+    for (const TenantRow& row : snap.tenants) {
+      telemetry::write_prometheus_sample(os, name, {{"tenant", row.tenant}}, value(row));
+    }
+  };
+  tenant_family("serve_tenant_active", "gauge",
+                [](const TenantRow& r) { return static_cast<double>(r.active); });
+  tenant_family("serve_tenant_cache_hits", "counter",
+                [](const TenantRow& r) { return static_cast<double>(r.stats.cache_hits); });
+  tenant_family("serve_tenant_jobs_completed", "counter",
+                [](const TenantRow& r) { return static_cast<double>(r.stats.completed); });
+  tenant_family("serve_tenant_jobs_rejected", "counter",
+                [](const TenantRow& r) { return static_cast<double>(r.stats.rejected); });
+  tenant_family("serve_tenant_jobs_submitted", "counter",
+                [](const TenantRow& r) { return static_cast<double>(r.stats.submitted); });
+  tenant_family("serve_tenant_quota", "gauge", [this](const TenantRow&) {
+    return static_cast<double>(options_.tenant_quota);
+  });
+  tenant_family("serve_tenant_shards_run", "counter",
+                [](const TenantRow& r) { return static_cast<double>(r.stats.shards_run); });
+  return os.str();
 }
 
 std::shared_ptr<Job> Server::make_job(std::uint64_t id, const std::string& tenant,
@@ -517,9 +756,13 @@ void Server::prepare_fresh(Job& job) {
   std::uint64_t skipped = 0;
   for (std::size_t i = 0; i < n; ++i) {
     std::vector<core::RowRecord> records;
-    if (!cache_.lookup(shard_cache_key(job.cache_prefix, job.spec.shards[i]), records)) {
-      continue;
-    }
+    const auto lookup_start = std::chrono::steady_clock::now();
+    const bool hit =
+        cache_.lookup(shard_cache_key(job.cache_prefix, job.spec.shards[i]), records);
+    const double lookup_us = us_since(lookup_start);
+    metrics_.observe("serve.cache_lookup_us", lookup_us);
+    if (!hit) continue;
+    metrics_.observe("serve.cache_hit_us", lookup_us);
     if (job.journal != nullptr) {
       try {
         job.journal->append_shard(i, records);
@@ -677,9 +920,39 @@ void Server::recover() {
     }
     jobs_.emplace(id, job);
     next_id_ = std::max(next_id_, id + 1);
+    std::string state_text;
+    {
+      const std::lock_guard<std::mutex> jlock(job->mutex);
+      state_text = to_string(job->state);
+    }
+    flightrec_.record(ServiceEventKind::kRecover, id, job->tenant, state_text);
   }
 }
 
-void Server::on_finalized(const std::shared_ptr<Job>& job) { persist_meta(*job); }
+void Server::on_finalized(const std::shared_ptr<Job>& job) {
+  // Copy the accounting out under job.mutex, then fold it into the tenant
+  // table under mutex_ — never both at once (statz takes them in the other
+  // order).
+  std::string tenant;
+  std::string state;
+  std::uint64_t shards_run = 0;
+  std::uint64_t cache_hits = 0;
+  {
+    const std::lock_guard<std::mutex> jlock(job->mutex);
+    tenant = job->tenant;
+    state = to_string(job->state);
+    shards_run = job->result.shards_run;
+    cache_hits = job->shards_cached;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    TenantStats& stats = tenants_[tenant];
+    ++stats.completed;
+    stats.shards_run += shards_run;
+    stats.cache_hits += cache_hits;
+  }
+  flightrec_.record(ServiceEventKind::kFinalize, job->id, tenant, state);
+  persist_meta(*job);
+}
 
 }  // namespace rh::serve

@@ -24,22 +24,36 @@
 //   GET    /jobs/<id>/results   journaled records, JSONL in shard order
 //   GET    /jobs/<id>/stream    rh-metrics-stream/v1 so far
 //   GET    /healthz             liveness
-//   GET    /statz               server counters (cache, scheduler, jobs)
+//   GET    /statz               server counters (cache, scheduler, jobs,
+//                               per-rig utilization, per-tenant accounting)
+//   GET    /metricsz            Prometheus text exposition of the same
+//   GET    /debugz/flightrec    recent service events, JSONL
+//
+// Observability (PR 9): every served request flows through
+// handle_observed(), which wraps handle() with the HTTP-latency histogram,
+// status-class counters, and one JSONL access-log line (torn-tail-safe via
+// DurableFile). The read-only observability endpoints (/healthz, /statz,
+// /metricsz, /debugz/*) are excluded from the serve.http_* metrics so that
+// scraping never moves the metrics being scraped: for a fixed sequence of
+// job-API requests, consecutive /metricsz scrapes are byte-identical.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "resilience/retry.hpp"
 #include "resilience/storage.hpp"
 #include "serve/cache.hpp"
 #include "serve/http.hpp"
 #include "serve/job.hpp"
+#include "serve/observe.hpp"
 #include "serve/scheduler.hpp"
 
 namespace rh::serve {
@@ -61,6 +75,21 @@ public:
     /// degrade jobs (state failed, reason "storage: ...") and flip
     /// /healthz to degraded — they never crash the server or wedge a rig.
     resilience::StorageFaultPlan storage_plan;
+    /// Access-log path; empty means <data_dir>/access-log.jsonl. Opened
+    /// appending in start(); an open failure degrades (no log) rather than
+    /// refusing to start.
+    std::string access_log;
+    /// Flight-recorder ring capacity (events kept for post-mortem dumps).
+    std::size_t flightrec_size = 256;
+  };
+
+  /// Lifetime request/shard accounting for one tenant (X-Tenant header).
+  struct TenantStats {
+    std::uint64_t submitted = 0;   ///< jobs admitted (201)
+    std::uint64_t rejected = 0;    ///< submissions refused (400/429/503)
+    std::uint64_t completed = 0;   ///< jobs that reached a terminal state
+    std::uint64_t shards_run = 0;  ///< shards simulated for this tenant
+    std::uint64_t cache_hits = 0;  ///< shards served from the result cache
   };
 
   explicit Server(Options options);
@@ -88,7 +117,32 @@ public:
   /// Routes one request — also the unit-test entry point (no sockets).
   [[nodiscard]] HttpResponse handle(const HttpRequest& req);
 
+  /// handle() plus the observability wrapper: exception-to-status mapping
+  /// (HttpError -> 400, anything else -> 500 + flight-recorder dump), the
+  /// HTTP latency histogram and status-class counters, and one access-log
+  /// line. What serve() actually calls per request; also the test entry
+  /// point for instrumentation assertions. Never throws.
+  [[nodiscard]] HttpResponse handle_observed(const HttpRequest& req);
+
   [[nodiscard]] std::string statz_json();
+
+  /// The GET /metricsz body: the serve.* registry in Prometheus text
+  /// exposition format, followed by the point-in-time job/cache/scheduler
+  /// series and the per-tenant and per-rig labeled series. Deterministic:
+  /// for a fixed sequence of job-API requests, repeated scrapes are
+  /// byte-identical (observability endpoints never self-instrument, and
+  /// wall-clock-valued series live in /statz only).
+  [[nodiscard]] std::string metricsz_text();
+
+  /// Dumps the flight recorder to <data_dir>/flightrec-<ts>-<n>.jsonl.
+  /// Returns the path, or "" when the write failed. `reason` is recorded as
+  /// the dump trigger ("sigquit", "fatal", ...) before dumping.
+  std::string dump_flightrec(const std::string& reason);
+
+  [[nodiscard]] ServiceMetrics& metrics() { return metrics_; }
+  [[nodiscard]] FlightRecorder& flightrec() { return flightrec_; }
+  /// Null until start() (or when the log could not be opened).
+  [[nodiscard]] const AccessLog* access_log() const { return access_log_.get(); }
 
   /// Liveness + storage health: ok is always true while serving; degraded
   /// flips when any durable write has failed (descriptor, journal, stream,
@@ -96,8 +150,41 @@ public:
   [[nodiscard]] std::string healthz_json();
 
 private:
+  /// One tenant's row in /statz and /metricsz: lifetime stats plus the
+  /// instantaneous active-job count.
+  struct TenantRow {
+    std::string tenant;
+    std::size_t active = 0;
+    TenantStats stats;
+  };
+
+  /// Everything /statz and /metricsz render, gathered once under the locks
+  /// so the two surfaces always agree.
+  struct StatsSnapshot {
+    std::size_t active = 0;
+    std::size_t queued = 0;
+    std::size_t running = 0;
+    std::size_t done = 0;
+    std::size_t failed = 0;
+    std::size_t cancelled = 0;
+    std::uint64_t shards_cached = 0;
+    std::uint64_t storage_errors = 0;
+    bool draining = false;
+    double uptime_ms = 0.0;
+    std::vector<TenantRow> tenants;  ///< sorted by tenant name
+    std::vector<Scheduler::RigStatus> rigs;
+  };
+
   [[nodiscard]] std::string job_path(std::uint64_t id, const char* suffix) const;
   [[nodiscard]] std::shared_ptr<Job> find_job(std::uint64_t id);
+  [[nodiscard]] StatsSnapshot stats_snapshot();
+
+  /// Instrumentation tail shared by handle_observed() and the
+  /// malformed-framing path in serve(): counters + histogram (job-API
+  /// requests only) and the access-log line (every request).
+  void note_request(const std::string& method, const std::string& target,
+                    const std::string& tenant, const HttpResponse& resp, double wall_us,
+                    const char* outcome);
 
   HttpResponse submit(const HttpRequest& req);
   HttpResponse list_jobs();
@@ -121,13 +208,21 @@ private:
   void on_finalized(const std::shared_ptr<Job>& job);
 
   Options options_;
+  // Observability members precede the scheduler: its Options carry raw
+  // pointers to them, so they must construct first and destruct last.
+  ServiceMetrics metrics_;
+  FlightRecorder flightrec_;
+  std::unique_ptr<resilience::StorageFaultInjector> access_injector_;
+  std::unique_ptr<AccessLog> access_log_;
+  std::chrono::steady_clock::time_point started_;
   ResultCache cache_;
   Scheduler scheduler_;
   std::unique_ptr<TcpListener> listener_;
   std::uint16_t port_ = 0;
 
-  std::mutex mutex_;  ///< guards jobs_, next_id_, draining_
+  std::mutex mutex_;  ///< guards jobs_, next_id_, draining_, tenants_
   std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::map<std::string, TenantStats> tenants_;
   std::uint64_t next_id_ = 1;
   bool draining_ = false;
 

@@ -1,0 +1,106 @@
+#include "telemetry/prometheus.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace rh::telemetry {
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out.front() >= '0' && out.front() <= '9')) out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string prometheus_label_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    std::ostringstream os;
+    os << static_cast<std::int64_t>(v);
+    return os.str();
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+void write_prometheus_type(std::ostream& os, std::string_view name, std::string_view type) {
+  os << "# TYPE " << name << ' ' << type << '\n';
+}
+
+void write_prometheus_sample(std::ostream& os, std::string_view name,
+                             const PrometheusLabels& labels, double value) {
+  os << name;
+  if (!labels.empty()) {
+    os << '{';
+    bool first = true;
+    for (const auto& [key, val] : labels) {
+      if (!first) os << ',';
+      first = false;
+      os << key << "=\"" << prometheus_label_escape(val) << '"';
+    }
+    os << '}';
+  }
+  os << ' ' << prometheus_number(value) << '\n';
+}
+
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snapshot) {
+  for (const auto& e : snapshot.entries) {
+    const std::string name = prometheus_name(e.name);
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        write_prometheus_type(os, name, "counter");
+        write_prometheus_sample(os, name, {}, e.value);
+        break;
+      case MetricKind::kGauge:
+        write_prometheus_type(os, name, "gauge");
+        write_prometheus_sample(os, name, {}, e.value);
+        break;
+      case MetricKind::kHistogram: {
+        write_prometheus_type(os, name, "histogram");
+        const double width = (e.hi - e.lo) / static_cast<double>(e.buckets.size());
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < e.buckets.size(); ++i) {
+          cumulative += e.buckets[i];
+          const double upper = e.lo + width * static_cast<double>(i + 1);
+          write_prometheus_sample(os, name + "_bucket", {{"le", prometheus_number(upper)}},
+                                  static_cast<double>(cumulative));
+        }
+        write_prometheus_sample(os, name + "_bucket", {{"le", "+Inf"}},
+                                static_cast<double>(cumulative));
+        write_prometheus_sample(os, name + "_sum", {}, e.sum);
+        write_prometheus_sample(os, name + "_count", {}, static_cast<double>(cumulative));
+        break;
+      }
+    }
+  }
+}
+
+std::string prometheus_text(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  write_prometheus(os, snapshot);
+  return os.str();
+}
+
+}  // namespace rh::telemetry

@@ -1,0 +1,65 @@
+// Prometheus text exposition rendering for the metrics registry — the
+// scrape format behind rh_serve's GET /metricsz.
+//
+// Any MetricsSnapshot renders as one family per metric: counters and gauges
+// as a single sample, FixedHistograms as the cumulative-bucket encoding
+// (`_bucket{le="..."}` per upper edge plus `+Inf`, `_sum`, `_count`).
+// Output is deterministic: families appear in snapshot order (sorted by
+// metric name), every number uses the same canonical rendering as the JSON
+// export path, and two snapshots of the same registry state produce
+// byte-identical documents.
+//
+// Metric names are sanitized into the Prometheus grammar
+// ([a-zA-Z_:][a-zA-Z0-9_:]*): the registry's hierarchical dots become
+// underscores ("serve.http_request_us" -> "serve_http_request_us").
+// Label helpers are exposed for callers (the server's per-tenant and
+// per-rig series) that render labeled samples alongside a registry.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace rh::telemetry {
+
+/// One `name="value"` pair; values are escaped on render.
+using PrometheusLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Sanitizes `name` into the Prometheus metric-name grammar: every
+/// character outside [a-zA-Z0-9_:] becomes '_', and a leading digit gets a
+/// '_' prefix. Idempotent.
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+/// Escapes a label value ('\\', '"', and newline, per the exposition spec).
+[[nodiscard]] std::string prometheus_label_escape(std::string_view value);
+
+/// Canonical number rendering shared by every sample line: integral values
+/// print without a decimal point, everything else at full precision;
+/// non-finite values render as 0 (a scrape must never carry NaN).
+[[nodiscard]] std::string prometheus_number(double v);
+
+/// Writes one `# TYPE` header line. `type` is "counter", "gauge", or
+/// "histogram"; `name` must already be sanitized.
+void write_prometheus_type(std::ostream& os, std::string_view name, std::string_view type);
+
+/// Writes one sample line `name{labels} value` (labels omitted when empty).
+/// `name` must already be sanitized and may carry a suffix ("_bucket").
+void write_prometheus_sample(std::ostream& os, std::string_view name,
+                             const PrometheusLabels& labels, double value);
+
+/// Renders every entry of `snapshot` in text exposition format. Histograms
+/// emit cumulative buckets: one `_bucket{le="<upper>"}` per bucket edge and
+/// a closing `le="+Inf"` equal to `_count` (edge-clamped samples live in
+/// the outermost buckets, so the finite edges are exact for in-range
+/// observations).
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// `write_prometheus` into a string (what the /metricsz handler serves).
+[[nodiscard]] std::string prometheus_text(const MetricsSnapshot& snapshot);
+
+}  // namespace rh::telemetry

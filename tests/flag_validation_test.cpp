@@ -103,6 +103,37 @@ TEST(FlagValidation, TenantQuotaMustBePositive) {
   EXPECT_THROW((void)make({"--tenant-quota=0"}).get_positive_int("tenant-quota", 4), CliError);
 }
 
+TEST(FlagValidation, FlightrecSizeMustBePositive) {
+  EXPECT_THROW((void)make({"--flightrec-size=0"}).get_positive_int("flightrec-size", 256),
+               CliError);
+  EXPECT_THROW((void)make({"--flightrec-size=-1"}).get_positive_int("flightrec-size", 256),
+               CliError);
+}
+
+// --- rh_top flags ------------------------------------------------------
+
+TEST(FlagValidation, IntervalMsMustBePositive) {
+  EXPECT_THROW((void)make({"--interval-ms=0"}).get_positive_int("interval-ms", 1000), CliError);
+  EXPECT_THROW((void)make({"--interval-ms=-250"}).get_positive_int("interval-ms", 1000),
+               CliError);
+  EXPECT_THROW((void)make({"--interval-ms=fast"}).get_positive_int("interval-ms", 1000),
+               CliError);
+}
+
+// --access-log is a path (any string goes through), but it must be
+// *queried*: a typo'd flag name surfaces through unqueried_flags() exactly
+// the way rh_serve warns about it.
+TEST(FlagValidation, AccessLogRoutesThroughGetAndTyposAreVisible) {
+  const auto args = make({"--access-log=/tmp/x.jsonl"});
+  EXPECT_EQ(args.get("access-log", ""), "/tmp/x.jsonl");
+  EXPECT_TRUE(args.unqueried_flags().empty());
+
+  const auto typo = make({"--acess-log=/tmp/x.jsonl"});
+  EXPECT_EQ(typo.get("access-log", ""), "");
+  ASSERT_EQ(typo.unqueried_flags().size(), 1u);
+  EXPECT_EQ(typo.unqueried_flags()[0], "acess-log");
+}
+
 TEST(FlagValidation, MaxSecondsMustBePositive) {
   EXPECT_THROW((void)make({"--max-seconds=0"}).get_positive_double("max-seconds", 0.0), CliError);
   EXPECT_THROW((void)make({"--max-seconds=inf"}).get_positive_double("max-seconds", 0.0),

@@ -9,14 +9,20 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "campaign/journal.hpp"
 #include "profiling/report.hpp"
 #include "resilience/storage.hpp"
+#include "serve/config.hpp"
+#include "serve/observe.hpp"
+#include "serve/server.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/prometheus.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/stream.hpp"
 
@@ -162,6 +168,86 @@ TEST(GoldenContract, MetricsStreamV1) {
   }
   std::remove(path.c_str());
   const auto diff = check_golden(golden("metrics_stream_v1.shape"), actual);
+  EXPECT_FALSE(diff.has_value()) << *diff;
+}
+
+/// A service fixture for the /healthz and /statz shapes: one admitted job
+/// (so the tenants array has a row) on a never-started server (so every
+/// value is deterministic-by-construction; the shape ignores values, but a
+/// populated array pins its element shape where an empty one would not).
+class ServeFixture {
+public:
+  ServeFixture() : dir_("golden_contract_serve") {
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    serve::Server::Options options;
+    options.data_dir = dir_;
+    server_ = std::make_unique<serve::Server>(options);
+    serve::HttpRequest req;
+    req.method = "POST";
+    req.target = "/jobs";
+    req.body = serve::to_canonical_json(serve::CampaignConfig{});
+    req.headers["x-tenant"] = "alice";
+    EXPECT_EQ(server_->handle(req).status, 201);
+  }
+  ~ServeFixture() {
+    server_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+  [[nodiscard]] serve::Server& server() { return *server_; }
+
+private:
+  std::string dir_;
+  std::unique_ptr<serve::Server> server_;
+};
+
+TEST(GoldenContract, ServeHealthzV1) {
+  ServeFixture fixture;
+  const auto diff = check_golden(golden("serve_healthz_v1.shape"),
+                                 shape_text(fixture.server().healthz_json(), "rh-serve-healthz/v1"));
+  EXPECT_FALSE(diff.has_value()) << *diff;
+}
+
+TEST(GoldenContract, ServeStatzV1) {
+  // The statz document carries two element-bearing arrays: per-rig rows
+  // (idle pool, 2 rigs) and per-tenant rows (the fixture's one tenant).
+  ServeFixture fixture;
+  const auto diff = check_golden(golden("serve_statz_v1.shape"),
+                                 shape_text(fixture.server().statz_json(), "rh-serve-statz/v1"));
+  EXPECT_FALSE(diff.has_value()) << *diff;
+}
+
+TEST(GoldenContract, AccessLogLineV1) {
+  serve::AccessRecord record;
+  record.method = "POST";
+  record.path = "/jobs";
+  record.tenant = "alice";
+  record.outcome = "ok";
+  record.status = 201;
+  record.bytes = 321;
+  record.wall_us = 412.5;
+  const auto diff = check_golden(golden("access_log_v1.shape"),
+                                 shape_text(serve::access_record_json(record), "rh-access-log/v1"));
+  EXPECT_FALSE(diff.has_value()) << *diff;
+}
+
+TEST(GoldenContract, PrometheusExpositionSample) {
+  // /metricsz is text, not JSON, so the contract is the rendered bytes of a
+  // fixed fixture: one counter, one gauge, one histogram (cumulative
+  // buckets, +Inf, _sum, _count), and one labeled sample — every line form
+  // the endpoint emits.
+  telemetry::MetricsRegistry registry;
+  registry.counter("serve.http_requests").add(4);
+  registry.gauge("serve.jobs_active").set(1.0);
+  auto& hist = registry.histogram("serve.queue_wait_ms", 0.0, 8.0, 4);
+  hist.observe(1.0);
+  hist.observe(3.0);
+  hist.observe(100.0);  // clamps into the top bucket; _sum keeps 100
+  std::ostringstream os;
+  telemetry::write_prometheus(os, registry.snapshot());
+  telemetry::write_prometheus_type(os, "serve_tenant_quota", "gauge");
+  telemetry::write_prometheus_sample(os, "serve_tenant_quota", {{"tenant", "alice"}}, 4.0);
+  const auto diff = check_golden(golden("prometheus_exposition_sample.golden"), os.str());
   EXPECT_FALSE(diff.has_value()) << *diff;
 }
 

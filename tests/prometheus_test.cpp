@@ -1,0 +1,179 @@
+// The Prometheus text-exposition renderer behind GET /metricsz
+// (src/telemetry/prometheus). The contract under test: any
+// MetricsSnapshot renders as valid exposition text — sanitized names,
+// escaped label values, canonical numbers, cumulative histogram
+// buckets whose +Inf sample equals _count — and rendering is a pure
+// function of the snapshot (repeat renders are byte-identical).
+#include "telemetry/prometheus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace rh::telemetry {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(PrometheusName, SanitizesIntoTheMetricNameGrammar) {
+  EXPECT_EQ(prometheus_name("serve.http_request_us"), "serve_http_request_us");
+  EXPECT_EQ(prometheus_name("cmd.act"), "cmd_act");
+  EXPECT_EQ(prometheus_name("weird metric-name!"), "weird_metric_name_");
+  // Colons are legal in the grammar and survive.
+  EXPECT_EQ(prometheus_name("ns::metric"), "ns::metric");
+}
+
+TEST(PrometheusName, PrefixesALeadingDigit) {
+  EXPECT_EQ(prometheus_name("2xx"), "_2xx");
+  // First char of the result is always [a-zA-Z_:].
+  const std::string n = prometheus_name("404.count");
+  ASSERT_FALSE(n.empty());
+  EXPECT_TRUE(n[0] == '_' || n[0] == ':' || std::isalpha(static_cast<unsigned char>(n[0])));
+}
+
+TEST(PrometheusName, IsIdempotent) {
+  for (const char* raw : {"serve.http_request_us", "2xx", "weird metric-name!", "ok_name"}) {
+    const std::string once = prometheus_name(raw);
+    EXPECT_EQ(prometheus_name(once), once) << raw;
+  }
+}
+
+TEST(PrometheusLabelEscape, EscapesBackslashQuoteAndNewline) {
+  EXPECT_EQ(prometheus_label_escape("plain"), "plain");
+  EXPECT_EQ(prometheus_label_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_label_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prometheus_label_escape("two\nlines"), "two\\nlines");
+}
+
+TEST(PrometheusNumber, IntegralValuesPrintWithoutADecimalPoint) {
+  EXPECT_EQ(prometheus_number(0.0), "0");
+  EXPECT_EQ(prometheus_number(42.0), "42");
+  EXPECT_EQ(prometheus_number(-3.0), "-3");
+}
+
+TEST(PrometheusNumber, FractionsRoundTripAndNonFiniteClampsToZero) {
+  const std::string v = prometheus_number(0.25);
+  EXPECT_EQ(std::stod(v), 0.25);
+  // A scrape must never carry NaN/Inf — the renderer clamps to 0.
+  EXPECT_EQ(prometheus_number(std::numeric_limits<double>::quiet_NaN()), "0");
+  EXPECT_EQ(prometheus_number(std::numeric_limits<double>::infinity()), "0");
+}
+
+TEST(PrometheusSample, RendersLabelsInOrder) {
+  std::ostringstream os;
+  write_prometheus_sample(os, "serve_rig_done", {{"rig", "0"}}, 7.0);
+  write_prometheus_sample(os, "plain_total", {}, 3.0);
+  EXPECT_EQ(os.str(), "serve_rig_done{rig=\"0\"} 7\nplain_total 3\n");
+}
+
+TEST(PrometheusRender, CountersAndGaugesCarryTypeHeaders) {
+  MetricsRegistry reg;
+  reg.counter("serve.http_requests").add(5);
+  reg.gauge("serve.queue_depth").set(2.0);
+  const std::string text = prometheus_text(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE serve_http_requests counter\n"), std::string::npos);
+  EXPECT_NE(text.find("serve_http_requests 5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE serve_queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("serve_queue_depth 2\n"), std::string::npos);
+}
+
+TEST(PrometheusRender, HistogramBucketsAreCumulative) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("lat", 0.0, 10.0, 5);  // edges 2,4,6,8,10
+  h.observe(1.0);
+  h.observe(1.5);
+  h.observe(5.0);
+  h.observe(9.9);
+  h.observe(50.0);  // clamps into the last bucket; sum keeps 50
+  const std::string text = prometheus_text(reg.snapshot());
+
+  EXPECT_NE(text.find("# TYPE lat histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"4\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"6\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"8\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"10\"} 5\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 5\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 5\n"), std::string::npos);
+  // The sum is over observed (pre-clamp) values.
+  EXPECT_NE(text.find("lat_sum 67.4"), std::string::npos);
+}
+
+TEST(PrometheusRender, EmptyHistogramStillExposesEveryBucket) {
+  MetricsRegistry reg;
+  reg.histogram("lat", 0.0, 4.0, 2);
+  const std::string text = prometheus_text(reg.snapshot());
+  EXPECT_NE(text.find("lat_bucket{le=\"2\"} 0\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"4\"} 0\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 0\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 0\n"), std::string::npos);
+}
+
+TEST(PrometheusRender, PlusInfAlwaysEqualsCount) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("serve.queue_wait_ms", 0.0, 60000.0, 120);
+  for (int i = 0; i < 1000; ++i) h.observe(static_cast<double>(i) * 77.0);
+  const std::string text = prometheus_text(reg.snapshot());
+  EXPECT_NE(text.find("serve_queue_wait_ms_bucket{le=\"+Inf\"} 1000\n"), std::string::npos);
+  EXPECT_NE(text.find("serve_queue_wait_ms_count 1000\n"), std::string::npos);
+}
+
+TEST(PrometheusRender, OutputIsDeterministicAndSortedByFamily) {
+  MetricsRegistry reg;
+  reg.counter("zeta").add(1);
+  reg.counter("alpha").add(2);
+  reg.gauge("mid").set(3.0);
+  reg.histogram("hist", 0.0, 2.0, 2).observe(1.0);
+
+  const auto snap = reg.snapshot();
+  const std::string once = prometheus_text(snap);
+  const std::string twice = prometheus_text(snap);
+  EXPECT_EQ(once, twice);
+  // Same registry state, fresh snapshot: still byte-identical.
+  EXPECT_EQ(prometheus_text(reg.snapshot()), once);
+
+  // Families appear in snapshot order (sorted by metric name).
+  const auto alpha = once.find("# TYPE alpha counter");
+  const auto hist = once.find("# TYPE hist histogram");
+  const auto mid = once.find("# TYPE mid gauge");
+  const auto zeta = once.find("# TYPE zeta counter");
+  ASSERT_NE(alpha, std::string::npos);
+  ASSERT_NE(hist, std::string::npos);
+  ASSERT_NE(mid, std::string::npos);
+  ASSERT_NE(zeta, std::string::npos);
+  EXPECT_LT(alpha, hist);
+  EXPECT_LT(hist, mid);
+  EXPECT_LT(mid, zeta);
+}
+
+TEST(PrometheusRender, EveryLineIsAHeaderOrASample) {
+  MetricsRegistry reg;
+  reg.counter("serve.http_requests").add(3);
+  reg.histogram("serve.http_request_us", 0.0, 100000.0, 100).observe(120.0);
+  for (const auto& line : lines_of(prometheus_text(reg.snapshot()))) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      EXPECT_EQ(line.rfind("# TYPE ", 0), 0u) << line;
+      continue;
+    }
+    // Sample lines: `name[{labels}] value` — value parses as a double.
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_NO_THROW((void)std::stod(line.substr(space + 1))) << line;
+  }
+}
+
+}  // namespace
+}  // namespace rh::telemetry

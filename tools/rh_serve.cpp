@@ -26,9 +26,16 @@
 //                            reason), /healthz reports degraded, the server
 //                            never crashes. For chaos testing with rh_fsck.
 //   --storage-fault-seed=N   storage-fault-plan seed (deterministic storms)
+//   --access-log=PATH        JSONL access log (default
+//                            <data-dir>/access-log.jsonl, appended across
+//                            restarts; CRC-framed torn-tail-safe lines)
+//   --flightrec-size=N       flight-recorder ring capacity (default 256)
 //
 // SIGTERM/SIGINT drain gracefully: in-flight shards finish and journal,
-// queued work is left for the next start, exit status 0.
+// queued work is left for the next start, exit status 0. SIGQUIT dumps the
+// flight recorder (recent admissions/steals/retries/storage errors) to
+// <data-dir>/flightrec-<ts>.jsonl and keeps serving — the live post-mortem
+// hook; GET /debugz/flightrec serves the same ring over HTTP.
 #include <csignal>
 #include <cstdint>
 #include <fstream>
@@ -41,8 +48,10 @@
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump = 0;
 
 void handle_signal(int) { g_stop = 1; }
+void handle_dump_signal(int) { g_dump = 1; }
 
 }  // namespace
 
@@ -72,6 +81,9 @@ int main(int argc, char** argv) {
     if (storage_fault_rate > 0.0) options.storage_plan.set_all_rates(storage_fault_rate);
     options.storage_plan.seed =
         static_cast<std::uint64_t>(args.get_int("storage-fault-seed", 0x5709A));
+    options.access_log = args.get("access-log", "");
+    options.flightrec_size =
+        static_cast<std::size_t>(args.get_positive_int("flightrec-size", 256));
     const double max_seconds = args.get_positive_double("max-seconds", 0.0);
     const std::string port_file = args.get("port-file", "");
     for (const auto& flag : args.unqueried_flags()) {
@@ -80,6 +92,7 @@ int main(int argc, char** argv) {
 
     std::signal(SIGTERM, handle_signal);
     std::signal(SIGINT, handle_signal);
+    std::signal(SIGQUIT, handle_dump_signal);  // dump the flight recorder, keep serving
     std::signal(SIGPIPE, SIG_IGN);  // a peer hanging up must not kill us
 
     serve::Server server(options);
@@ -94,6 +107,15 @@ int main(int argc, char** argv) {
 
     const auto start = std::chrono::steady_clock::now();
     server.serve([&] {
+      if (g_dump != 0) {
+        g_dump = 0;
+        const std::string path = server.dump_flightrec("sigquit");
+        if (path.empty()) {
+          std::cerr << "rh_serve: flight-recorder dump failed" << std::endl;
+        } else {
+          std::cout << "rh_serve: flight recorder dumped to " << path << std::endl;
+        }
+      }
       if (g_stop != 0) return true;
       if (max_seconds > 0.0) {
         const double elapsed =
