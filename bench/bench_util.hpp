@@ -35,6 +35,10 @@
 //                       results stay byte-identical, durability degrades
 //   --storage-fault-seed=N  storage-fault-plan seed
 //   --retry-attempts=N  per-host transport retry budget (RetryPolicy)
+//   --engine=fast|interp         program engine for every worker host
+//                                (default fast; results byte-identical)
+//   --engine-bug=NAME            plant a fast-path bug (differential-rig
+//                                sensitivity tests only; see common/engine.hpp)
 //   --metrics-stream=PATH        live rh-metrics-stream/v1 JSONL (fsync'd per
 //                                sample; follow with tools/rh_tail)
 //   --stream-cycle-cadence=N     device cycles between per-worker samples
@@ -52,6 +56,7 @@
 #include "bender/host.hpp"
 #include "campaign/campaign.hpp"
 #include "common/cli.hpp"
+#include "common/engine.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "fault/config.hpp"
@@ -244,6 +249,8 @@ inline campaign::CampaignConfig campaign_config(const common::CliArgs& args) {
                             static_cast<std::int64_t>(config.stream_cycle_cadence)));
   config.stream_wall_cadence_ms =
       args.get_positive_double("stream-wall-cadence-ms", config.stream_wall_cadence_ms);
+  config.engine = common::parse_engine_kind(args.get("engine", "fast"));
+  config.engine_bug = common::parse_planted_bug(args.get("engine-bug", "none"));
   if (config.resume && config.checkpoint_path.empty()) {
     throw common::ConfigError("--resume requires --checkpoint=PATH");
   }

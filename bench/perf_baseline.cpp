@@ -12,8 +12,8 @@
 // is context for reading a regression, not a gate.
 //
 // Flags: --seed, --stride (default 2048, the CI smoke sweep), --hammers,
-//        --tolerance, --jobs (default 2), --out=PATH (default
-//        BENCH_campaign.json).
+//        --tolerance, --jobs (default 2), --engine=fast|interp (default
+//        fast), --out=PATH (default BENCH_campaign.json).
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -44,11 +44,17 @@ int main(int argc, char** argv) {
 
     campaign::CampaignConfig run_config;
     run_config.jobs = static_cast<unsigned>(args.get_positive_int("jobs", 2));
+    run_config.engine = common::parse_engine_kind(args.get("engine", "fast"));
     benchutil::warn_unqueried(args);
 
     const campaign::SweepSpec spec =
         campaign::survey_sweep(benchutil::paper_device_config(seed), config);
-    telemetry::Telemetry sink;  // throughput needs the fleet's cmd.* counters
+    // Throughput needs the fleet's cmd.* counters; the per-command trace
+    // ring is pure overhead here (nothing exports it) and would tax the
+    // measurement, so keep it off.
+    telemetry::TelemetryConfig sink_config;
+    sink_config.trace_enabled = false;
+    telemetry::Telemetry sink(sink_config);
     campaign::Campaign campaign(run_config, &sink);
     const campaign::CampaignResult result = campaign.run(spec);
     const profiling::RunReport report =

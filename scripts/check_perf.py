@@ -11,6 +11,11 @@ drops more than --tolerance below the baseline. Improvements and small
 regressions print but pass. A missing baseline file passes with a note, so
 the check can land before the first baseline is committed and survives
 branches that predate it.
+
+--min KEY=VALUE adds an absolute floor on a tracked axis, independent of the
+committed baseline: the fast engine's >=5x speedup over the pre-engine
+baseline is pinned this way, so quietly re-baselining downward cannot erase
+it.
 """
 
 import argparse
@@ -38,15 +43,41 @@ def main():
     parser.add_argument("current", help="BENCH_campaign.json from this build")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional regression (default 0.25)")
+    parser.add_argument("--min", action="append", default=[], metavar="KEY=VALUE",
+                        dest="floors",
+                        help="absolute floor for a tracked axis (repeatable), "
+                             "e.g. --min commands_per_host_second=3.24e9; "
+                             "fails when the current run is below VALUE even "
+                             "if the committed baseline would allow it")
     args = parser.parse_args()
+
+    floors = {}
+    for spec in args.floors:
+        key, sep, value = spec.partition("=")
+        if not sep or key not in TRACKED:
+            sys.exit(f"check_perf: --min {spec!r}: expected KEY=VALUE with "
+                     f"KEY one of {TRACKED}")
+        floors[key] = float(value)
+
+    cur = load(args.current)
+
+    failed = False
+    for key, floor in sorted(floors.items()):
+        c = float(cur[key])
+        verdict = "OK" if c >= floor else "BELOW FLOOR"
+        if verdict != "OK":
+            failed = True
+        print(f"  {key}: {c:,.0f} vs absolute floor {floor:,.0f} {verdict}")
 
     if not os.path.exists(args.baseline):
         print(f"check_perf: no baseline at {args.baseline}; nothing to "
               "compare (run bench/perf_baseline and commit the output)")
+        if failed:
+            print("check_perf: FAIL — below an absolute --min floor")
+            return 1
         return 0
 
     base = load(args.baseline)
-    cur = load(args.current)
 
     if base.get("stride") != cur.get("stride") or base.get("jobs") != cur.get("jobs"):
         print(f"check_perf: note: configs differ "
@@ -54,7 +85,6 @@ def main():
               f"current stride={cur.get('stride')} jobs={cur.get('jobs')}); "
               "comparing anyway")
 
-    failed = False
     for key in TRACKED:
         b, c = float(base[key]), float(cur[key])
         if b <= 0:
@@ -73,8 +103,8 @@ def main():
             print(f"  {key}: {cur[key]} (baseline {base[key]})")
 
     if failed:
-        print(f"check_perf: FAIL — throughput dropped more than "
-              f"{args.tolerance:.0%} below baseline")
+        print(f"check_perf: FAIL — throughput below an absolute --min floor "
+              f"or more than {args.tolerance:.0%} under baseline")
         return 1
     print("check_perf: PASS")
     return 0

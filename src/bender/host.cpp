@@ -69,10 +69,29 @@ std::size_t program_upload_bytes(const Program& program) {
 BenderHost::BenderHost(hbm::DeviceConfig device_config, ThermalConfig thermal_config)
     : device_(std::make_unique<hbm::Device>(std::move(device_config))),
       executor_(*device_),
+      trace_engine_(*device_),
       thermal_(thermal_config) {
   // The rig starts at ambient; the device config's initial temperature is
   // honoured until the first set_chip_temperature call.
   thermal_.set_target(device_->temperature());
+  // The fast engine is the production default; set_engine(kInterp) restores
+  // the reference interpreter (the differential rig runs both).
+  device_->set_engine(engine_);
+}
+
+void BenderHost::set_engine(common::EngineKind kind, common::PlantedBug bug) {
+  engine_ = kind;
+  if (kind != common::EngineKind::kFast) bug = common::PlantedBug::kNone;
+  trace_engine_.set_planted_bug(bug);
+  device_->set_engine(kind, bug);
+}
+
+ExecutionResult BenderHost::execute_program(const Program& program, std::uint32_t channel,
+                                            std::uint32_t pseudo_channel) {
+  if (engine_ == common::EngineKind::kFast) {
+    return trace_engine_.run(program, channel, pseudo_channel, now_);
+  }
+  return executor_.run(program, channel, pseudo_channel, now_);
 }
 
 void BenderHost::set_fault_injector(resilience::FaultInjector* injector) {
@@ -200,7 +219,7 @@ ExecutionResult BenderHost::run(const Program& program, std::uint32_t channel,
     }
     std::uint64_t exec_span = 0;
     if (span_ctx_ != nullptr) exec_span = span_ctx_->open(telemetry::SpanKind::kExecute, now_);
-    ExecutionResult result = executor_.run(program, channel, pseudo_channel, now_);
+    ExecutionResult result = execute_program(program, channel, pseudo_channel);
     now_ = result.end_cycle;
     if (span_ctx_ != nullptr) span_ctx_->close(exec_span, now_);
     profile_.record(profiling::Phase::kExecute, result.cycles(),
@@ -248,7 +267,7 @@ ExecutionResult BenderHost::run(const Program& program, std::uint32_t channel,
 
     std::uint64_t exec_span = 0;
     if (span_ctx_ != nullptr) exec_span = span_ctx_->open(telemetry::SpanKind::kExecute, now_);
-    ExecutionResult result = executor_.run(program, channel, pseudo_channel, now_);
+    ExecutionResult result = execute_program(program, channel, pseudo_channel);
     now_ = result.end_cycle;
     if (span_ctx_ != nullptr) span_ctx_->close(exec_span, now_);
     profile_.record(profiling::Phase::kExecute, result.cycles(),

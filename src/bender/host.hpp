@@ -27,6 +27,7 @@
 #include "bender/executor.hpp"
 #include "bender/program.hpp"
 #include "bender/thermal.hpp"
+#include "bender/trace_engine.hpp"
 #include "bender/transport.hpp"
 #include "hbm/device.hpp"
 #include "profiling/profile.hpp"
@@ -69,6 +70,15 @@ public:
   /// common::TransportError once the budget is exhausted.
   ExecutionResult run(const Program& program, std::uint32_t channel,
                       std::uint32_t pseudo_channel);
+
+  /// Selects the program engine: kFast (default) runs programs through the
+  /// TraceEngine with the cached fault kernel; kInterp runs the reference
+  /// Executor with the reference fault scan. Both are bit-identical by
+  /// contract (see common/engine.hpp); `bug` deliberately breaks the fast
+  /// path for differential-rig sensitivity tests and is ignored for kInterp.
+  void set_engine(common::EngineKind kind,
+                  common::PlantedBug bug = common::PlantedBug::kNone);
+  [[nodiscard]] common::EngineKind engine() const { return engine_; }
 
   /// Advances the global clock without issuing commands (host-side delay;
   /// retention keeps accruing, exactly like real wall-clock waiting).
@@ -175,8 +185,14 @@ private:
   /// Charges one backoff wait (wall clock only) for retry `attempt` of `op`.
   void charge_backoff(std::uint64_t op, unsigned attempt);
 
+  /// Engine dispatch for one program run (both host run paths route here).
+  ExecutionResult execute_program(const Program& program, std::uint32_t channel,
+                                  std::uint32_t pseudo_channel);
+
   std::unique_ptr<hbm::Device> device_;
   Executor executor_;
+  TraceEngine trace_engine_;
+  common::EngineKind engine_ = common::EngineKind::kFast;
   ThermalRig thermal_;
   PcieLink link_;
   hbm::Cycle now_ = 0;

@@ -1,0 +1,105 @@
+// The fast program engine: pre-decoded traces + closed-form loop
+// fast-forwarding.
+//
+// TraceEngine runs the same Bender programs as Executor (the reference
+// interpreter) and must be bit-for-bit indistinguishable from it: same
+// ExecutionResult (readback bytes, clocks, instruction counts, metrics),
+// same device side effects in the same order, and same error strings with
+// the same attached context when a program faults. tests/engine_diff_test.cpp
+// and the verify::Property campaign identities enforce the contract.
+//
+// Where the speed comes from:
+//   - Pre-decode: one pass over the program computes every instruction's
+//     static cycle cost (all Bender costs are static per instruction) and
+//     flattens each fixed-cadence loop body into a list of timed device
+//     command records (offset-from-iteration-start, pc).
+//   - Loop fast-forward: a backward BLT whose body passes the static
+//     analysis below executes its remaining N iterations in closed form —
+//     registers advance by N times their per-iteration delta, the clock by
+//     N times the body's static duration, and only the *device* commands
+//     are replayed (at their exact per-iteration issue cycles), skipping
+//     the scalar/padding instructions entirely.
+//   - Idle skipping: like the interpreter, time between commands is a
+//     single addition (SLEEP is O(1)), never a tick loop.
+//
+// Fast-forward soundness: a body is eligible only when it is branch-free,
+// every register is written at most once (LDI, or ADDI with rd == rs1),
+// no device operand register is written inside the body, and the closing
+// BLT compares a single positive-step ADDI induction register against an
+// invariant bound. Under those rules every future iteration is identical
+// except for the induction value, so the iteration count
+// N = ceil((bound - induction) / step) is exact, and replaying the device
+// records at base + k*delta_t reproduces the stepped execution verbatim —
+// including mid-loop TimingError/ProgramError context and the
+// instruction-budget throw, which fall back to stepping so the error text
+// matches the interpreter byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bender/executor.hpp"
+#include "bender/program.hpp"
+#include "common/engine.hpp"
+#include "hbm/device.hpp"
+
+namespace rh::bender {
+
+class TraceEngine {
+public:
+  explicit TraceEngine(hbm::Device& device,
+                       common::PlantedBug bug = common::PlantedBug::kNone)
+      : device_(&device), bug_(bug) {}
+
+  /// Planted bug for differential-rig sensitivity tests (see
+  /// common/engine.hpp). Only kOffByOneFastForward lives here; the other
+  /// bugs are planted in the device layers via Device::set_engine.
+  void set_planted_bug(common::PlantedBug bug) { bug_ = bug; }
+
+  /// Drop-in replacement for Executor::run — identical contract, identical
+  /// observable behaviour, faster.
+  ExecutionResult run(const Program& program, std::uint32_t channel,
+                      std::uint32_t pseudo_channel, hbm::Cycle start,
+                      std::uint64_t instruction_budget = 100'000'000);
+
+private:
+  /// One device command inside a fast-forwardable loop body.
+  struct Record {
+    std::size_t pc = 0;      ///< instruction index in the program
+    hbm::Cycle offset = 0;   ///< issue cycle relative to iteration start
+  };
+
+  /// Closed-form register update applied per fast-forwarded iteration.
+  struct RegEffect {
+    std::uint8_t rd = 0;
+    bool is_ldi = false;     ///< LDI pins to imm; ADDI accumulates n * imm
+    std::int64_t imm = 0;
+  };
+
+  /// Static analysis of one backward BLT loop (stored only when eligible).
+  struct LoopInfo {
+    std::size_t target = 0;         ///< body start (branch target)
+    std::size_t blt_pc = 0;         ///< the closing BLT
+    std::uint64_t body_len = 0;     ///< instructions per iteration (incl. BLT)
+    hbm::Cycle delta_t = 0;         ///< cycles per iteration (incl. BLT)
+    std::uint8_t induction_reg = 0;
+    std::int64_t induction_step = 0;  ///< > 0
+    std::uint8_t bound_reg = 0;       ///< invariant inside the body
+    std::vector<Record> records;
+    std::vector<RegEffect> reg_effects;
+  };
+
+  struct Decoded {
+    std::vector<hbm::Cycle> cost;      ///< static cost per instruction
+    std::vector<std::int32_t> loop_at; ///< pc -> index into loops, or -1
+    std::vector<LoopInfo> loops;
+  };
+
+  [[nodiscard]] Decoded decode(const Program& program,
+                               const hbm::TimingParams& timings) const;
+
+  hbm::Device* device_;
+  common::PlantedBug bug_;
+};
+
+}  // namespace rh::bender

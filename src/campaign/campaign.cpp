@@ -267,6 +267,7 @@ CampaignResult Campaign::run(const SweepSpec& spec) {
       rig.injector = std::make_unique<resilience::FaultInjector>(std::move(plan));
       rig.host->set_fault_injector(rig.injector.get());
     }
+    rig.host->set_engine(config_.engine, config_.engine_bug);
     rig.host->set_retry_policy(config_.retry_policy);
     rig.characterizer = std::make_unique<core::Characterizer>(
         *rig.host, core::RowMap::from_device(rig.host->device()), spec.characterizer);

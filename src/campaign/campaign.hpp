@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "bender/host.hpp"
+#include "common/engine.hpp"
 #include "common/error.hpp"
 #include "core/shard.hpp"
 #include "core/spatial.hpp"
@@ -103,6 +104,14 @@ struct CampaignConfig {
   /// Wall milliseconds between campaign-aggregate samples (the monitor
   /// thread's cadence; not deterministic).
   double stream_wall_cadence_ms = 200.0;
+  /// Program engine for every worker host (see common/engine.hpp). Both
+  /// engines produce byte-identical results, journals, and metrics streams
+  /// at the same seed, so the choice is *not* part of the sweep fingerprint
+  /// — a checkpoint written by one engine resumes under the other.
+  common::EngineKind engine = common::EngineKind::kFast;
+  /// Planted fast-path bug for differential-rig sensitivity tests
+  /// (kNone in production; ignored when engine == kInterp).
+  common::PlantedBug engine_bug = common::PlantedBug::kNone;
 };
 
 /// Everything that defines the physics of one sweep: the device (fault seed

@@ -1,7 +1,10 @@
 #include "fault/rowhammer_model.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
+#include <unordered_map>
+#include <vector>
 
 #include "common/assert.hpp"
 #include "fault/cell_traits.hpp"
@@ -30,6 +33,100 @@ struct RowHashBase {
 
 }  // namespace
 
+/// Fast-kernel memo: every cell's threshold z and orientation are pure
+/// functions of (seed, flat bank, physical row, bit), so a row that settles
+/// repeatedly (every probe of a hammer bisection re-senses the same victim)
+/// can skip the 8192-bit rescan. Per row we keep only the *weak tail* —
+/// cells with z <= kTierZ, the only ones a batch taking the cached path can
+/// flip — in natural bit order with threshold and orientation per slot.
+/// apply() walks the tail filtering on the batch's most permissive
+/// threshold: bit order already matches the reference scan, so no sorting
+/// happens anywhere, at build time or per batch. A batch whose threshold
+/// exceeds kTierZ (extreme disturbance; absent from every bench workload)
+/// takes the reference scan instead, so the cache never needs the strong
+/// cells at all. Entries are evicted least-recently-used.
+class RowFaultCache {
+public:
+  /// Weak-tail cut. A cached batch satisfies z_cap <= kTierZ, so every
+  /// flippable cell (z <= z_cap) is in the tail; batches above the tier
+  /// fall back to the reference scan. P(z <= -1) ~ 16% under the
+  /// Irwin-Hall(4) normal, so the tail carries ~1/6 of the row's bits.
+  static constexpr double kTierZ = -1.0;
+
+  struct Entry {
+    std::vector<std::uint16_t> tail_bit;  ///< weak-tail bit indices, ascending
+    std::vector<double> tail_z;           ///< threshold z per tail slot
+    std::vector<std::uint8_t> tail_anti;  ///< orientation per tail slot
+    /// Weakest cell in the row; a batch with z_cap below it flips nothing.
+    double z_min = 0.0;
+    std::uint64_t last_use = 0;
+  };
+
+  const Entry& get(const FaultConfig& cfg, const hbm::Geometry& geometry, const BankContext& b,
+                   std::uint32_t physical_row) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(b.flat_bank) << 32) | physical_row;
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      if (entries_.size() >= kMaxEntries) evict_lru();
+      it = entries_.emplace(key, build(cfg, geometry, b, physical_row)).first;
+    }
+    it->second.last_use = ++tick_;
+    return it->second;
+  }
+
+private:
+  /// Weak-tail entries are ~15 KiB; 512 of them cover several shards'
+  /// working sets (victims, aggressors, blast-radius neighbours) without
+  /// LRU thrash — a fig4-style shard set touches ~140 distinct rows.
+  static constexpr std::size_t kMaxEntries = 512;
+
+  static Entry build(const FaultConfig& cfg, const hbm::Geometry& geometry, const BankContext& b,
+                     std::uint32_t physical_row) {
+    const RowHashBase z_hash(cfg.seed, Stream::kRowHammerZ, b, physical_row);
+    const RowHashBase orient_hash(cfg.seed, Stream::kOrientation, b, physical_row);
+    const auto bits = static_cast<std::uint32_t>(geometry.row_bytes() * 8);
+    Entry e;
+    e.z_min = 1e300;
+    e.tail_bit.reserve(bits / 4);
+    e.tail_z.reserve(bits / 4);
+    e.tail_anti.reserve(bits / 4);
+    // One pass in bit order; the orientation hash runs only for tail bits.
+    for (std::uint32_t bit = 0; bit < bits; ++bit) {
+      const double z = common::approx_normal(z_hash.at(bit));
+      e.z_min = std::min(e.z_min, z);
+      if (z <= kTierZ) {
+        e.tail_bit.push_back(static_cast<std::uint16_t>(bit));
+        e.tail_z.push_back(z);
+        e.tail_anti.push_back(
+            common::to_unit_double(orient_hash.at(bit)) < cfg.anti_cell_fraction ? 1 : 0);
+      }
+    }
+    return e;
+  }
+
+  void evict_lru() {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    }
+    entries_.erase(victim);
+  }
+
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::uint64_t tick_ = 0;
+};
+
+RowHammerModel::~RowHammerModel() = default;
+
+void RowHammerModel::set_fast_kernel(bool enabled) {
+  if (enabled && cache_ == nullptr) {
+    cache_ = std::make_unique<RowFaultCache>();
+  } else if (!enabled) {
+    cache_.reset();
+  }
+}
+
 RowHammerModel::RowHammerModel(const FaultConfig& cfg, const hbm::Geometry& geometry,
                                const hbm::SubarrayLayout& layout,
                                const ProcessVariation& variation)
@@ -37,6 +134,25 @@ RowHammerModel::RowHammerModel(const FaultConfig& cfg, const hbm::Geometry& geom
   RH_EXPECTS(cfg_.hc0 > 0 && cfg_.sigma_cell > 0);
   RH_EXPECTS(layout_.total_rows() == geometry_.rows_per_bank);
   ln_hc0_ = std::log(cfg_.hc0);
+
+  // Coupling depends only on config, so its logarithm is hoisted here;
+  // apply() adds it to ln(disturbance * vulnerability) per threshold class.
+  for (int charged = 0; charged < 2; ++charged) {
+    for (int k = 0; k < 3; ++k) {
+      for (int intra = 0; intra < 2; ++intra) {
+        for (int anti = 0; anti < 2; ++anti) {
+          double coupling = charged != 0
+                                ? cfg_.coupling_base + k * cfg_.coupling_opposite_aggressor
+                                : cfg_.coupling_discharged;
+          if (intra != 0) coupling *= cfg_.intra_row_opposite_factor;
+          if (anti != 0) coupling *= cfg_.anti_cell_relative;
+          ln_coupling_[static_cast<std::size_t>(charged)][static_cast<std::size_t>(k)]
+                      [static_cast<std::size_t>(intra)][static_cast<std::size_t>(anti)] =
+                          std::log(coupling);
+        }
+      }
+    }
+  }
 
   // Conservative bound: the most vulnerable cell anywhere has z = kZMin,
   // max coupling, max position factor, and max process factor. Disturbance
@@ -81,20 +197,21 @@ std::size_t RowHammerModel::apply(const BankContext& b, std::uint32_t physical_r
 
   // z-threshold lookup, indexed by [charged][opposite-aggressor count k]
   // [intra-row damped][anti cell]. A bit flips iff z(bit) <= table[...].
-  // Precomputing the table keeps all logarithms off the per-bit path.
+  // The per-class log(coupling) is precomputed at construction, so the
+  // per-bit path — and this per-batch build — sees no logarithms beyond
+  // ln_d above.
   std::array<std::array<std::array<std::array<double, 2>, 2>, 3>, 2> z_table{};
   for (int charged = 0; charged < 2; ++charged) {
     for (int k = 0; k < 3; ++k) {
       for (int intra = 0; intra < 2; ++intra) {
         for (int anti = 0; anti < 2; ++anti) {
-          double coupling = charged != 0
-                                ? cfg_.coupling_base + k * cfg_.coupling_opposite_aggressor
-                                : cfg_.coupling_discharged;
-          if (intra != 0) coupling *= cfg_.intra_row_opposite_factor;
-          if (anti != 0) coupling *= cfg_.anti_cell_relative;
           z_table[static_cast<std::size_t>(charged)][static_cast<std::size_t>(k)]
                  [static_cast<std::size_t>(intra)][static_cast<std::size_t>(anti)] =
-                     (ln_d + std::log(coupling) - ln_hc0_) / cfg_.sigma_cell;
+                     (ln_d +
+                      ln_coupling_[static_cast<std::size_t>(charged)][static_cast<std::size_t>(k)]
+                                  [static_cast<std::size_t>(intra)][static_cast<std::size_t>(anti)] -
+                      ln_hc0_) /
+                     cfg_.sigma_cell;
         }
       }
     }
@@ -103,11 +220,86 @@ std::size_t RowHammerModel::apply(const BankContext& b, std::uint32_t physical_r
   // cell's z -> nothing flips.
   if (z_table[1][2][0][0] < kZMin) return 0;
 
+  const std::size_t n = data.size();
+  std::size_t flips = 0;
+
+  // Decides bit j of byte i exactly as the reference scan: the byte's value
+  // pre-flip, aggressor bits from above/below, same-row neighbours with the
+  // cross-byte edges (prev byte post-flip, next byte pre-flip), orientation
+  // from `anti`. Returns true when the bit flips.
+  const auto bit_flips = [&](std::size_t i, std::uint32_t j, std::uint8_t v, std::uint8_t up,
+                             std::uint8_t dn, std::uint8_t prev_edge, std::uint8_t next_edge,
+                             int anti, double z) {
+    const int vb = (v >> j) & 1;
+    const int k = (((up >> j) & 1) != vb ? 1 : 0) + (((dn >> j) & 1) != vb ? 1 : 0);
+    const int left = j > 0 ? ((v >> (j - 1)) & 1) : (prev_edge == 0xff ? vb : prev_edge);
+    const int right = j < 7 ? ((v >> (j + 1)) & 1) : (next_edge == 0xff ? vb : next_edge);
+    const int intra = (left != vb && right != vb) ? 1 : 0;
+    const int charged = (vb == (anti != 0 ? 0 : 1)) ? 1 : 0;
+    const double zmax = z_table[static_cast<std::size_t>(charged)][static_cast<std::size_t>(k)]
+                               [static_cast<std::size_t>(intra)][static_cast<std::size_t>(anti)];
+    (void)i;
+    return zmax >= kZMin && z <= zmax;
+  };
+
+  if (cache_ != nullptr) {
+    double z_cap = kZMin;
+    for (int charged = 0; charged < 2; ++charged) {
+      for (int k = 0; k < 3; ++k) {
+        for (int intra = 0; intra < 2; ++intra) {
+          for (int anti = 0; anti < 2; ++anti) {
+            z_cap = std::max(z_cap, z_table[static_cast<std::size_t>(charged)]
+                                           [static_cast<std::size_t>(k)]
+                                           [static_cast<std::size_t>(intra)]
+                                           [static_cast<std::size_t>(anti)]);
+          }
+        }
+      }
+    }
+    if (z_cap <= RowFaultCache::kTierZ) {
+      // Fast kernel: only bits whose cached z clears the batch's most
+      // permissive threshold class can flip; everything else is untouched,
+      // so skipping it leaves bytes — and the cross-byte edges later bytes
+      // read — exactly as the reference scan would. z_cap is within the
+      // cached tier, so the weak tail holds every candidate, and it is
+      // already in the reference scan's bit order.
+      const RowFaultCache::Entry& entry = cache_->get(cfg_, geometry_, b, physical_row);
+      if (z_cap < entry.z_min) return 0;
+      const std::size_t m = entry.tail_bit.size();
+      for (std::size_t s = 0; s < m;) {
+        if (entry.tail_z[s] > z_cap) {
+          ++s;
+          continue;
+        }
+        const std::size_t i = static_cast<std::size_t>(entry.tail_bit[s]) >> 3;
+        const std::uint8_t v = data[i];
+        const std::uint8_t up = above.empty() ? v : above[i];
+        const std::uint8_t dn = below.empty() ? v : below[i];
+        const std::uint8_t prev_edge =
+            i > 0 ? static_cast<std::uint8_t>((data[i - 1] >> 7) & 1u) : std::uint8_t{0xff};
+        const std::uint8_t next_edge =
+            i + 1 < n ? static_cast<std::uint8_t>(data[i + 1] & 1u) : std::uint8_t{0xff};
+        std::uint8_t flipped = 0;
+        for (; s < m && (static_cast<std::size_t>(entry.tail_bit[s]) >> 3) == i; ++s) {
+          if (entry.tail_z[s] > z_cap) continue;
+          const std::uint32_t j = entry.tail_bit[s] & 7u;
+          if (bit_flips(i, j, v, up, dn, prev_edge, next_edge, entry.tail_anti[s],
+                        entry.tail_z[s])) {
+            flipped |= static_cast<std::uint8_t>(1u << j);
+            ++flips;
+          }
+        }
+        data[i] ^= flipped;
+      }
+      return flips;
+    }
+    // The batch's threshold class reaches above the cached tier: strong
+    // cells could flip too, so take the reference scan below.
+  }
+
   const RowHashBase z_hash(cfg_.seed, Stream::kRowHammerZ, b, physical_row);
   const RowHashBase orient_hash(cfg_.seed, Stream::kOrientation, b, physical_row);
 
-  std::size_t flips = 0;
-  const std::size_t n = data.size();
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint8_t v = data[i];
     const std::uint8_t up = above.empty() ? v : above[i];

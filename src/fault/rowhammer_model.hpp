@@ -26,7 +26,9 @@
 // more disturbance never flips it back.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <span>
 
 #include "fault/config.hpp"
@@ -37,10 +39,13 @@
 
 namespace rh::fault {
 
+class RowFaultCache;
+
 class RowHammerModel {
 public:
   RowHammerModel(const FaultConfig& cfg, const hbm::Geometry& geometry,
                  const hbm::SubarrayLayout& layout, const ProcessVariation& variation);
+  ~RowHammerModel();
 
   /// Combined multiplicative vulnerability of (bank, physical row) at the
   /// given temperature: position x last-subarray x process factors.
@@ -64,6 +69,16 @@ public:
   /// Temperature multiplier on vulnerability (mild; ablation A2).
   [[nodiscard]] double temperature_factor(double temperature_c) const;
 
+  /// Selects the fast kernel: per-(bank,row) cell thresholds (z, orientation)
+  /// are hashed once, sorted by threshold, and cached, so apply() evaluates
+  /// only the candidate bits whose z can possibly clear the batch's weakest
+  /// threshold class instead of rescanning all 8192 bits. Bit-for-bit
+  /// identical to the reference scan (the thresholds are the same hashes;
+  /// candidate selection is a conservative superset). Off by default — the
+  /// interp engine keeps the reference scan as ground truth.
+  void set_fast_kernel(bool enabled);
+  [[nodiscard]] bool fast_kernel() const { return cache_ != nullptr; }
+
   [[nodiscard]] const FaultConfig& config() const { return cfg_; }
   [[nodiscard]] const hbm::SubarrayLayout& layout() const { return layout_; }
 
@@ -74,6 +89,13 @@ private:
   const ProcessVariation* variation_;  // non-owning; outlives the model
   double ln_hc0_ = 0.0;
   double global_min_disturbance_ = 0.0;
+  /// log(coupling) per [charged][opposite-aggressor count][intra][anti]
+  /// threshold class. Pure config; hoisted out of apply() so the per-batch
+  /// z-table build is 24 adds instead of 24 logarithms.
+  std::array<std::array<std::array<std::array<double, 2>, 2>, 3>, 2> ln_coupling_{};
+  /// Present iff the fast kernel is selected. mutable: the cache memoizes
+  /// pure per-cell hashes, so filling it does not change observable state.
+  mutable std::unique_ptr<RowFaultCache> cache_;
 };
 
 }  // namespace rh::fault

@@ -91,14 +91,14 @@ void Bank::note_full_refresh(Cycle now, Cycle refresh_start, double temperature_
   // decay accrues only until then; accumulated RowHammer disturbance is
   // sensed and locked in by the first sweep.
   const Cycle decayed_until = std::min(now, refresh_start + timings_.refresh_window);
+  const std::vector<std::uint32_t> live = disturbance_.live_rows();
   std::vector<std::uint32_t> pending;
-  pending.reserve(rows_.size() + disturbance_.size());
+  pending.reserve(rows_.size() + live.size());
   for (const auto& [row, state] : rows_) {
     (void)state;
     pending.push_back(row);
   }
-  for (const auto& [row, d] : disturbance_) {
-    (void)d;
+  for (const std::uint32_t row : live) {
     if (rows_.find(row) == rows_.end()) pending.push_back(row);
   }
   for (const std::uint32_t row : pending) settle_impl(row, now, decayed_until, temperature_c);
@@ -123,8 +123,10 @@ void Bank::hammer_pair(std::uint32_t logical_row_a, std::uint32_t logical_row_b,
   if (pb != pa) add_act_disturbance(pb, scale);
   // ...and its *last* ACT restores it again, clearing whatever disturbance
   // the opposite aggressor deposited during the batch.
-  disturbance_.erase(pa);
-  disturbance_.erase(pb);
+  if (!stale_flush_bug_) {
+    disturbance_.erase(pa);
+    disturbance_.erase(pb);
+  }
   last_refresh_[pa] = end;
   last_refresh_[pb] = end;
   stats_.activates += 2 * count;
@@ -137,14 +139,13 @@ void Bank::hammer_single(std::uint32_t logical_row, std::uint64_t count, Cycle o
   const std::uint32_t p = scrambler_->logical_to_physical(logical_row);
   settle(p, end, temperature_c);
   add_act_disturbance(p, static_cast<double>(count) * press_factor(on_time));
-  disturbance_.erase(p);
+  if (!stale_flush_bug_) disturbance_.erase(p);
   last_refresh_[p] = end;
   stats_.activates += count;
 }
 
 double Bank::disturbance_of_physical(std::uint32_t physical_row) const {
-  const auto it = disturbance_.find(physical_row);
-  return it == disturbance_.end() ? 0.0 : it->second;
+  return disturbance_.get(physical_row);
 }
 
 bool Bank::row_materialized_physical(std::uint32_t physical_row) const {
@@ -152,6 +153,7 @@ bool Bank::row_materialized_physical(std::uint32_t physical_row) const {
 }
 
 Bank::RowState& Bank::ensure_materialized(std::uint32_t physical_row) {
+  if (memo_state_ != nullptr && memo_row_ == physical_row) return *memo_state_;
   auto it = rows_.find(physical_row);
   if (it == rows_.end()) {
     RowState rs;
@@ -160,6 +162,8 @@ Bank::RowState& Bank::ensure_materialized(std::uint32_t physical_row) {
     rs.written = rs.raw;
     it = rows_.emplace(physical_row, std::move(rs)).first;
   }
+  memo_row_ = physical_row;
+  memo_state_ = &it->second;
   return it->second;
 }
 
@@ -187,8 +191,7 @@ void Bank::settle_impl(std::uint32_t physical_row, Cycle now, Cycle decayed_unti
   const Cycle since = decayed_until > last ? decayed_until - last : 0;
   const double elapsed_s = static_cast<double>(since) *
                            static_cast<double>(kCyclePicoseconds) * 1e-12;
-  const auto dit = disturbance_.find(physical_row);
-  const double disturbance = dit == disturbance_.end() ? 0.0 : dit->second;
+  const double disturbance = disturbance_.get(physical_row);
 
   const bool need_retention =
       elapsed_s >= retention_model_->global_min_retention_s(temperature_c);
@@ -224,7 +227,7 @@ void Bank::settle_impl(std::uint32_t physical_row, Cycle now, Cycle decayed_unti
                             static_cast<std::uint32_t>(retention_flipped), disturbance));
     }
   }
-  if (dit != disturbance_.end()) disturbance_.erase(dit);
+  disturbance_.erase(physical_row);
   last_refresh_[physical_row] = now;
 }
 
@@ -236,7 +239,7 @@ void Bank::add_act_disturbance(std::uint32_t aggressor, double scale) {
     if (victim < 0 || victim >= rows) return;
     const auto v = static_cast<std::uint32_t>(victim);
     if (layout.crosses_boundary(aggressor, v)) return;
-    disturbance_[v] += weight * scale;
+    disturbance_.add(v, weight * scale, geometry_->rows_per_bank);
   };
   const auto a = static_cast<std::int64_t>(aggressor);
   add(a - 1, cfg.distance1_weight);

@@ -101,10 +101,73 @@ public:
   /// Device::set_telemetry; nullptr detaches).
   void set_telemetry(telemetry::Telemetry* sink) { telemetry_ = sink; }
 
+  /// Planted bug (differential-rig sensitivity tests only): the batch
+  /// hammer macro-ops skip the final own-ACT re-settle of the aggressors,
+  /// leaving stale disturbance behind. Wired through Device::set_engine.
+  void set_stale_flush_bug(bool enabled) { stale_flush_bug_ = enabled; }
+
 private:
   struct RowState {
     std::vector<std::uint8_t> raw;
     std::vector<std::uint8_t> written;
+  };
+
+  /// Per-row disturbance accumulator, structure-of-arrays: a dense value
+  /// lane plus a liveness lane, allocated lazily on the first deposit (most
+  /// banks in a device never see an ACT). The touched list remembers every
+  /// row whose entry went live since the last full refresh so clearing and
+  /// sweeping cost O(touched), not O(rows); erased rows stay in the list
+  /// and are skipped via the liveness lane.
+  class DisturbanceMap {
+  public:
+    void add(std::uint32_t row, double weight, std::size_t rows) {
+      if (value_.empty()) {
+        value_.assign(rows, 0.0);
+        live_.assign(rows, 0);
+        tracked_.assign(rows, 0);
+      }
+      if (tracked_[row] == 0) {
+        tracked_[row] = 1;
+        touched_.push_back(row);
+      }
+      if (live_[row] == 0) {
+        live_[row] = 1;
+        value_[row] = 0.0;
+      }
+      value_[row] += weight;
+    }
+    [[nodiscard]] double get(std::uint32_t row) const {
+      return value_.empty() || live_[row] == 0 ? 0.0 : value_[row];
+    }
+    [[nodiscard]] bool contains(std::uint32_t row) const {
+      return !value_.empty() && live_[row] != 0;
+    }
+    void erase(std::uint32_t row) {
+      if (!value_.empty()) live_[row] = 0;
+    }
+    void clear() {
+      for (const std::uint32_t row : touched_) {
+        live_[row] = 0;
+        tracked_[row] = 0;
+      }
+      touched_.clear();
+    }
+    /// Rows with a live entry, in first-deposit order (the canonical sweep
+    /// order full-refresh settling uses). Each live row appears once.
+    [[nodiscard]] std::vector<std::uint32_t> live_rows() const {
+      std::vector<std::uint32_t> rows;
+      rows.reserve(touched_.size());
+      for (const std::uint32_t row : touched_) {
+        if (live_[row] != 0) rows.push_back(row);
+      }
+      return rows;
+    }
+
+  private:
+    std::vector<double> value_;
+    std::vector<std::uint8_t> live_;     ///< row currently holds disturbance
+    std::vector<std::uint8_t> tracked_;  ///< row is already on the touched list
+    std::vector<std::uint32_t> touched_;
   };
 
   /// Sense + restore: materializes pending retention/RowHammer effects into
@@ -140,8 +203,14 @@ private:
   Cycle act_cycle_ = 0;
 
   std::unordered_map<std::uint32_t, RowState> rows_;
-  std::unordered_map<std::uint32_t, double> disturbance_;
+  /// One-entry memo for ensure_materialized: consecutive column accesses hit
+  /// the same open row, and rows_ never erases, so node references stay
+  /// valid for the bank's lifetime.
+  RowState* memo_state_ = nullptr;
+  std::uint32_t memo_row_ = 0;
+  DisturbanceMap disturbance_;
   std::unordered_map<std::uint32_t, Cycle> last_refresh_;
+  bool stale_flush_bug_ = false;
   /// Refresh timestamp for rows with no explicit last_refresh_ entry
   /// (power-up = 0; advanced by full-refresh events like self-refresh).
   Cycle epoch_ = 0;

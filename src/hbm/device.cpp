@@ -41,6 +41,24 @@ Device::Device(DeviceConfig config)
   }
 }
 
+void Device::set_engine(common::EngineKind kind, common::PlantedBug bug) {
+  engine_ = kind;
+  const bool fast = kind == common::EngineKind::kFast;
+  rh_model_->set_fast_kernel(fast);
+  // Planted bugs deliberately break the fast path only: the interp engine
+  // stays ground truth so the differential rig can convict the fast one.
+  const bool skip_trr = fast && bug == common::PlantedBug::kSkipTrrSample;
+  const bool stale_flush = fast && bug == common::PlantedBug::kStaleDisturbanceFlush;
+  for (auto& channel : channels_) {
+    for (auto& pc : channel.pseudo_channels) {
+      pc.set_skip_trr_sample_bug(skip_trr);
+      for (std::uint32_t b = 0; b < pc.bank_count(); ++b) {
+        pc.bank(b).set_stale_flush_bug(stale_flush);
+      }
+    }
+  }
+}
+
 void Device::set_telemetry(telemetry::Telemetry* sink) {
   telemetry_ = sink;
   for (auto& channel : channels_) {

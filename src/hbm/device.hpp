@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "common/engine.hpp"
 #include "fault/config.hpp"
 #include "fault/process_variation.hpp"
 #include "fault/retention_model.hpp"
@@ -87,6 +88,16 @@ public:
   void set_temperature(double celsius) { temperature_c_ = celsius; }
   [[nodiscard]] double temperature() const { return temperature_c_; }
 
+  // --- Engine selection ---------------------------------------------------
+  /// Selects between the reference device core (kInterp: per-bit fault
+  /// rescans) and the fast one (kFast: cached sorted-threshold fault kernel).
+  /// Both are bit-identical by contract; `bug` deliberately breaks the fast
+  /// path for differential-rig sensitivity tests and is only honoured when
+  /// `kind == kFast`.
+  void set_engine(common::EngineKind kind,
+                  common::PlantedBug bug = common::PlantedBug::kNone);
+  [[nodiscard]] common::EngineKind engine() const { return engine_; }
+
   // --- Observability ------------------------------------------------------
   /// Attaches (or detaches, with nullptr) a telemetry sink observing the
   /// full stack: interface commands here, TRR triggers and refresh-pointer
@@ -126,6 +137,7 @@ private:
   std::vector<Channel> channels_;
   double temperature_c_ = 85.0;
   telemetry::Telemetry* telemetry_ = nullptr;
+  common::EngineKind engine_ = common::EngineKind::kInterp;
 };
 
 }  // namespace rh::hbm

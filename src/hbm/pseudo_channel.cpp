@@ -137,7 +137,7 @@ void PseudoChannel::hammer_pair(std::uint32_t bank_idx, std::uint32_t row_a, std
   check_not_self_refreshing();
   bank(bank_idx).hammer_pair(row_a, row_b, count, on_time, end, temperature_c);
   proprietary_trr_.observe_activate(bank_idx, row_a);
-  proprietary_trr_.observe_activate(bank_idx, row_b);
+  if (!skip_trr_sample_bug_) proprietary_trr_.observe_activate(bank_idx, row_b);
   documented_trr_.observe_activate(bank_idx, row_a);
   documented_trr_.observe_activate(bank_idx, row_b);
 }

@@ -76,9 +76,15 @@ public:
 
   /// Documented JEDEC TRR mode control (driven by device MRS writes).
   trr::DocumentedTrrMode& documented_trr() { return documented_trr_; }
+  [[nodiscard]] const trr::DocumentedTrrMode& documented_trr() const { return documented_trr_; }
   /// Proprietary mitigation introspection (tests only; the host-visible
   /// interface never exposes this).
   [[nodiscard]] const trr::ProprietaryTrr& proprietary_trr() const { return proprietary_trr_; }
+
+  /// Planted bug (differential-rig sensitivity tests only): the batched
+  /// hammer macro-op skips the proprietary sampler's observation of the
+  /// second aggressor row. Wired through Device::set_engine.
+  void set_skip_trr_sample_bug(bool enabled) { skip_trr_sample_bug_ = enabled; }
 
 private:
   /// Refreshes the physical neighbourhood of a logical aggressor row.
@@ -102,6 +108,7 @@ private:
   std::uint32_t rows_per_ref_ = 1;
   bool self_refresh_ = false;
   Cycle self_refresh_entry_ = 0;
+  bool skip_trr_sample_bug_ = false;
 };
 
 }  // namespace rh::hbm

@@ -105,15 +105,20 @@ std::uint64_t RunReport::commands() const {
 }
 
 std::uint64_t RunReport::device_cycles() const {
-  const std::uint64_t campaign_level =
-      profile.stat(Phase::kShardRun).device_cycles + profile.stat(Phase::kRigBuild).device_cycles;
-  if (campaign_level > 0) return campaign_level;
-  return profile.stat(Phase::kExecute).device_cycles + profile.stat(Phase::kThermal).device_cycles;
+  const std::uint64_t shard_run = profile.stat(Phase::kShardRun).device_cycles;
+  return shard_run > 0 ? shard_run : profile.stat(Phase::kExecute).device_cycles;
+}
+
+std::uint64_t RunReport::bringup_device_cycles() const {
+  const std::uint64_t rig_build = profile.stat(Phase::kRigBuild).device_cycles;
+  return rig_build > 0 ? rig_build : profile.stat(Phase::kThermal).device_cycles;
 }
 
 std::uint64_t RunReport::deterministic_device_cycles() const {
-  const std::uint64_t shard_run = profile.stat(Phase::kShardRun).device_cycles;
-  return shard_run > 0 ? shard_run : profile.stat(Phase::kExecute).device_cycles;
+  // Measurement cycles are already the deterministic projection: bring-up
+  // was split out of device_cycles() precisely because it scales with the
+  // number of rigs built, not with the sweep.
+  return device_cycles();
 }
 
 double RunReport::commands_per_host_second() const {
@@ -134,7 +139,13 @@ double RunReport::worker_utilization() const {
 
 void write_report_json(std::ostream& os, const RunReport& report, bool include_wall) {
   // Keys at every level are emitted in sorted order: byte-stable diffs.
-  os << "{\"campaign\":\"" << telemetry::json_escape(report.campaign) << '"';
+  os << '{';
+  if (include_wall) {
+    // Bring-up scales with rigs built (jobs, retries), so the
+    // deterministic projection drops it along with the other wall keys.
+    os << "\"bringup_device_cycles\":" << report.bringup_device_cycles() << ',';
+  }
+  os << "\"campaign\":\"" << telemetry::json_escape(report.campaign) << '"';
   os << ",\"commands\":" << report.commands();
   if (include_wall) {
     os << ",\"commands_per_host_second\":" << json_number(report.commands_per_host_second());
@@ -213,6 +224,7 @@ void write_report_json(std::ostream& os, const RunReport& report, bool include_w
 void write_perf_baseline_json(std::ostream& os, const RunReport& report, std::uint32_t stride) {
   // Keys sorted; schema tagged so check_perf.py can refuse foreign files.
   os << "{\"bench\":\"campaign_fig4\"";
+  os << ",\"bringup_device_cycles\":" << report.bringup_device_cycles();
   os << ",\"commands\":" << report.commands();
   os << ",\"commands_per_host_second\":" << json_number(report.commands_per_host_second());
   os << ",\"device_cycles\":" << report.device_cycles();

@@ -63,6 +63,11 @@ public:
 
   [[nodiscard]] const ProprietaryTrrConfig& config() const { return cfg_; }
 
+  // --- Introspection (differential engine tests only) --------------------
+  [[nodiscard]] std::uint64_t ref_count() const { return ref_count_; }
+  [[nodiscard]] bool sample_valid() const { return sample_valid_; }
+  [[nodiscard]] const TrrAction& sample() const { return sample_; }
+
 private:
   ProprietaryTrrConfig cfg_;
   common::Xoshiro256 rng_;

@@ -319,6 +319,50 @@ TEST(CampaignProfilingTest, FleetProfileCoversHostAndCampaignPhases) {
             profile.stat(Phase::kExecute).device_cycles);
 }
 
+TEST(CampaignProfilingTest, ThroughputAxisExcludesRigBringUp) {
+  SweepSpec spec = quick_sweep();
+  spec.settle_thermal = true;  // nonzero bring-up: each rig settles its PID loop
+  campaign::Campaign campaign(quiet_config(2));
+  const campaign::CampaignResult result = campaign.run(spec);
+  const profiling::RunReport report =
+      campaign::build_report("quick", spec, campaign, result, nullptr);
+  const Profile& profile = campaign.profile();
+
+  const std::uint64_t shard_run = profile.stat(Phase::kShardRun).device_cycles;
+  const std::uint64_t rig_build = profile.stat(Phase::kRigBuild).device_cycles;
+  ASSERT_GT(shard_run, 0u);
+  ASSERT_GT(rig_build, 0u);
+
+  // The gated throughput numerator is measurement only; bring-up reports
+  // separately. Folding the simulated PID settle into the axis once
+  // inflated device_cycles_per_host_second several-fold.
+  EXPECT_EQ(report.device_cycles(), shard_run);
+  EXPECT_EQ(report.bringup_device_cycles(), rig_build);
+  EXPECT_EQ(report.deterministic_device_cycles(), report.device_cycles());
+
+  // Bring-up is dominated by the thermal settle it pays for.
+  EXPECT_GE(rig_build, profile.stat(Phase::kThermal).device_cycles);
+
+  // Per-shard timings partition the measurement phase exactly — a cycle
+  // counted in a timing is never also charged to rig_build.
+  std::uint64_t timing_total = 0;
+  for (const auto& t : result.timings) timing_total += t.device_cycles;
+  EXPECT_EQ(timing_total, shard_run);
+
+  // Both JSON documents carry the split.
+  std::ostringstream perf_os;
+  profiling::write_perf_baseline_json(perf_os, report, 512);
+  const campaign::JsonValue perf_doc = campaign::parse_json(perf_os.str(), "perf-baseline");
+  EXPECT_EQ(perf_doc.at("device_cycles").as_u64(), shard_run);
+  EXPECT_EQ(perf_doc.at("bringup_device_cycles").as_u64(), rig_build);
+
+  std::ostringstream report_os;
+  profiling::write_report_json(report_os, report, /*include_wall=*/true);
+  const campaign::JsonValue report_doc = campaign::parse_json(report_os.str(), "report");
+  EXPECT_EQ(report_doc.at("device_cycles").as_u64(), shard_run);
+  EXPECT_EQ(report_doc.at("bringup_device_cycles").as_u64(), rig_build);
+}
+
 // ------------------------------------------------------------ journal level
 
 /// A scratch file deleted on scope exit.

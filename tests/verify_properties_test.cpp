@@ -3,6 +3,9 @@
 //   - oracle-vs-checker verdict agreement over fuzzed streams,
 //   - serial-vs-sharded campaign byte-identity,
 //   - fault-storm-vs-baseline campaign identity,
+//   - fast-engine-vs-interp campaign byte-identity (serial, sharded, and
+//     under a transport fault storm) plus hammer-loop boundary agreement
+//     and planted fast-path bug sensitivity,
 //   - scramble and row-map round-trips,
 //   - on-die ECC read-path invariants.
 #include "verify/property.hpp"
@@ -19,8 +22,11 @@
 #include <string>
 #include <vector>
 
+#include "bender/host.hpp"
+#include "bender/program.hpp"
 #include "campaign/campaign.hpp"
 #include "campaign/record_io.hpp"
+#include "common/engine.hpp"
 #include "core/row_map.hpp"
 #include "core/spatial.hpp"
 #include "hbm/device.hpp"
@@ -59,11 +65,15 @@ campaign::SweepSpec tiny_sweep() {
 }
 
 std::vector<core::RowRecord> run_campaign(const campaign::SweepSpec& spec, unsigned jobs,
-                                          double fault_rate, std::uint64_t fault_seed) {
+                                          double fault_rate, std::uint64_t fault_seed,
+                                          common::EngineKind engine = common::EngineKind::kFast,
+                                          common::PlantedBug bug = common::PlantedBug::kNone) {
   campaign::CampaignConfig config;
   config.jobs = jobs;
   config.progress = false;
   config.retries = 3;
+  config.engine = engine;
+  config.engine_bug = bug;
   if (fault_rate > 0.0) {
     config.fault_plan.seed = fault_seed;
     config.fault_plan.set_transport_rates(fault_rate);
@@ -119,6 +129,139 @@ TEST(VerifyProperties, FaultStormCampaignMatchesBaseline) {
                                   " changed the results";
                          }),
                 /*seed=*/23, /*cases=*/2);
+}
+
+TEST(VerifyProperties, FastAndInterpCampaignsAreByteIdentical) {
+  // The two-engine equivalence contract at campaign granularity: the
+  // reference interpreter's serial records are the ground truth; the fast
+  // engine must reproduce them byte-for-byte serial, sharded, and under a
+  // 5% transport fault storm.
+  const campaign::SweepSpec spec = tiny_sweep();
+  const std::string reference =
+      record_bytes(run_campaign(spec, 1, 0.0, 0, common::EngineKind::kInterp));
+  ASSERT_FALSE(reference.empty());
+  expect_passes(
+      Property("fast engine == interp engine campaign",
+               [&spec, &reference](common::Xoshiro256& rng) -> std::optional<std::string> {
+                 const unsigned jobs = 1 + static_cast<unsigned>(rng.below(3));
+                 const double fault_rate = rng.below(2) == 0 ? 0.0 : 0.05;
+                 const std::string fast = record_bytes(
+                     run_campaign(spec, jobs, fault_rate, rng(), common::EngineKind::kFast));
+                 if (fast == reference) return std::nullopt;
+                 return "jobs=" + std::to_string(jobs) + " fault_rate=" +
+                        std::to_string(fault_rate) + ": " + std::to_string(reference.size()) +
+                        " vs " + std::to_string(fast.size()) + " record bytes differ";
+               }),
+      /*seed=*/83, /*cases=*/3);
+}
+
+/// Runs one hammer program through the chosen engine and digests every
+/// cheap observable: clocks, command mix, bank statistics, the pending
+/// disturbance around the aggressors, the TRR sampler, and the victim
+/// readback. `use_macro` picks the batched HAMMER macro-op (the TRR/flush
+/// paths) over the unrolled register loop (the fast-forward path).
+std::string engine_probe_digest(common::EngineKind kind, common::PlantedBug bug,
+                                std::uint32_t count, std::uint32_t row_a, std::uint32_t row_b,
+                                bool use_macro, int refs = 0) {
+  hbm::DeviceConfig config;
+  bender::BenderHost host(config);
+  host.set_engine(kind, bug);
+  bender::ProgramBuilder b(config.geometry, config.timings);
+  const std::uint32_t victim = (row_a + row_b) / 2;
+  b.init_row(0, victim, 0);
+  if (use_macro) {
+    b.ldi(1, row_a).ldi(2, row_b);
+    b.hammer(0, 1, 2, static_cast<std::int64_t>(count));
+  } else {
+    b.hammer_loop_raw(0, row_a, row_b, count);
+  }
+  // REFs give the proprietary TRR its firing slots (period 17), so a
+  // mis-sampled aggressor turns into a victim refresh on the wrong
+  // neighbourhood — the observable a sampler bug leaves behind.
+  for (int i = 0; i < refs; ++i) b.sleep(1000).ref();
+  if (refs > 0) b.sleep(1000);  // clear tRFC before reopening the bank
+  b.read_row(0, victim);
+  b.program().set_wide_register(0,
+                                std::vector<std::uint8_t>(config.geometry.row_bytes(), 0x5A));
+  const bender::ExecutionResult result = host.run(b.take(), 0, 0);
+
+  const hbm::Bank& bank = host.device().bank({0, 0, 0});
+  std::ostringstream os;
+  os << std::hexfloat << result.end_cycle << ' ' << result.instructions_executed << ' '
+     << result.metrics.acts << ' ' << result.metrics.precharges << ' ' << bank.stats().activates
+     << ' ' << bank.stats().rowhammer_flips << ' ' << bank.stats().settles << '\n';
+  for (std::uint32_t r = row_a - 4; r <= row_b + 4; ++r) {
+    os << bank.disturbance_of_physical(r) << ' ';
+  }
+  const trr::ProprietaryTrr& trr =
+      host.device().pseudo_channel(0, 0).proprietary_trr();
+  os << "\ntrr " << trr.sample_valid();
+  if (trr.sample_valid()) os << ' ' << trr.sample().bank << ' ' << trr.sample().logical_row;
+  os << '\n';
+  for (const std::uint8_t byte : result.readback) os << static_cast<int>(byte) << ' ';
+  return os.str();
+}
+
+TEST(VerifyProperties, HammerLoopBoundariesMatchAcrossEngines) {
+  // Fuzz the unrolled hammer loop's iteration count around the pivots the
+  // closed-form fast-forward must not cross by one: 0, 1, and power-ish
+  // thresholds +/-1. Both engines must agree on every observable.
+  expect_passes(
+      Property("fast == interp at hammer-loop boundaries",
+               [](common::Xoshiro256& rng) -> std::optional<std::string> {
+                 static constexpr std::uint32_t kPivots[] = {0, 1, 2, 17, 64, 256, 1024};
+                 const std::uint32_t pivot =
+                     kPivots[rng.below(std::size(kPivots))];
+                 const std::uint32_t jitter = static_cast<std::uint32_t>(rng.below(3));
+                 const std::uint32_t count = pivot == 0 ? jitter : pivot - 1 + jitter;
+                 const std::uint32_t row_a = 100 + 2 * static_cast<std::uint32_t>(rng.below(40));
+                 const std::uint32_t row_b = row_a + 2;
+                 const std::string fast = engine_probe_digest(
+                     common::EngineKind::kFast, common::PlantedBug::kNone, count, row_a, row_b,
+                     /*use_macro=*/false);
+                 const std::string interp = engine_probe_digest(
+                     common::EngineKind::kInterp, common::PlantedBug::kNone, count, row_a, row_b,
+                     /*use_macro=*/false);
+                 if (fast == interp) return std::nullopt;
+                 return "count=" + std::to_string(count) + " rows " + std::to_string(row_a) +
+                        "/" + std::to_string(row_b) + ": engines diverge\nfast:\n" + fast +
+                        "\ninterp:\n" + interp;
+               }),
+      /*seed=*/71, /*cases=*/24);
+}
+
+TEST(VerifyProperties, PlantedEngineBugsDivergeFromTheReference) {
+  // Sensitivity: each planted fast-path bug must visibly diverge from the
+  // reference interpreter on a randomized hammer program — a rig that
+  // cannot convict a planted off-by-one could not convict a real one.
+  // Rows 200/202 map to physically adjacent rows under the default
+  // pair-swap decoder, so the macro-op's final-ACT flush has real pending
+  // state to clear (what kStaleDisturbanceFlush breaks).
+  expect_passes(
+      Property("planted fast-path bugs are caught",
+               [](common::Xoshiro256& rng) -> std::optional<std::string> {
+                 static constexpr common::PlantedBug kBugs[] = {
+                     common::PlantedBug::kOffByOneFastForward,
+                     common::PlantedBug::kSkipTrrSample,
+                     common::PlantedBug::kStaleDisturbanceFlush,
+                 };
+                 const common::PlantedBug bug = kBugs[rng.below(std::size(kBugs))];
+                 const bool use_macro = bug != common::PlantedBug::kOffByOneFastForward;
+                 // The sampler bug only manifests once a TRR slot fires
+                 // (one victim refresh per 17 REFs).
+                 const int refs = bug == common::PlantedBug::kSkipTrrSample ? 20 : 0;
+                 const std::uint32_t count = 257 + static_cast<std::uint32_t>(rng.below(512));
+                 const std::string buggy =
+                     engine_probe_digest(common::EngineKind::kFast, bug, count, 200, 202,
+                                         use_macro, refs);
+                 const std::string reference =
+                     engine_probe_digest(common::EngineKind::kInterp, common::PlantedBug::kNone,
+                                         count, 200, 202, use_macro, refs);
+                 if (buggy != reference) return std::nullopt;
+                 return std::string(to_string(bug)) + " count=" + std::to_string(count) +
+                        ": the rig saw no divergence";
+               }),
+      /*seed=*/97, /*cases=*/9);
 }
 
 /// Runs `spec` with a metrics stream and returns the canonical cycles
